@@ -1,0 +1,23 @@
+"""Regenerates paper Fig. 2: standalone throughput vs worker count.
+
+Expected shape (paper §7.3.1): the lock-free scheduler scales with workers
+until it saturates the insert thread (~490 kops/s light); coarse- and
+fine-grained plateau much earlier, with coarse above fine in most
+read-only settings; under heavy execution costs all techniques converge
+toward the execution-bound limit, with fine-grained trailing.
+"""
+
+from conftest import emit
+
+from repro.bench import figure2
+
+
+def test_figure2(benchmark):
+    figure = benchmark.pedantic(figure2, rounds=1, iterations=1)
+    emit(figure)
+    light = figure.panels["light"]
+    # Headline claims: lock-free wins at scale and exceeds the others by a
+    # wide margin (paper: >2.5x in some cases).
+    at64 = {label: dict(points)[64] for label, points in light.items()}
+    assert at64["lock-free"] > at64["coarse-grained"] > at64["fine-grained"]
+    assert at64["lock-free"] / at64["fine-grained"] > 1.8

@@ -1,0 +1,25 @@
+"""Regenerates paper Fig. 3: standalone throughput vs write percentage.
+
+Each technique runs at its best worker count from Fig. 2 (the paper's own
+protocol).  Expected shape (§7.3.2): all parallel techniques degrade as
+writes rise; the lock-free scheduler dominates the low-write region that
+the paper argues is the realistic one (0.3%-2% conflicts).
+"""
+
+from conftest import emit
+
+from repro.bench import figure3
+
+
+def test_figure3(benchmark):
+    figure = benchmark.pedantic(figure3, rounds=1, iterations=1)
+    emit(figure)
+    for panel, series in figure.panels.items():
+        for label, points in series.items():
+            curve = dict(points)
+            # Write-heavy must not beat read-only for any technique.
+            assert curve[100] <= curve[0] * 1.05, (panel, label)
+        lock_free = next(v for k, v in series.items() if "lock-free" in k)
+        coarse = next(v for k, v in series.items() if "coarse" in k)
+        # Lock-free wins the low-write region.
+        assert dict(lock_free)[0] >= dict(coarse)[0]

@@ -1,0 +1,25 @@
+"""Regenerates paper Fig. 5: SMR throughput vs write percentage.
+
+Headline shape (§7.4.2): for light and moderate execution costs the
+sequential SMR overtakes the parallel techniques as the write share grows
+(the paper puts the crossover near 25% writes for the lock-free graph);
+for heavy costs, parallelism wins almost everywhere.
+"""
+
+from conftest import emit
+
+from repro.bench import figure5
+
+
+def test_figure5(benchmark):
+    figure = benchmark.pedantic(figure5, rounds=1, iterations=1)
+    emit(figure)
+    for panel in ("light", "moderate"):
+        series = figure.panels[panel]
+        sequential = dict(series["sequential SMR"])
+        lock_free = dict(next(v for k, v in series.items() if "lock-free" in k))
+        xs = sorted(sequential)
+        # Lock-free wins read-only; sequential wins write-only: a crossover
+        # exists somewhere in between (paper: around >= 25%).
+        assert lock_free[xs[0]] > sequential[xs[0]], panel
+        assert sequential[xs[-1]] >= lock_free[xs[-1]] * 0.9, panel

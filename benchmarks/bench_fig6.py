@@ -1,0 +1,26 @@
+"""Regenerates paper Fig. 6: latency vs throughput (moderate, 5%/10% writes).
+
+Expected shape (§7.4.2): all techniques show similar, flat latency until
+the system approaches saturation, then latency rises abruptly; the
+lock-free scheduler saturates at the highest throughput.
+"""
+
+from conftest import emit
+
+from repro.bench import figure6
+
+
+def test_figure6(benchmark):
+    figure = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    emit(figure)
+    for panel, series in figure.panels.items():
+        for label, points in series.items():
+            lats = [latency for _, latency in points]
+            # Latency rises toward saturation: the last (highest-load)
+            # point must be the most expensive region of the curve.
+            assert max(lats) == lats[-1] or max(lats) / lats[-1] < 1.5, (
+                panel, label)
+        peak = {label: max(x for x, _ in points)
+                for label, points in series.items()}
+        lock_free = next(v for k, v in peak.items() if "lock-free" in k)
+        assert lock_free >= max(peak.values()) * 0.95, panel

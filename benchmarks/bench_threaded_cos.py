@@ -1,0 +1,91 @@
+"""Real-time microbenchmarks of the threaded COS structures.
+
+These measure actual wall-clock operation rates of the three schedulers on
+OS threads.  Under CPython's GIL they cannot demonstrate multi-core
+speedup (DESIGN.md §2) — they exist as sanity checks that the structures
+sustain realistic Python-level rates and that the *relative* single-thread
+overhead ordering (sequential < lock-free ≈ coarse < fine for a populated
+graph) is what the algorithms predict.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import (
+    NeverConflicts,
+    ReadWriteConflicts,
+    ThreadedCOS,
+    ThreadedRuntime,
+    make_cos,
+)
+from repro.core.command import Command
+
+ALGORITHMS = ("coarse-grained", "fine-grained", "lock-free", "sequential")
+
+
+def _cycle(cos: ThreadedCOS, commands) -> None:
+    for command in commands:
+        cos.insert(command)
+        handle = cos.get()
+        cos.remove(handle)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_single_thread_cycle(benchmark, algorithm):
+    """insert+get+remove round trips on one thread, empty graph."""
+    runtime = ThreadedRuntime()
+    cos = ThreadedCOS(
+        make_cos(algorithm, runtime, ReadWriteConflicts()), runtime)
+    commands = [Command("contains", (i,), writes=False) for i in range(200)]
+    benchmark(_cycle, cos, commands)
+
+
+@pytest.mark.parametrize("algorithm", ("coarse-grained", "fine-grained",
+                                       "lock-free"))
+def test_populated_insert(benchmark, algorithm):
+    """Insert cost against a graph pre-populated near its cap.
+
+    This isolates the full-graph walk that sets each algorithm's ceiling
+    in Fig. 2 (see EXPERIMENTS.md).
+    """
+    runtime = ThreadedRuntime()
+    cos = ThreadedCOS(
+        make_cos(algorithm, runtime, NeverConflicts(), max_size=200), runtime)
+    for i in range(140):  # resident population
+        cos.insert(Command("contains", (i,), writes=False))
+    commands = [Command("contains", (i,), writes=False) for i in range(50)]
+
+    def insert_drain():
+        for command in commands:
+            cos.insert(command)
+        for _ in commands:
+            cos.remove(cos.get())
+
+    benchmark(insert_drain)
+
+
+@pytest.mark.parametrize("algorithm", ("coarse-grained", "fine-grained",
+                                       "lock-free"))
+def test_two_thread_pipeline(benchmark, algorithm):
+    """One producer and one consumer thread pumping 500 commands through."""
+    runtime = ThreadedRuntime()
+    cos = ThreadedCOS(
+        make_cos(algorithm, runtime, ReadWriteConflicts(), max_size=150),
+        runtime)
+    n = 500
+
+    def pump():
+        def producer():
+            for i in range(n):
+                cos.insert(Command("contains", (i,), writes=False))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        for _ in range(n):
+            cos.remove(cos.get())
+        thread.join()
+
+    benchmark(pump)

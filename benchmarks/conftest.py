@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_fig*.py`` regenerates one figure of the paper.  Benchmarks run
+in *quick* mode by default (trimmed grids, smaller op counts — the whole
+suite finishes in a few minutes); set ``REPRO_BENCH_FULL=1`` to sweep the
+paper's full parameter grids.
+
+Every figure's ASCII table is printed and also written to
+``benchmarks/results/<name>.txt`` so the numbers recorded in
+EXPERIMENTS.md can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench import FigureData, format_figure
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(figure: FigureData) -> None:
+    """Print a figure table and persist it under benchmarks/results/."""
+    text = format_figure(figure)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{figure.name}.txt").write_text(text)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Scheduler comparison: lock-free DAG vs class-based (early) scheduling.
+
+The paper's dependency DAG tracks pairwise conflicts at insert time; the
+related-work alternative it cites (early scheduling, Alchieri et al. 2018)
+partitions commands into conflict classes known a priori — O(#classes)
+insert, but commands sharing a class serialize even when they commute.
+
+This example runs the same simulated workload through both schedulers and
+prints an ASCII chart of throughput vs write percentage, showing the
+trade-off: with a single class the readers/writers workload fully
+serializes; sharding recovers read parallelism; the DAG needs no such
+tuning but pays the per-insert conflict scan.
+
+Run:  python examples/class_scheduling.py
+"""
+
+from repro.bench import FigureData, plot_figure
+from repro.bench.harness import StandaloneConfig, run_standalone
+from repro.sim import LIGHT
+
+
+def main() -> None:
+    figure = FigureData(
+        name="class-vs-dag",
+        title="Lock-free DAG vs class-based scheduling "
+              "(light commands, 8 workers)",
+        x_label="write %",
+        y_label="kops/sec",
+    )
+    variants = (
+        ("lock-free DAG", "lock-free", 1),
+        ("class-based, 1 shard", "class-based", 1),
+        ("class-based, 16 shards", "class-based", 16),
+    )
+    for label, algorithm, shards in variants:
+        for write_pct in (0, 5, 15, 25, 50, 100):
+            result = run_standalone(StandaloneConfig(
+                algorithm=algorithm,
+                workers=8,
+                profile=LIGHT,
+                write_pct=float(write_pct),
+                class_shards=shards,
+                measure_ops=2500,
+                warm_ops=250,
+            ))
+            figure.add_point("light", label, write_pct, result.kops)
+    print(plot_figure(figure))
+    one_shard = dict(figure.panels["light"]["class-based, 1 shard"])
+    sharded = dict(figure.panels["light"]["class-based, 16 shards"])
+    dag = dict(figure.panels["light"]["lock-free DAG"])
+    print(f"read-only: DAG {dag[0]:.0f} kops/s vs 1-shard classes "
+          f"{one_shard[0]:.0f} (serialized!) vs 16-shard {sharded[0]:.0f}")
+    print("take-away: class scheduling needs workload-aware sharding to "
+          "match the DAG's concurrency; the DAG discovers it per command.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Crash recovery demo: a replica dies, rejoins, and catches up.
+
+A 3-replica cluster (stable acceptor storage enabled) serves a KV store
+under continuous client traffic.  Replica 2 is crash-stopped mid-run, the
+cluster keeps serving with f = 1, then the replica is rebuilt from a live
+peer's checkpoint (quiesce -> snapshot + dedup table -> rejoin at
+checkpoint.instance + 1) and pulls the instances it missed through the
+heartbeat anti-entropy of the Multi-Paxos layer.
+
+Run:  python examples/crash_and_recover.py
+"""
+
+import threading
+import time
+
+from repro.apps import KVStoreService
+from repro.smr import ClusterConfig, ThreadedCluster
+
+
+def main() -> None:
+    config = ClusterConfig(
+        service_factory=KVStoreService,
+        n_replicas=3,
+        cos_algorithm="lock-free",
+        workers=4,
+        stable_storage=True,       # acceptors survive their crash
+        heartbeat_interval=0.03,
+        leader_timeout=0.15,
+    )
+    with ThreadedCluster(config) as cluster:
+        stop = threading.Event()
+        written = []
+
+        def traffic() -> None:
+            client = cluster.client("writer")
+            index = 0
+            while not stop.is_set():
+                client.execute(KVStoreService.put(f"key-{index % 40}", index))
+                written.append(index)
+                index += 1
+
+        thread = threading.Thread(target=traffic, daemon=True)
+        thread.start()
+
+        time.sleep(0.3)
+        print(f"{len(written)} writes in; crashing replica 2 ...")
+        cluster.crash(2)
+
+        time.sleep(0.3)
+        print(f"{len(written)} writes in; recovering replica 2 from a "
+              f"peer checkpoint ...")
+        cluster.restart_replica(2)
+
+        time.sleep(0.4)
+        stop.set()
+        thread.join(timeout=5)
+        time.sleep(0.3)  # drain executions everywhere
+
+        # The recovered replica must converge to the survivors' state.
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            snapshots = [s.snapshot() for s in cluster.services()]
+            if snapshots[0] == snapshots[1] == snapshots[2]:
+                break
+            time.sleep(0.05)
+        snapshots = [s.snapshot() for s in cluster.services()]
+        agree = snapshots[0] == snapshots[1] == snapshots[2]
+        print(f"total writes: {len(written)}; replicas converged: {agree}")
+        print(f"recovered replica holds {len(snapshots[2])} keys "
+              f"(executed {cluster.replicas[2].executed} commands "
+              f"after rejoin)")
+        if not agree:
+            raise SystemExit("replica divergence after recovery — a bug")
+        print("done: crash, continued service, and catch-up all worked")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Simulation study: regenerate the paper's figures as ASCII tables.
+
+Runs the same experiment harnesses as the benchmark suite and prints each
+figure.  In quick mode (default) this takes a couple of minutes; pass
+``--full`` (or set REPRO_BENCH_FULL=1) for the paper's complete grids.
+
+Run:  python examples/paper_figures.py [--full] [fig2 fig3 fig4 fig5 fig6]
+"""
+
+import sys
+import time
+
+from repro.bench import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    print_figure,
+)
+
+
+def main() -> None:
+    args = [arg for arg in sys.argv[1:]]
+    quick = "--full" not in args
+    wanted = {arg for arg in args if arg.startswith("fig")} or {
+        "fig2", "fig3", "fig4", "fig5", "fig6"}
+
+    fig2_data = fig4_data = None
+    started = time.time()
+    if wanted & {"fig2", "fig3"}:
+        fig2_data = figure2(quick=quick)
+        if "fig2" in wanted:
+            print_figure(fig2_data)
+    if "fig3" in wanted:
+        print_figure(figure3(quick=quick, fig2=fig2_data))
+    if wanted & {"fig4", "fig5"}:
+        fig4_data = figure4(quick=quick)
+        if "fig4" in wanted:
+            print_figure(fig4_data)
+    if "fig5" in wanted:
+        print_figure(figure5(quick=quick, fig4=fig4_data))
+    if "fig6" in wanted:
+        print_figure(figure6(quick=quick))
+    mode = "quick" if quick else "full"
+    print(f"[{mode} mode, {time.time() - started:.0f}s — compare shapes "
+          f"against EXPERIMENTS.md]")
+
+
+if __name__ == "__main__":
+    main()

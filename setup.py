@@ -1,0 +1,8 @@
+"""Setup shim so `pip install -e .` works without network/wheel.
+
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — reproduction of "Boosting concurrency in Parallel State Machine
+Replication" (Middleware '19).
+
+The package implements the paper's Conflict-Ordered Set (COS) schedulers, a
+from-scratch SMR stack (atomic broadcast, replicas, clients), the paper's
+linked-list application, and a deterministic discrete-event simulator used to
+regenerate every figure of the paper's evaluation.  See DESIGN.md for the
+system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.core import (
+    COS,
+    COS_ALGORITHMS,
+    DEFAULT_MAX_SIZE,
+    AlwaysConflicts,
+    CoarseGrainedCOS,
+    Command,
+    ConflictRelation,
+    FineGrainedCOS,
+    KeyedConflicts,
+    LockFreeCOS,
+    NeverConflicts,
+    PredicateConflicts,
+    ReadWriteConflicts,
+    SequentialCOS,
+    StructureCosts,
+    ThreadedCOS,
+    ThreadedRuntime,
+    make_cos,
+)
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SchedulerError,
+    ShutdownError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Command",
+    "ConflictRelation",
+    "ReadWriteConflicts",
+    "KeyedConflicts",
+    "NeverConflicts",
+    "AlwaysConflicts",
+    "PredicateConflicts",
+    "COS",
+    "COS_ALGORITHMS",
+    "StructureCosts",
+    "DEFAULT_MAX_SIZE",
+    "CoarseGrainedCOS",
+    "FineGrainedCOS",
+    "LockFreeCOS",
+    "SequentialCOS",
+    "ThreadedCOS",
+    "ThreadedRuntime",
+    "make_cos",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "SimulationError",
+    "SchedulerError",
+    "ShutdownError",
+]

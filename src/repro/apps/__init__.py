@@ -1,0 +1,7 @@
+"""Application services for the replicated state machine."""
+
+from repro.apps.bank import BankService
+from repro.apps.kvstore import KVStoreService
+from repro.apps.linked_list import LinkedListService
+
+__all__ = ["LinkedListService", "KVStoreService", "BankService"]

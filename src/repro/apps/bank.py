@@ -1,0 +1,117 @@
+"""Replicated bank service (example application).
+
+Accounts with deposits, withdrawals, transfers and balance queries.  The
+conflict relation is account-scoped: two commands conflict iff they touch a
+common account and at least one writes, so a transfer conflicts with
+anything touching either endpoint.  Used by the ``bank_transfers`` example
+to show invariant preservation (money conservation) under parallel
+execution across replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Optional
+
+from repro.core.command import Command, ConflictRelation, PredicateConflicts
+from repro.smr.service import Service
+
+__all__ = ["BankService"]
+
+
+def _accounts_of(command: Command) -> FrozenSet[str]:
+    if command.op == "transfer":
+        return frozenset(command.args[:2])
+    return frozenset(command.args[:1])
+
+
+def _bank_conflict(a: Command, b: Command) -> bool:
+    if not (a.writes or b.writes):
+        return False
+    return bool(_accounts_of(a) & _accounts_of(b))
+
+
+class BankService(Service):
+    """Account ledger with account-scoped conflicts."""
+
+    def __init__(self, execution_cost: float = 0.0):
+        self._balances: Dict[str, int] = {}
+        self._conflicts = PredicateConflicts(_bank_conflict)
+        self._execution_cost = execution_cost
+
+    # -------------------------------------------------------------- service
+
+    def execute(self, command: Command) -> Any:
+        op = command.op
+        if op == "balance":
+            return self._balances.get(command.args[0], 0)
+        if op == "deposit":
+            account, amount = command.args
+            self._check_amount(amount)
+            self._balances[account] = self._balances.get(account, 0) + amount
+            return self._balances[account]
+        if op == "withdraw":
+            account, amount = command.args
+            self._check_amount(amount)
+            balance = self._balances.get(account, 0)
+            if balance < amount:
+                return None  # insufficient funds
+            self._balances[account] = balance - amount
+            return self._balances[account]
+        if op == "transfer":
+            src, dst, amount = command.args
+            self._check_amount(amount)
+            balance = self._balances.get(src, 0)
+            if balance < amount:
+                return False
+            self._balances[src] = balance - amount
+            self._balances[dst] = self._balances.get(dst, 0) + amount
+            return True
+        raise ValueError(f"unknown bank operation {op!r}")
+
+    @staticmethod
+    def _check_amount(amount: int) -> None:
+        if amount < 0:
+            raise ValueError(f"negative amount {amount}")
+
+    @property
+    def conflicts(self) -> ConflictRelation:
+        return self._conflicts
+
+    @property
+    def execution_cost(self) -> float:
+        return self._execution_cost
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._balances)
+
+    def restore(self, snapshot: Dict[str, int]) -> None:
+        self._balances = dict(snapshot)
+
+    def total_money(self) -> int:
+        """Sum over all balances (conserved by transfers)."""
+        return sum(self._balances.values())
+
+    # ----------------------------------------------------- command builders
+
+    @staticmethod
+    def balance(account: str, client_id: Optional[str] = None,
+                request_id: int = 0) -> Command:
+        return Command("balance", (account,), client_id, request_id, writes=False)
+
+    @staticmethod
+    def deposit(account: str, amount: int, client_id: Optional[str] = None,
+                request_id: int = 0) -> Command:
+        return Command("deposit", (account, amount), client_id, request_id,
+                       writes=True)
+
+    @staticmethod
+    def withdraw(account: str, amount: int, client_id: Optional[str] = None,
+                 request_id: int = 0) -> Command:
+        return Command("withdraw", (account, amount), client_id, request_id,
+                       writes=True)
+
+    @staticmethod
+    def transfer(src: str, dst: str, amount: int,
+                 client_id: Optional[str] = None, request_id: int = 0) -> Command:
+        return Command("transfer", (src, dst, amount), client_id, request_id,
+                       writes=True)

@@ -1,0 +1,90 @@
+"""Keyed key-value store service (extension application).
+
+Demonstrates a richer conflict relation than the paper's readers/writers
+list: commands on *different keys* never conflict, so even write-heavy
+workloads parallelize as long as they spread across keys.  This is the
+"application knowledge" class of parallel SMR (paper §8.2) taken one step
+further, and is used by the keyed-conflicts ablation benchmark.
+
+Operations: ``get(k)``, ``put(k, v)``, ``delete(k)``, ``cas(k, old, new)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.command import Command, ConflictRelation, KeyedConflicts
+from repro.smr.service import Service
+
+__all__ = ["KVStoreService"]
+
+
+class KVStoreService(Service):
+    """In-memory dictionary with per-key conflict granularity."""
+
+    READ_OPS = frozenset({"get"})
+    WRITE_OPS = frozenset({"put", "delete", "cas"})
+
+    def __init__(self, execution_cost: float = 0.0):
+        self._data: Dict[Any, Any] = {}
+        self._conflicts = KeyedConflicts()
+        self._execution_cost = execution_cost
+
+    # -------------------------------------------------------------- service
+
+    def execute(self, command: Command) -> Any:
+        op = command.op
+        if op == "get":
+            return self._data.get(command.args[0])
+        if op == "put":
+            key, value = command.args
+            previous = self._data.get(key)
+            self._data[key] = value
+            return previous
+        if op == "delete":
+            return self._data.pop(command.args[0], None)
+        if op == "cas":
+            key, expected, new = command.args
+            if self._data.get(key) == expected:
+                self._data[key] = new
+                return True
+            return False
+        raise ValueError(f"unknown kv operation {op!r}")
+
+    @property
+    def conflicts(self) -> ConflictRelation:
+        return self._conflicts
+
+    @property
+    def execution_cost(self) -> float:
+        return self._execution_cost
+
+    def snapshot(self) -> Dict[Any, Any]:
+        return dict(self._data)
+
+    def restore(self, snapshot: Dict[Any, Any]) -> None:
+        self._data = dict(snapshot)
+
+    # ----------------------------------------------------- command builders
+
+    @staticmethod
+    def get(key: Any, client_id: str = None, request_id: int = 0) -> Command:
+        return Command("get", (key,), client_id, request_id, writes=False)
+
+    @staticmethod
+    def put(key: Any, value: Any, client_id: str = None,
+            request_id: int = 0) -> Command:
+        return Command("put", (key, value), client_id, request_id, writes=True)
+
+    @staticmethod
+    def delete(key: Any, client_id: str = None, request_id: int = 0) -> Command:
+        return Command("delete", (key,), client_id, request_id, writes=True)
+
+    @staticmethod
+    def cas(key: Any, expected: Any, new: Any, client_id: str = None,
+            request_id: int = 0) -> Command:
+        return Command("cas", (key, expected, new), client_id, request_id,
+                       writes=True)
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,122 @@
+"""The paper's linked-list application (§7.2).
+
+A readers-and-writers service over a singly linked list of integers:
+
+- ``contains(i)`` — true iff ``i`` is in the list (read);
+- ``add(i)`` — insert ``i`` if absent, returning whether it was inserted
+  (write).
+
+Conflict model: ``contains`` commands do not conflict with each other but
+conflict with ``add`` commands, which conflict with everything —
+:class:`~repro.core.command.ReadWriteConflicts`.
+
+The list is a real pointer-chained structure and operations walk it node by
+node, so execution cost genuinely scales with the initial population (1k /
+10k / 100k entries for light / moderate / heavy), mirroring the paper's
+cost classes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.core.command import Command, ConflictRelation, ReadWriteConflicts
+from repro.smr.service import Service
+from repro.workload.generator import READ_OP, WRITE_OP
+
+__all__ = ["LinkedListService"]
+
+
+class _ListNode:
+    __slots__ = ("value", "nxt")
+
+    def __init__(self, value: int, nxt: Optional["_ListNode"] = None):
+        self.value = value
+        self.nxt = nxt
+
+
+class LinkedListService(Service):
+    """Singly linked list with ``contains``/``add`` commands."""
+
+    def __init__(self, initial_size: int = 0, execution_cost: float = 0.0):
+        """Initialize with entries ``0 .. initial_size - 1`` (paper §7.2).
+
+        Args:
+            initial_size: Pre-populated entries.
+            execution_cost: Mean per-command cost charged in simulation runs.
+        """
+        self._head: Optional[_ListNode] = None
+        self._size = 0
+        self._conflicts = ReadWriteConflicts()
+        self._execution_cost = execution_cost
+        # Build back-to-front so the list reads 0, 1, 2, ...
+        for value in range(initial_size - 1, -1, -1):
+            self._head = _ListNode(value, self._head)
+            self._size += 1
+
+    # -------------------------------------------------------------- service
+
+    def execute(self, command: Command) -> Any:
+        if command.op == READ_OP:
+            return self._contains(command.args[0])
+        if command.op == WRITE_OP:
+            return self._add(command.args[0])
+        raise ValueError(f"unknown linked-list operation {command.op!r}")
+
+    @property
+    def conflicts(self) -> ConflictRelation:
+        return self._conflicts
+
+    @property
+    def execution_cost(self) -> float:
+        return self._execution_cost
+
+    def snapshot(self) -> List[int]:
+        return list(self._iter_values())
+
+    def restore(self, snapshot: List[int]) -> None:
+        self._head = None
+        self._size = 0
+        for value in reversed(snapshot):
+            self._head = _ListNode(value, self._head)
+            self._size += 1
+
+    # ------------------------------------------------------------ operations
+
+    def _contains(self, value: int) -> bool:
+        node = self._head
+        while node is not None:
+            if node.value == value:
+                return True
+            node = node.nxt
+        return False
+
+    def _add(self, value: int) -> bool:
+        """Append ``value`` at the tail if absent (walks the whole list)."""
+        if self._head is None:
+            self._head = _ListNode(value)
+            self._size += 1
+            return True
+        node = self._head
+        while True:
+            if node.value == value:
+                return False
+            if node.nxt is None:
+                node.nxt = _ListNode(value)
+                self._size += 1
+                return True
+            node = node.nxt
+
+    # ------------------------------------------------------------ inspection
+
+    def _iter_values(self):
+        node = self._head
+        while node is not None:
+            yield node.value
+            node = node.nxt
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, value: int) -> bool:
+        return self._contains(value)

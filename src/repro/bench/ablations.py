@@ -1,0 +1,192 @@
+"""Ablation experiments for design choices the paper fixes by fiat.
+
+The paper pins several knobs without sweeping them; these ablations test
+how much each one matters:
+
+- **Graph capacity** (paper fixes maxN = 150): the cap bounds scheduler
+  look-ahead — too small starves workers, too large makes full-graph walks
+  expensive for the lock-based schedulers.
+- **Consensus batch size** (BFT-SMaRt batches per instance): amortizes the
+  per-instance protocol cost.
+- **Conflict granularity**: the paper's readers/writers relation serializes
+  all writes; keyed conflicts (our KV-store extension) let disjoint writes
+  run in parallel — quantifies what application knowledge buys.
+- **Hand-off cost sensitivity**: how the lock-based/lock-free gap responds
+  to the dominant synchronization constant of the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.bench.figures import FigureData
+from repro.bench.harness import StandaloneConfig, run_standalone
+from repro.core.command import KeyedConflicts
+from repro.sim import LIGHT, MODERATE, SyncCosts
+from repro.smr.sim_cluster import SimClusterConfig, run_sim_cluster
+
+__all__ = [
+    "ablation_graph_size",
+    "ablation_batch_size",
+    "ablation_keyed_conflicts",
+    "ablation_handoff_cost",
+    "ablation_class_scheduler",
+]
+
+_ALGOS = ("coarse-grained", "fine-grained", "lock-free")
+
+
+def ablation_graph_size(quick: bool = True, seed: int = 1) -> FigureData:
+    """Throughput vs graph capacity (light, 10% writes, 8 workers).
+
+    The cap bounds scheduler look-ahead: with writes in the mix, a larger
+    graph buffers the reads queued behind a write barrier so they can burst
+    in parallel once the write completes; a tiny graph stalls the pipeline.
+    """
+    sizes = (5, 50, 150, 400) if quick else (5, 10, 25, 50, 100, 150, 250, 400)
+    measure = 2000 if quick else 6000
+    fig = FigureData(
+        name="ablation-graph-size",
+        title="Throughput vs dependency-graph capacity (light, 10% writes, "
+              "8 workers; paper fixes maxN=150)",
+        x_label="maxN",
+        y_label="kops/sec",
+    )
+    for algorithm in _ALGOS:
+        for size in sizes:
+            result = run_standalone(StandaloneConfig(
+                algorithm=algorithm,
+                workers=8,
+                profile=LIGHT,
+                write_pct=10.0,
+                max_size=size,
+                seed=seed,
+                measure_ops=measure,
+                warm_ops=measure // 10,
+            ))
+            fig.add_point("light", algorithm, size, result.kops)
+    return fig
+
+
+def ablation_batch_size(quick: bool = True, seed: int = 1) -> FigureData:
+    """SMR throughput vs consensus batch size (lock-free, light)."""
+    batches = (1, 4, 16, 64) if quick else (1, 2, 4, 8, 16, 32, 64, 128)
+    measure = 2000 if quick else 5000
+    fig = FigureData(
+        name="ablation-batch-size",
+        title="SMR throughput vs consensus batch size (lock-free, light, "
+              "8 workers)",
+        x_label="batch",
+        y_label="kops/sec",
+    )
+    for batch in batches:
+        result = run_sim_cluster(SimClusterConfig(
+            algorithm="lock-free",
+            workers=8,
+            profile=LIGHT,
+            batch_size=batch,
+            seed=seed,
+            measure_ops=measure,
+            warm_ops=measure // 10,
+        ))
+        fig.add_point("light", "lock-free, 8 workers", batch, result.kops)
+    return fig
+
+
+def ablation_keyed_conflicts(quick: bool = True, seed: int = 1) -> FigureData:
+    """Readers/writers vs keyed conflicts as the write share grows.
+
+    With keyed conflicts, two writes on different keys stay independent, so
+    throughput degrades far more slowly with the write percentage.
+    """
+    writes = (0, 10, 25, 50, 100) if quick else (0, 1, 5, 10, 15, 20, 25, 50, 100)
+    measure = 2000 if quick else 5000
+    fig = FigureData(
+        name="ablation-keyed-conflicts",
+        title="Lock-free throughput vs write %: readers/writers conflicts "
+              "(paper) against keyed conflicts (moderate, 16 workers)",
+        x_label="write %",
+        y_label="kops/sec",
+    )
+    for label, conflicts in (
+        ("readers-writers", None),               # harness default
+        ("keyed (1k keys)", KeyedConflicts()),
+    ):
+        for write_pct in writes:
+            result = run_standalone(StandaloneConfig(
+                algorithm="lock-free",
+                workers=16,
+                profile=MODERATE,
+                write_pct=float(write_pct),
+                seed=seed,
+                measure_ops=measure,
+                warm_ops=measure // 10,
+                conflicts=conflicts,
+            ))
+            fig.add_point("moderate", label, write_pct, result.kops)
+    return fig
+
+
+def ablation_handoff_cost(quick: bool = True, seed: int = 1) -> FigureData:
+    """Sensitivity of each algorithm to the thread hand-off cost."""
+    handoffs_us = (0.3, 0.9, 2.7) if quick else (0.1, 0.3, 0.9, 1.8, 2.7, 5.4)
+    measure = 2000 if quick else 5000
+    fig = FigureData(
+        name="ablation-handoff",
+        title="Throughput vs contended hand-off latency (light, 0% writes, "
+              "16 workers)",
+        x_label="handoff us",
+        y_label="kops/sec",
+    )
+    for algorithm in _ALGOS:
+        for handoff in handoffs_us:
+            costs = replace(SyncCosts.default(), handoff=handoff * 1e-6)
+            result = run_standalone(StandaloneConfig(
+                algorithm=algorithm,
+                workers=16,
+                profile=LIGHT,
+                seed=seed,
+                measure_ops=measure,
+                warm_ops=measure // 10,
+                sync_costs=costs,
+            ))
+            fig.add_point("light", algorithm, handoff, result.kops)
+    return fig
+
+
+def ablation_class_scheduler(quick: bool = True, seed: int = 1) -> FigureData:
+    """Class-based (early) scheduling vs the lock-free DAG.
+
+    Class scheduling inserts in O(#classes) — no graph walk — but commands
+    sharing a class serialize even when they commute.  With one shard the
+    readers/writers workload fully serializes; with more shards reads
+    parallelize again while writes must synchronize all shard queues.
+    """
+    writes = (0, 10, 25, 100) if quick else (0, 1, 5, 10, 15, 25, 50, 100)
+    measure = 2000 if quick else 5000
+    fig = FigureData(
+        name="ablation-class-scheduler",
+        title="Lock-free DAG vs class-based scheduling (light, 8 workers)",
+        x_label="write %",
+        y_label="kops/sec",
+    )
+    variants = (
+        ("lock-free DAG", "lock-free", 1),
+        ("class-based, 1 shard", "class-based", 1),
+        ("class-based, 16 shards", "class-based", 16),
+    )
+    for label, algorithm, shards in variants:
+        for write_pct in writes:
+            result = run_standalone(StandaloneConfig(
+                algorithm=algorithm,
+                workers=8,
+                profile=LIGHT,
+                write_pct=float(write_pct),
+                seed=seed,
+                measure_ops=measure,
+                warm_ops=measure // 10,
+                class_shards=shards,
+            ))
+            fig.add_point("light", label, write_pct, result.kops)
+    return fig

@@ -1,0 +1,40 @@
+"""Export figure data to CSV for external plotting.
+
+The ASCII tables of :mod:`repro.bench.report` are good for eyeballing;
+this module writes the same series in long-format CSV
+(``panel,series,x,y``) so gnuplot/pandas/spreadsheets can reproduce the
+paper's plots visually.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Union
+
+from repro.bench.figures import FigureData
+
+__all__ = ["figure_to_csv", "write_figure_csv"]
+
+
+def figure_to_csv(figure: FigureData) -> str:
+    """Render a figure's points as long-format CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["panel", "series", figure.x_label, figure.y_label])
+    for panel, series in figure.panels.items():
+        for label, points in series.items():
+            for x, y in points:
+                writer.writerow([panel, label, x, y])
+    return buffer.getvalue()
+
+
+def write_figure_csv(figure: FigureData,
+                     directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write ``<directory>/<figure.name>.csv``; returns the path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{figure.name}.csv"
+    path.write_text(figure_to_csv(figure))
+    return path

@@ -1,0 +1,290 @@
+"""Experiment definitions, one per figure of the paper's evaluation (§7).
+
+Each ``figureN`` function sweeps the same parameter grid as the paper and
+returns a :class:`FigureData` of labelled series.  ``quick=True`` trims the
+grid and the per-point op counts so the whole suite runs in seconds; the
+full grid reproduces every point of the paper's x-axes.
+
+The paper's evaluation contains no numeric tables — Figs. 2-6 are the
+complete set of results to regenerate.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.harness import StandaloneConfig, run_standalone
+from repro.sim import HEAVY, LIGHT, MODERATE, ExecutionProfile
+from repro.smr.sim_cluster import SimClusterConfig, run_sim_cluster
+
+__all__ = [
+    "FigureData",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "WORKER_COUNTS",
+    "WRITE_PCTS",
+    "ALGORITHMS",
+    "quick_mode_default",
+]
+
+#: Paper x-axes.
+WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4, 6, 8, 10, 12, 16, 24, 32, 40, 48, 56, 64)
+WRITE_PCTS: Tuple[float, ...] = (0, 1, 5, 10, 15, 20, 25, 50, 100)
+ALGORITHMS: Tuple[str, ...] = ("coarse-grained", "fine-grained", "lock-free")
+PROFILES: Tuple[ExecutionProfile, ...] = (LIGHT, MODERATE, HEAVY)
+
+_QUICK_WORKERS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+_QUICK_WRITES: Tuple[float, ...] = (0, 5, 15, 25, 50, 100)
+_QUICK_CLIENTS: Tuple[int, ...] = (5, 20, 60, 120, 200)
+_FULL_CLIENTS: Tuple[int, ...] = (2, 5, 10, 20, 40, 60, 80, 120, 160, 200)
+
+
+def quick_mode_default() -> bool:
+    """Quick mode unless REPRO_BENCH_FULL is set in the environment."""
+    return not os.environ.get("REPRO_BENCH_FULL")
+
+
+@dataclass
+class FigureData:
+    """Labelled series for one figure.
+
+    ``panels`` maps a panel name (e.g. ``"light"``) to series; each series
+    maps a label (e.g. ``"lock-free"``) to ``(x, y)`` points.  ``x_label``
+    and ``y_label`` describe the axes for reporting.
+    """
+
+    name: str
+    title: str
+    x_label: str
+    y_label: str
+    panels: Dict[str, Dict[str, List[Tuple[float, float]]]] = dataclass_field(
+        default_factory=dict
+    )
+
+    def add_point(self, panel: str, series: str, x: float, y: float) -> None:
+        self.panels.setdefault(panel, {}).setdefault(series, []).append((x, y))
+
+    def best_x(self, panel: str, series: str) -> float:
+        """The x with maximal y for a series (paper's "best performing")."""
+        points = self.panels[panel][series]
+        return max(points, key=lambda point: point[1])[0]
+
+
+def _ops(quick: bool, measure: int, warm: int) -> Tuple[int, int]:
+    if quick:
+        return max(measure // 3, 600), max(warm // 3, 100)
+    return measure, warm
+
+
+# ------------------------------------------------------------------ figure 2
+
+
+def figure2(quick: bool = None, seed: int = 1) -> FigureData:
+    """Fig. 2: standalone throughput vs number of workers, 0% writes."""
+    quick = quick_mode_default() if quick is None else quick
+    workers = _QUICK_WORKERS if quick else WORKER_COUNTS
+    measure, warm = _ops(quick, 6000, 600)
+    fig = FigureData(
+        name="fig2",
+        title="Standalone throughput for different execution costs and "
+              "number of workers (0% writes)",
+        x_label="workers",
+        y_label="kops/sec",
+    )
+    for profile in PROFILES:
+        for algorithm in ALGORITHMS:
+            for count in workers:
+                result = run_standalone(StandaloneConfig(
+                    algorithm=algorithm,
+                    workers=count,
+                    profile=profile,
+                    write_pct=0.0,
+                    seed=seed,
+                    measure_ops=measure,
+                    warm_ops=warm,
+                ))
+                fig.add_point(profile.name, algorithm, count, result.kops)
+    return fig
+
+
+# ------------------------------------------------------------------ figure 3
+
+
+def figure3(quick: bool = None, seed: int = 1,
+            fig2: FigureData = None) -> FigureData:
+    """Fig. 3: standalone throughput vs write percentage.
+
+    Uses each technique's best worker count from Fig. 2, exactly as the
+    paper does ("we picked for each technique the best performing number
+    of threads", §7.3.2).
+    """
+    quick = quick_mode_default() if quick is None else quick
+    writes = _QUICK_WRITES if quick else WRITE_PCTS
+    measure, warm = _ops(quick, 5000, 500)
+    if fig2 is None:
+        fig2 = figure2(quick=quick, seed=seed)
+    fig = FigureData(
+        name="fig3",
+        title="Standalone throughput for different percentage of writes "
+              "and execution costs",
+        x_label="write %",
+        y_label="kops/sec",
+    )
+    for profile in PROFILES:
+        for algorithm in ALGORITHMS:
+            best_workers = int(fig2.best_x(profile.name, algorithm))
+            label = f"{algorithm}, {best_workers} workers"
+            for write_pct in writes:
+                result = run_standalone(StandaloneConfig(
+                    algorithm=algorithm,
+                    workers=best_workers,
+                    profile=profile,
+                    write_pct=float(write_pct),
+                    seed=seed,
+                    measure_ops=measure,
+                    warm_ops=warm,
+                ))
+                fig.add_point(profile.name, label, write_pct, result.kops)
+    return fig
+
+
+# ------------------------------------------------------------------ figure 4
+
+
+def figure4(quick: bool = None, seed: int = 1) -> FigureData:
+    """Fig. 4: SMR throughput vs number of workers, 0% writes,
+    including the sequential-SMR baseline."""
+    quick = quick_mode_default() if quick is None else quick
+    workers = _QUICK_WORKERS if quick else WORKER_COUNTS
+    measure, warm = _ops(quick, 5000, 500)
+    fig = FigureData(
+        name="fig4",
+        title="SMR throughput for different execution costs and number of "
+              "workers (0% writes)",
+        x_label="workers",
+        y_label="kops/sec",
+    )
+    for profile in PROFILES:
+        for algorithm in ALGORITHMS:
+            for count in workers:
+                result = run_sim_cluster(SimClusterConfig(
+                    algorithm=algorithm,
+                    workers=count,
+                    profile=profile,
+                    write_pct=0.0,
+                    seed=seed,
+                    measure_ops=measure,
+                    warm_ops=warm,
+                ))
+                fig.add_point(profile.name, algorithm, count, result.kops)
+        sequential = run_sim_cluster(SimClusterConfig(
+            algorithm="sequential",
+            workers=1,
+            profile=profile,
+            write_pct=0.0,
+            seed=seed,
+            measure_ops=measure,
+            warm_ops=warm,
+        ))
+        for count in workers:  # flat reference line, as in the paper
+            fig.add_point(profile.name, "sequential SMR", count, sequential.kops)
+    return fig
+
+
+# ------------------------------------------------------------------ figure 5
+
+
+def figure5(quick: bool = None, seed: int = 1,
+            fig4: FigureData = None) -> FigureData:
+    """Fig. 5: SMR throughput vs write percentage, including sequential SMR.
+
+    The paper's headline here is the crossover: sequential SMR overtakes
+    the parallel techniques around >= 25% writes for light/moderate costs.
+    """
+    quick = quick_mode_default() if quick is None else quick
+    writes = _QUICK_WRITES if quick else WRITE_PCTS
+    measure, warm = _ops(quick, 4000, 400)
+    if fig4 is None:
+        fig4 = figure4(quick=quick, seed=seed)
+    fig = FigureData(
+        name="fig5",
+        title="SMR throughput for different percentage of writes and "
+              "execution costs",
+        x_label="write %",
+        y_label="kops/sec",
+    )
+    for profile in PROFILES:
+        for algorithm in ALGORITHMS:
+            best_workers = int(fig4.best_x(profile.name, algorithm))
+            label = f"{algorithm}, {best_workers} workers"
+            for write_pct in writes:
+                result = run_sim_cluster(SimClusterConfig(
+                    algorithm=algorithm,
+                    workers=best_workers,
+                    profile=profile,
+                    write_pct=float(write_pct),
+                    seed=seed,
+                    measure_ops=measure,
+                    warm_ops=warm,
+                ))
+                fig.add_point(profile.name, label, write_pct, result.kops)
+        for write_pct in writes:
+            result = run_sim_cluster(SimClusterConfig(
+                algorithm="sequential",
+                workers=1,
+                profile=profile,
+                write_pct=float(write_pct),
+                seed=seed,
+                measure_ops=measure,
+                warm_ops=warm,
+            ))
+            fig.add_point(profile.name, "sequential SMR", write_pct, result.kops)
+    return fig
+
+
+# ------------------------------------------------------------------ figure 6
+
+
+def figure6(quick: bool = None, seed: int = 1) -> FigureData:
+    """Fig. 6: latency vs throughput, moderate cost, 5% and 10% writes.
+
+    Load is varied through the number of closed-loop clients; each point is
+    (throughput kops/s, mean client latency ms).  Worker counts follow the
+    paper's Fig. 6 captions (sequential, fine 6, coarse 12, lock-free 32).
+    """
+    quick = quick_mode_default() if quick is None else quick
+    clients = _QUICK_CLIENTS if quick else _FULL_CLIENTS
+    measure, warm = _ops(quick, 4000, 400)
+    configured = (
+        ("sequential SMR", "sequential", 1),
+        ("fine-grained, 6 workers", "fine-grained", 6),
+        ("coarse-grained, 12 workers", "coarse-grained", 12),
+        ("lock-free, 32 workers", "lock-free", 32),
+    )
+    fig = FigureData(
+        name="fig6",
+        title="Latency versus throughput for moderate cost",
+        x_label="throughput kops/sec",
+        y_label="latency ms",
+    )
+    for write_pct in (5.0, 10.0):
+        panel = f"{int(write_pct)}% writes"
+        for label, algorithm, workers in configured:
+            for n_clients in clients:
+                result = run_sim_cluster(SimClusterConfig(
+                    algorithm=algorithm,
+                    workers=workers,
+                    profile=MODERATE,
+                    write_pct=write_pct,
+                    n_clients=n_clients,
+                    seed=seed,
+                    measure_ops=measure,
+                    warm_ops=warm,
+                ))
+                fig.add_point(panel, label, result.kops, result.latency_ms)
+    return fig

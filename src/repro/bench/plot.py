@@ -1,0 +1,101 @@
+"""ASCII line charts for figure data.
+
+Renders a :class:`~repro.bench.figures.FigureData` panel as a terminal
+plot — one marker per series, linear or log-ish y scaling — so the shapes
+of the paper's figures can be eyeballed without a plotting stack:
+
+::
+
+    light (kops/sec)
+    513.8 |        c    c    c         c
+          |   c                   b
+          |
+          | b       b    b    b        b
+          |   a
+          | a  a    a    a    a        a
+     22.9 +--------------------------------
+            1    4    10   16   32     64
+    a=fine-grained  b=coarse-grained  c=lock-free
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.bench.figures import FigureData
+
+__all__ = ["plot_panel", "plot_figure"]
+
+_MARKERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _scale(value: float, low: float, high: float, steps: int,
+           log: bool) -> int:
+    if high <= low:
+        return 0
+    if log:
+        value = math.log10(max(value, 1e-12))
+        low = math.log10(max(low, 1e-12))
+        high = math.log10(max(high, 1e-12))
+        if high <= low:
+            return 0
+    fraction = (value - low) / (high - low)
+    return max(0, min(steps - 1, round(fraction * (steps - 1))))
+
+
+def plot_panel(
+    panel_name: str,
+    series: Dict[str, List[Tuple[float, float]]],
+    y_label: str,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    log_y: bool = False,
+) -> str:
+    """Render one panel's series as an ASCII chart."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{panel_name}: (no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (label, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker}={label}")
+        for x, y in pts:
+            column = _scale(x, x_low, x_high, width, log_x)
+            row = height - 1 - _scale(y, y_low, y_high, height, log_y)
+            grid[row][column] = marker
+
+    y_top = f"{y_high:.1f}"
+    y_bottom = f"{y_low:.1f}"
+    margin = max(len(y_top), len(y_bottom))
+    lines = [f"{panel_name} ({y_label})"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{y_top:>{margin}} |"
+        elif row_index == height - 1:
+            prefix = f"{y_bottom:>{margin}} |"
+        else:
+            prefix = f"{'':>{margin}} |"
+        lines.append(prefix + "".join(row))
+    lines.append(f"{'':>{margin}} +" + "-" * width)
+    x_axis = f"{x_low:g}" + " " * max(1, width - 12) + f"{x_high:g}"
+    lines.append(f"{'':>{margin}}  " + x_axis)
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def plot_figure(figure: FigureData, log_y: bool = False) -> str:
+    """Render every panel of a figure, separated by blank lines."""
+    blocks = [f"== {figure.name}: {figure.title} =="]
+    for panel_name, series in figure.panels.items():
+        blocks.append(plot_panel(panel_name, series, figure.y_label,
+                                 log_y=log_y))
+        blocks.append("")
+    return "\n".join(blocks)

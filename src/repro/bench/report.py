@@ -1,0 +1,66 @@
+"""ASCII reporting for figure data.
+
+Prints each figure as one table per panel — the same rows/series the paper
+plots — so results can be compared against the paper and recorded in
+EXPERIMENTS.md without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.figures import FigureData
+
+__all__ = ["format_figure", "print_figure"]
+
+
+def _format_panel(panel_name: str, series: Dict[str, List[Tuple[float, float]]],
+                  x_label: str, y_label: str) -> List[str]:
+    labels = list(series)
+    xs = sorted({x for points in series.values() for x, _ in points})
+    by_series = {
+        label: {x: y for x, y in points} for label, points in series.items()
+    }
+    width = max(12, max(len(label) for label in labels) + 2)
+    lines = [f"--- {panel_name} ({y_label}) ---"]
+    header = f"{x_label:>{width}} " + " ".join(f"{x:>9g}" for x in xs)
+    lines.append(header)
+    for label in labels:
+        cells = []
+        for x in xs:
+            y = by_series[label].get(x)
+            cells.append(f"{y:9.1f}" if y is not None else " " * 9)
+        lines.append(f"{label:>{width}} " + " ".join(cells))
+    return lines
+
+
+def _format_scatter(panel_name: str,
+                    series: Dict[str, List[Tuple[float, float]]],
+                    x_label: str, y_label: str) -> List[str]:
+    lines = [f"--- {panel_name} ({x_label} vs {y_label}) ---"]
+    for label, points in series.items():
+        lines.append(f"  {label}:")
+        for x, y in points:
+            lines.append(f"    {x:9.1f}  ->  {y:8.2f}")
+    return lines
+
+
+def format_figure(figure: FigureData) -> str:
+    """Render a figure's panels as aligned ASCII tables."""
+    lines = [f"== {figure.name}: {figure.title} =="]
+    scatter = figure.name == "fig6"  # latency-throughput curves
+    for panel_name, series in figure.panels.items():
+        if scatter:
+            lines.extend(
+                _format_scatter(panel_name, series, figure.x_label, figure.y_label)
+            )
+        else:
+            lines.extend(
+                _format_panel(panel_name, series, figure.x_label, figure.y_label)
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def print_figure(figure: FigureData) -> None:
+    print(format_figure(figure))

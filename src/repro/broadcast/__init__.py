@@ -1,0 +1,58 @@
+"""Atomic broadcast substrate (BFT-SMaRt stand-in, crash model).
+
+Pure protocol state machines (:class:`MultiPaxos`, fault tolerant;
+:class:`SequencerBroadcast`, fast path), an in-memory transport with fault
+injection, and a threaded event-loop adapter.
+"""
+
+from repro.broadcast.failure_detector import TimeoutTracker
+from repro.broadcast.messages import (
+    Accept,
+    Accepted,
+    Ballot,
+    CatchupReply,
+    CatchupRequest,
+    Decide,
+    Deliver,
+    Forward,
+    Heartbeat,
+    Nack,
+    Prepare,
+    Promise,
+    Send,
+    SequencerStamp,
+    SetTimer,
+)
+from repro.broadcast.node import ThreadedNode
+from repro.broadcast.paxos import NOOP, MultiPaxos
+from repro.broadcast.sequencer import SequencerBroadcast
+from repro.broadcast.storage import InMemoryStableStore, StableStore
+from repro.broadcast.transport import FaultPlan, LinkFate, ThreadedTransport
+
+__all__ = [
+    "MultiPaxos",
+    "NOOP",
+    "SequencerBroadcast",
+    "TimeoutTracker",
+    "ThreadedNode",
+    "ThreadedTransport",
+    "FaultPlan",
+    "LinkFate",
+    "StableStore",
+    "InMemoryStableStore",
+    "Ballot",
+    "Send",
+    "Deliver",
+    "SetTimer",
+    "Prepare",
+    "Promise",
+    "Accept",
+    "Accepted",
+    "Decide",
+    "Nack",
+    "CatchupRequest",
+    "CatchupReply",
+    "Forward",
+    "Heartbeat",
+    "SequencerStamp",
+]

@@ -1,0 +1,44 @@
+"""Timeout bookkeeping for leader liveness (unreliable failure detector).
+
+Atomic broadcast is impossible in a purely asynchronous system (FLP); like
+the paper's BFT-SMaRt substrate, we rely on an unreliable failure detector:
+followers suspect the leader after a period with no leader activity, then
+try to take over with a higher ballot.  Suspicions may be wrong — safety
+never depends on them, only liveness.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TimeoutTracker"]
+
+
+class TimeoutTracker:
+    """Tracks activity of a monitored peer against a timeout.
+
+    The protocol records leader activity with :meth:`record_activity`; the
+    periodic liveness check calls :meth:`expired`, which reports whether a
+    full period elapsed with no activity and starts the next period.
+    """
+
+    def __init__(self) -> None:
+        self._active_since_check = False
+        self._ever_checked = False
+
+    def record_activity(self) -> None:
+        """Note that the monitored peer showed signs of life."""
+        self._active_since_check = True
+
+    def expired(self) -> bool:
+        """True if no activity was recorded since the previous check."""
+        quiet = not self._active_since_check
+        self._active_since_check = False
+        first = not self._ever_checked
+        self._ever_checked = True
+        # Grace period: the first check never suspects, so a freshly started
+        # follower gives the leader one full period to be heard.
+        return quiet and not first
+
+    def reset(self) -> None:
+        """Restart monitoring (e.g. after a leader change)."""
+        self._active_since_check = False
+        self._ever_checked = False

@@ -1,0 +1,164 @@
+"""Protocol messages and actions for the atomic-broadcast layer.
+
+The broadcast protocols are *pure state machines*: handling an event returns
+a list of :class:`Action` objects (messages to send, payloads to deliver,
+timers to arm) and never touches a socket or a clock directly.  Adapters —
+:class:`~repro.broadcast.node.ThreadedNode` for OS threads and the simulated
+cluster in :mod:`repro.smr.sim_cluster` — perform the actions.  This style
+keeps the protocol logic identical across execution environments and makes
+it property-testable under adversarial schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "Ballot",
+    "Send",
+    "Deliver",
+    "SetTimer",
+    "Prepare",
+    "Promise",
+    "Accept",
+    "Accepted",
+    "Decide",
+    "Nack",
+    "CatchupRequest",
+    "CatchupReply",
+    "Forward",
+    "Heartbeat",
+    "SequencerStamp",
+]
+
+# A ballot is (round, node_id); tuple comparison gives the total order and
+# ``round % n`` is irrelevant — the node_id component breaks ties, and any
+# node can try to lead by picking a higher round.
+Ballot = Tuple[int, int]
+
+
+# --------------------------------------------------------------------- actions
+
+
+@dataclass(frozen=True)
+class Send:
+    """Send ``msg`` to node ``dst`` (point-to-point)."""
+
+    dst: int
+    msg: Any
+
+
+@dataclass(frozen=True)
+class Deliver:
+    """Deliver ``payload`` as the ``instance``-th atomic-broadcast message."""
+
+    instance: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class SetTimer:
+    """Ask the adapter to call ``on_timer(name)`` after ``delay`` seconds."""
+
+    name: str
+    delay: float
+
+
+# -------------------------------------------------------------- paxos messages
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase-1a: a would-be leader asks acceptors to promise ``ballot``."""
+
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase-1b: acceptor promises ``ballot``.
+
+    ``accepted`` carries, per undecided instance, the highest-ballot value
+    this acceptor has accepted, which the new leader must re-propose.
+    """
+
+    ballot: Ballot
+    accepted: Dict[int, Tuple[Ballot, Any]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase-2a: the leader proposes ``value`` for ``instance`` at ``ballot``."""
+
+    ballot: Ballot
+    instance: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase-2b: acceptor accepted ``value`` for ``instance`` at ``ballot``."""
+
+    ballot: Ballot
+    instance: int
+
+
+@dataclass(frozen=True)
+class Decide:
+    """Learn message: ``instance`` is decided with ``value``."""
+
+    instance: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Acceptor rejected a ballot; carries the ballot it promised instead."""
+
+    ballot: Ballot
+    promised: Ballot
+
+
+@dataclass(frozen=True)
+class CatchupRequest:
+    """Ask a peer for decided instances starting at ``from_instance``."""
+
+    from_instance: int
+
+
+@dataclass(frozen=True)
+class CatchupReply:
+    """Decided instances a peer was missing."""
+
+    decided: Dict[int, Any]
+
+
+@dataclass(frozen=True)
+class Forward:
+    """A non-leader forwards a client payload to the current leader."""
+
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Leader liveness beacon consumed by the failure detector.
+
+    Also carries the leader's contiguous delivery frontier so lagging or
+    freshly recovered followers can request a catch-up (anti-entropy).
+    """
+
+    ballot: Ballot
+    decided_up_to: int = 0
+
+
+# ---------------------------------------------------------- sequencer messages
+
+
+@dataclass(frozen=True)
+class SequencerStamp:
+    """Sequencer-assigned total-order position for ``payload``."""
+
+    seq: int
+    payload: Any

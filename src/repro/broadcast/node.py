@@ -1,0 +1,130 @@
+"""Threaded event-loop adapter for broadcast protocol state machines.
+
+A :class:`ThreadedNode` owns one protocol state machine (MultiPaxos or
+SequencerBroadcast), consumes its transport inbox on a dedicated thread, and
+performs the actions the state machine returns: sends go to the transport,
+delivers go to the application callback, timers are kept in a local heap.
+
+The state machine is only ever touched from the event-loop thread, so it
+needs no internal locking; ``submit`` is made thread-safe by routing client
+payloads through the inbox.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import threading
+import time
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.broadcast.messages import Deliver, Send, SetTimer
+from repro.broadcast.transport import ThreadedTransport
+from repro.errors import ShutdownError
+
+__all__ = ["ThreadedNode"]
+
+_SUBMIT = object()  # inbox sentinel: client payload
+_STOP = object()    # inbox sentinel: shut down
+
+DeliverCallback = Callable[[int, Any], None]
+
+
+class ThreadedNode:
+    """Runs a protocol state machine on its own thread."""
+
+    def __init__(
+        self,
+        node_id: int,
+        protocol: Any,
+        transport: ThreadedTransport,
+        on_deliver: DeliverCallback,
+        name: Optional[str] = None,
+    ):
+        self.node_id = node_id
+        self.protocol = protocol
+        self._transport = transport
+        self._on_deliver = on_deliver
+        self._inbox = transport.inbox(node_id)
+        self._timers: List[Tuple[float, int, str]] = []
+        self._timer_seq = itertools.count()
+        self._stopped = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=name or f"node-{node_id}", daemon=True
+        )
+
+    # ------------------------------------------------------------------ API
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def submit(self, payload: Any) -> None:
+        """Hand a client payload to the protocol (thread-safe)."""
+        if self._stopped.is_set():
+            raise ShutdownError(f"node {self.node_id} is stopped")
+        self._inbox.put((_SUBMIT, payload))
+
+    def stop(self) -> None:
+        """Stop the event loop; idempotent."""
+        if not self._stopped.is_set():
+            self._stopped.set()
+            self._inbox.put((_STOP, None))
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive()
+
+    # ----------------------------------------------------------- event loop
+
+    def _run(self) -> None:
+        self._perform(self.protocol.start())
+        while True:
+            timeout = self._until_next_timer()
+            try:
+                src, msg = self._inbox.get(timeout=timeout)
+            except queue.Empty:
+                self._fire_due_timers()
+                continue
+            if src is _STOP:
+                return
+            if self._stopped.is_set():
+                return
+            if src is _SUBMIT:
+                self._perform(self.protocol.submit(msg))
+            else:
+                self._perform(self.protocol.on_message(src, msg))
+            self._fire_due_timers()
+
+    def _until_next_timer(self) -> Optional[float]:
+        if not self._timers:
+            return None
+        return max(0.0, self._timers[0][0] - time.monotonic())
+
+    def _fire_due_timers(self) -> None:
+        now = time.monotonic()
+        while self._timers and self._timers[0][0] <= now:
+            _, _, timer_name = heapq.heappop(self._timers)
+            self._perform(self.protocol.on_timer(timer_name))
+
+    def _perform(self, actions: List[Any]) -> None:
+        for action in actions:
+            kind = type(action)
+            if kind is Send:
+                self._transport.send(self.node_id, action.dst, action.msg)
+            elif kind is Deliver:
+                self._on_deliver(action.instance, action.payload)
+            elif kind is SetTimer:
+                heapq.heappush(
+                    self._timers,
+                    (
+                        time.monotonic() + action.delay,
+                        next(self._timer_seq),
+                        action.name,
+                    ),
+                )
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown protocol action {action!r}")

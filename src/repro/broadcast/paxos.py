@@ -1,0 +1,475 @@
+"""Multi-Paxos atomic broadcast as a pure state machine.
+
+This is the ordering substrate standing in for BFT-SMaRt configured for
+crash faults (paper §7.1): ``n = 2f + 1`` replicas, a stable leader that
+batches client payloads into consensus instances, and delivery of decided
+instances in instance order at every replica.
+
+Design notes:
+
+- **Pure state machine.**  Every input (``submit``, ``on_message``,
+  ``on_timer``) returns a list of actions (:class:`Send`, :class:`Deliver`,
+  :class:`SetTimer`); the protocol never touches the network or the clock.
+- **Ballots** are ``(round, node_id)`` pairs; any node may campaign by
+  picking a round above everything it has seen.  Node 0 starts as leader of
+  ballot ``(0, 0)`` without a prepare phase, which is safe because every
+  acceptor starts with ``promised < (0, 0)``.
+- **Batching** (paper §7.1): the leader packs up to ``batch_size`` pending
+  payloads into one instance, and keeps at most ``pipeline`` instances in
+  flight.
+- **Gaps** left by a leader change are filled with a no-op value that is
+  never delivered to the application.
+- **Catch-up**: a replica that sees a decision beyond its contiguous prefix
+  asks the decider for the missing instances.
+
+Safety (agreement + total order) holds under message loss, duplication and
+reordering and any number of suspicions; liveness additionally needs a
+correct majority and eventually-timely leader communication, as usual.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.broadcast.failure_detector import TimeoutTracker
+from repro.broadcast.messages import (
+    Accept,
+    Accepted,
+    Ballot,
+    CatchupReply,
+    CatchupRequest,
+    Decide,
+    Deliver,
+    Forward,
+    Heartbeat,
+    Nack,
+    Prepare,
+    Promise,
+    Send,
+    SetTimer,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["MultiPaxos", "NOOP"]
+
+#: Filler value proposed for gap instances after a leader change.  Never
+#: delivered to the application.
+NOOP = "__paxos_noop__"
+
+#: Timer names used with SetTimer.
+HEARTBEAT_TIMER = "heartbeat"
+LEADER_TIMER = "leader_check"
+
+Action = Any
+
+
+class _InFlight:
+    """Leader-side bookkeeping for one undecided instance."""
+
+    __slots__ = ("value", "acks")
+
+    def __init__(self, value: Any, acks: Set[int]):
+        self.value = value
+        self.acks = acks
+
+
+class MultiPaxos:
+    """One replica's Multi-Paxos protocol state."""
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        batch_size: int = 64,
+        pipeline: int = 32,
+        heartbeat_interval: float = 0.05,
+        leader_timeout: float = 0.2,
+        first_instance: int = 0,
+        stable_store=None,
+    ):
+        if n < 1 or n % 2 == 0:
+            raise ConfigurationError(f"n must be odd and positive, got {n}")
+        if not 0 <= node_id < n:
+            raise ConfigurationError(f"node_id {node_id} out of range for n={n}")
+        if batch_size < 1 or pipeline < 1:
+            raise ConfigurationError("batch_size and pipeline must be >= 1")
+        self.node_id = node_id
+        self.n = n
+        self.quorum = n // 2 + 1
+        self.batch_size = batch_size
+        self.pipeline = pipeline
+        self.heartbeat_interval = heartbeat_interval
+        self.leader_timeout = leader_timeout
+
+        # Acceptor state (restored from stable storage when provided, so a
+        # recovered replica never forgets a promise — see broadcast/storage).
+        self._store = stable_store
+        self.promised: Ballot = (-1, -1)
+        self.accepted: Dict[int, Tuple[Ballot, Any]] = {}
+
+        # Learner state.  ``first_instance`` lets a replica recovering from
+        # a checkpoint resume delivery just past the checkpointed prefix.
+        self.decided: Dict[int, Any] = {}
+        self.next_deliver = first_instance
+
+        # Proposer / leader state.
+        self.ballot: Ballot = (0, 0)
+        self.is_leader = node_id == 0 and first_instance == 0
+        self.preparing: Optional[Ballot] = None
+        self._promises: Dict[int, Dict[int, Tuple[Ballot, Any]]] = {}
+        self.next_instance = first_instance
+        if stable_store is not None:
+            self._restore(stable_store, first_instance)
+        self.pending: Deque[Any] = deque()
+        self._in_flight: Dict[int, _InFlight] = {}
+
+        self._leader_tracker = TimeoutTracker()
+
+    def _restore(self, store, first_instance: int) -> None:
+        """Reload acceptor/learner state persisted by a previous life."""
+        persisted = store.get("promised")
+        if persisted is None:
+            return  # fresh store: first boot, nothing to restore
+        self.promised = persisted
+        for key, value in store.items():
+            if not isinstance(key, tuple):
+                continue
+            kind, instance = key
+            if instance < first_instance:
+                continue
+            if kind == "accepted":
+                self.accepted[instance] = value
+            elif kind == "decided":
+                self.decided[instance] = value
+        self.ballot = max(self.ballot, self.promised)
+        self.is_leader = False  # never resume leadership blindly
+
+    def _persist_promised(self) -> None:
+        if self._store is not None:
+            self._store.put("promised", self.promised)
+
+    def _persist_accepted(self, instance: int) -> None:
+        if self._store is not None:
+            self._store.put(("accepted", instance), self.accepted[instance])
+
+    def _persist_decided(self, instance: int, value) -> None:
+        if self._store is not None:
+            self._store.put(("decided", instance), value)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> List[Action]:
+        """Arm the initial timers.  Call once before feeding events."""
+        actions: List[Action] = [SetTimer(LEADER_TIMER, self.leader_timeout)]
+        if self.is_leader:
+            actions.append(SetTimer(HEARTBEAT_TIMER, self.heartbeat_interval))
+        return actions
+
+    # ---------------------------------------------------------------- client
+
+    def submit(self, payload: Any) -> List[Action]:
+        """A client payload arrived at this replica."""
+        if self.is_leader:
+            self.pending.append(payload)
+            return self._propose_batches()
+        return [Send(self.leader_hint(), Forward(payload))]
+
+    def leader_hint(self) -> int:
+        """The node this replica currently believes to be leader."""
+        return self.ballot[1]
+
+    # --------------------------------------------------------------- events
+
+    def on_message(self, src: int, msg: Any) -> List[Action]:
+        """Feed one received protocol message; returns resulting actions."""
+        handler = self._HANDLERS[type(msg)]
+        return handler(self, src, msg)
+
+    def on_timer(self, name: str) -> List[Action]:
+        """A timer armed via :class:`SetTimer` fired."""
+        if name == HEARTBEAT_TIMER:
+            return self._on_heartbeat_timer()
+        if name == LEADER_TIMER:
+            return self._on_leader_timer()
+        raise ConfigurationError(f"unknown timer {name!r}")
+
+    # ------------------------------------------------------------ proposing
+
+    def _propose_batches(self) -> List[Action]:
+        """Pack pending payloads into instances, up to the pipeline limit."""
+        actions: List[Action] = []
+        while self.pending and len(self._in_flight) < self.pipeline:
+            batch = []
+            while self.pending and len(batch) < self.batch_size:
+                batch.append(self.pending.popleft())
+            actions.extend(self._propose(self.next_instance, tuple(batch)))
+            self.next_instance += 1
+        return actions
+
+    def _propose(self, instance: int, value: Any) -> List[Action]:
+        """Phase 2a for one instance at the current ballot."""
+        self._in_flight[instance] = _InFlight(value, {self.node_id})
+        # The leader is also an acceptor; accept locally.
+        self.promised = max(self.promised, self.ballot)
+        self.accepted[instance] = (self.ballot, value)
+        self._persist_promised()
+        self._persist_accepted(instance)
+        msg = Accept(self.ballot, instance, value)
+        actions: List[Action] = [
+            Send(peer, msg) for peer in range(self.n) if peer != self.node_id
+        ]
+        if self.quorum == 1:  # n == 1: decided immediately
+            actions.extend(self._decide(instance, value))
+        return actions
+
+    def _decide(self, instance: int, value: Any) -> List[Action]:
+        self._in_flight.pop(instance, None)
+        msg = Decide(instance, value)
+        actions: List[Action] = [
+            Send(peer, msg) for peer in range(self.n) if peer != self.node_id
+        ]
+        actions.extend(self._learn(instance, value))
+        return actions
+
+    # ------------------------------------------------------------- learning
+
+    def _learn(self, instance: int, value: Any) -> List[Action]:
+        """Record a decision and deliver the contiguous decided prefix."""
+        if instance in self.decided:
+            return []
+        self.decided[instance] = value
+        self._persist_decided(instance, value)
+        actions: List[Action] = []
+        while self.next_deliver in self.decided:
+            value = self.decided[self.next_deliver]
+            if value != NOOP:
+                actions.append(Deliver(self.next_deliver, value))
+            self.next_deliver += 1
+        return actions
+
+    # ----------------------------------------------------- message handlers
+
+    def _on_forward(self, src: int, msg: Forward) -> List[Action]:
+        if self.is_leader:
+            self.pending.append(msg.payload)
+            return self._propose_batches()
+        # Not the leader either: pass it along to our current hint, unless
+        # that would bounce it straight back.
+        hint = self.leader_hint()
+        if hint != src and hint != self.node_id:
+            return [Send(hint, msg)]
+        return []
+
+    def _on_prepare(self, src: int, msg: Prepare) -> List[Action]:
+        if msg.ballot > self.promised:
+            self.promised = msg.ballot
+            self._persist_promised()
+            self._step_down(msg.ballot)
+            undecided = {
+                inst: acc
+                for inst, acc in self.accepted.items()
+                if inst not in self.decided
+            }
+            return [Send(src, Promise(msg.ballot, undecided))]
+        return [Send(src, Nack(msg.ballot, self.promised))]
+
+    def _on_promise(self, src: int, msg: Promise) -> List[Action]:
+        if self.preparing is None or msg.ballot != self.preparing:
+            return []
+        self._promises[src] = msg.accepted
+        if len(self._promises) < self.quorum:
+            return []
+        return self._become_leader()
+
+    def _become_leader(self) -> List[Action]:
+        """Phase 1 complete: re-propose constrained values, fill gaps."""
+        ballot = self.preparing
+        assert ballot is not None
+        self.preparing = None
+        self.ballot = ballot
+        self.is_leader = True
+        self._in_flight.clear()
+        # Merge the quorum's accepted values (self included via _promises).
+        constrained: Dict[int, Tuple[Ballot, Any]] = {}
+        for accepted in self._promises.values():
+            for inst, (acc_ballot, acc_value) in accepted.items():
+                if inst not in constrained or acc_ballot > constrained[inst][0]:
+                    constrained[inst] = (acc_ballot, acc_value)
+        self._promises = {}
+        horizon = max(
+            [self.next_deliver] + [inst + 1 for inst in constrained]
+            + [inst + 1 for inst in self.decided]
+        )
+        actions: List[Action] = []
+        for inst in range(self.next_deliver, horizon):
+            if inst in self.decided:
+                continue
+            if inst in constrained:
+                actions.extend(self._propose(inst, constrained[inst][1]))
+            else:
+                actions.extend(self._propose(inst, NOOP))  # fill the gap
+        self.next_instance = horizon
+        actions.extend(self._propose_batches())
+        actions.append(SetTimer(HEARTBEAT_TIMER, self.heartbeat_interval))
+        return actions
+
+    def _on_accept(self, src: int, msg: Accept) -> List[Action]:
+        if msg.ballot >= self.promised:
+            self.promised = msg.ballot
+            if msg.ballot != self.ballot:
+                self._step_down(msg.ballot)
+            self._leader_tracker.record_activity()
+            self.accepted[msg.instance] = (msg.ballot, msg.value)
+            self._persist_promised()
+            self._persist_accepted(msg.instance)
+            return [Send(src, Accepted(msg.ballot, msg.instance))]
+        return [Send(src, Nack(msg.ballot, self.promised))]
+
+    def _on_accepted(self, src: int, msg: Accepted) -> List[Action]:
+        if not self.is_leader or msg.ballot != self.ballot:
+            return []
+        entry = self._in_flight.get(msg.instance)
+        if entry is None:
+            return []
+        entry.acks.add(src)
+        if len(entry.acks) >= self.quorum:
+            actions = self._decide(msg.instance, entry.value)
+            actions.extend(self._propose_batches())
+            return actions
+        return []
+
+    def _on_decide(self, src: int, msg: Decide) -> List[Action]:
+        self._leader_tracker.record_activity()
+        actions = self._learn(msg.instance, msg.value)
+        if msg.instance > self.next_deliver:
+            # There is a gap below this decision: ask the decider for it.
+            actions.append(Send(src, CatchupRequest(self.next_deliver)))
+        return actions
+
+    def _on_nack(self, src: int, msg: Nack) -> List[Action]:
+        if msg.promised > self.ballot:
+            # Someone with a higher ballot is around; stop leading/preparing.
+            self._step_down(msg.promised)
+        return []
+
+    def _on_catchup_request(self, src: int, msg: CatchupRequest) -> List[Action]:
+        known = {
+            inst: value
+            for inst, value in self.decided.items()
+            if inst >= msg.from_instance
+        }
+        if known:
+            return [Send(src, CatchupReply(known))]
+        return []
+
+    def _on_catchup_reply(self, src: int, msg: CatchupReply) -> List[Action]:
+        actions: List[Action] = []
+        for inst in sorted(msg.decided):
+            actions.extend(self._learn(inst, msg.decided[inst]))
+        return actions
+
+    def _on_heartbeat(self, src: int, msg: Heartbeat) -> List[Action]:
+        actions: List[Action] = []
+        if msg.ballot >= self.ballot:
+            if msg.ballot > self.ballot:
+                self._step_down(msg.ballot)
+            self._leader_tracker.record_activity()
+            if msg.decided_up_to > self.next_deliver:
+                # Anti-entropy: a lagging or freshly recovered follower
+                # pulls the decided prefix it is missing.
+                actions.append(Send(src, CatchupRequest(self.next_deliver)))
+        return actions
+
+    _HANDLERS = {
+        Forward: _on_forward,
+        Prepare: _on_prepare,
+        Promise: _on_promise,
+        Accept: _on_accept,
+        Accepted: _on_accepted,
+        Decide: _on_decide,
+        Nack: _on_nack,
+        CatchupRequest: _on_catchup_request,
+        CatchupReply: _on_catchup_reply,
+        Heartbeat: _on_heartbeat,
+    }
+
+    # --------------------------------------------------------------- timers
+
+    def _on_heartbeat_timer(self) -> List[Action]:
+        if not self.is_leader:
+            return []  # stepped down; stop beating
+        msg = Heartbeat(self.ballot, self.next_deliver)
+        actions: List[Action] = [
+            Send(peer, msg) for peer in range(self.n) if peer != self.node_id
+        ]
+        # Retransmit in-flight proposals: a lost Accept/Accepted would
+        # otherwise wedge its instance forever — later instances decide but
+        # in-order delivery stalls at the gap.  Acceptors treat repeats
+        # idempotently, so this is pure liveness.
+        for instance, entry in self._in_flight.items():
+            repeat = Accept(self.ballot, instance, entry.value)
+            actions.extend(
+                Send(peer, repeat)
+                for peer in range(self.n)
+                if peer != self.node_id and peer not in entry.acks
+            )
+        actions.append(SetTimer(HEARTBEAT_TIMER, self.heartbeat_interval))
+        return actions
+
+    def _on_leader_timer(self) -> List[Action]:
+        actions: List[Action] = [SetTimer(LEADER_TIMER, self.leader_timeout)]
+        if self.is_leader:
+            return actions
+        if self._leader_tracker.expired():
+            actions.extend(self._campaign())
+        return actions
+
+    def _campaign(self) -> List[Action]:
+        """Start phase 1 with a ballot above everything seen so far."""
+        round_ = max(self.ballot[0], self.promised[0]) + 1
+        ballot: Ballot = (round_, self.node_id)
+        self.preparing = ballot
+        self._promises = {}
+        self.promised = ballot
+        self._persist_promised()
+        undecided = {
+            inst: acc
+            for inst, acc in self.accepted.items()
+            if inst not in self.decided
+        }
+        actions: List[Action] = [
+            Send(peer, Prepare(ballot))
+            for peer in range(self.n)
+            if peer != self.node_id
+        ]
+        # Self-promise.
+        actions.extend(self._on_promise(self.node_id, Promise(ballot, undecided)))
+        return actions
+
+    # ---------------------------------------------------------------- misc
+
+    def _step_down(self, ballot: Ballot) -> None:
+        """Adopt a higher ballot observed from someone else."""
+        if ballot <= self.ballot and not self.is_leader:
+            return
+        was_leader = self.is_leader
+        self.ballot = max(self.ballot, ballot)
+        self.is_leader = False
+        if self.preparing is not None and ballot > self.preparing:
+            self.preparing = None
+        if was_leader:
+            # Client payloads not yet proposed stay pending; re-forward them
+            # so they are not lost if this node never leads again.
+            self._leader_tracker.reset()
+
+    def drain_pending_forwards(self) -> List[Action]:
+        """Forward payloads stranded in ``pending`` after losing leadership."""
+        if self.is_leader or not self.pending:
+            return []
+        hint = self.leader_hint()
+        if hint == self.node_id:
+            return []
+        actions = [Send(hint, Forward(p)) for p in self.pending]
+        self.pending.clear()
+        return actions

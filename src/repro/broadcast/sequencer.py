@@ -1,0 +1,88 @@
+"""Sequencer-based total order broadcast.
+
+The simplest way to totally order messages: one distinguished node (the
+sequencer, node 0) stamps each payload with a sequence number and relays it
+to every node; nodes deliver stamped payloads in stamp order.  It is *not*
+fault tolerant — if the sequencer crashes the protocol stops — but it is
+useful as a fast path for tests and as the baseline ordering layer for
+single-node experiments.  Use :class:`~repro.broadcast.paxos.MultiPaxos`
+when crash tolerance is required.
+
+Same pure-state-machine shape as MultiPaxos, so the adapters are shared.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.broadcast.messages import Deliver, Send, SequencerStamp
+from repro.errors import ConfigurationError
+
+__all__ = ["SequencerBroadcast"]
+
+Action = Any
+
+
+class SequencerBroadcast:
+    """One node's state for sequencer-based atomic broadcast."""
+
+    SEQUENCER = 0
+
+    def __init__(self, node_id: int, n: int):
+        if n < 1:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        if not 0 <= node_id < n:
+            raise ConfigurationError(f"node_id {node_id} out of range for n={n}")
+        self.node_id = node_id
+        self.n = n
+        self._next_seq = 0           # sequencer: next stamp to hand out
+        self._next_deliver = 0       # everyone: next stamp to deliver
+        self._pending: Dict[int, Any] = {}
+
+    @property
+    def is_sequencer(self) -> bool:
+        return self.node_id == self.SEQUENCER
+
+    def start(self) -> List[Action]:
+        """No timers needed; present for adapter symmetry."""
+        return []
+
+    def submit(self, payload: Any) -> List[Action]:
+        """A client payload arrived at this node."""
+        if self.is_sequencer:
+            return self._stamp(payload)
+        return [Send(self.SEQUENCER, payload)]
+
+    def on_message(self, src: int, msg: Any) -> List[Action]:
+        if isinstance(msg, SequencerStamp):
+            return self._learn(msg.seq, msg.payload)
+        if self.is_sequencer:
+            return self._stamp(msg)  # a forwarded payload
+        raise ConfigurationError(
+            f"non-sequencer node {self.node_id} received unstamped payload"
+        )
+
+    def on_timer(self, name: str) -> List[Action]:
+        raise ConfigurationError(f"sequencer broadcast has no timer {name!r}")
+
+    def _stamp(self, payload: Any) -> List[Action]:
+        seq = self._next_seq
+        self._next_seq += 1
+        msg = SequencerStamp(seq, payload)
+        actions: List[Action] = [
+            Send(peer, msg) for peer in range(self.n) if peer != self.node_id
+        ]
+        actions.extend(self._learn(seq, payload))
+        return actions
+
+    def _learn(self, seq: int, payload: Any) -> List[Action]:
+        if seq < self._next_deliver or seq in self._pending:
+            return []  # duplicate
+        self._pending[seq] = payload
+        actions: List[Action] = []
+        while self._next_deliver in self._pending:
+            actions.append(
+                Deliver(self._next_deliver, self._pending.pop(self._next_deliver))
+            )
+            self._next_deliver += 1
+        return actions

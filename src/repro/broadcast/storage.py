@@ -1,0 +1,53 @@
+"""Stable storage for acceptor state (crash-recovery support).
+
+Plain crash-stop tolerance needs no persistence, but letting a crashed
+replica *rejoin* does: an acceptor that forgets its promises could vote
+twice and break agreement.  :class:`MultiPaxos` therefore accepts an
+optional write-through store for ``promised`` / ``accepted`` / ``decided``;
+on restart the protocol is rebuilt from the store and can safely
+participate again.
+
+:class:`InMemoryStableStore` keeps the data in a process-global dict keyed
+by node id — it survives the *simulated* crash of a node object, standing
+in for the fsync'd write-ahead log a production deployment would use (the
+values are kept as Python objects; a durable implementation would
+serialize them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+__all__ = ["StableStore", "InMemoryStableStore"]
+
+
+class StableStore:
+    """Write-through key/value store interface used by the acceptor."""
+
+    def put(self, key: Any, value: Any) -> None:
+        raise NotImplementedError
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        raise NotImplementedError
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        raise NotImplementedError
+
+
+class InMemoryStableStore(StableStore):
+    """Dict-backed store that survives node-object destruction."""
+
+    def __init__(self, backing: Optional[Dict[Any, Any]] = None):
+        self._data: Dict[Any, Any] = backing if backing is not None else {}
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(list(self._data.items()))
+
+    def __len__(self) -> int:
+        return len(self._data)

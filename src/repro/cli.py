@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+- ``figures [fig2 ... fig6] [--full]`` — regenerate the paper's figures as
+  ASCII tables.
+- ``standalone --algorithm A --workers N [...]`` — one standalone
+  data-structure run (paper §7.3), printing throughput.
+- ``smr --algorithm A --workers N [...]`` — one simulated SMR run
+  (paper §7.4), printing throughput and latency.
+- ``ablations [--full]`` — run the ablation sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import (
+    ablation_batch_size,
+    plot_figure,
+    ablation_class_scheduler,
+    ablation_graph_size,
+    ablation_handoff_cost,
+    ablation_keyed_conflicts,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    print_figure,
+    run_standalone,
+)
+from repro.bench.harness import StandaloneConfig
+from repro.core import COS_ALGORITHMS
+from repro.sim import PROFILES
+from repro.smr.sim_cluster import SimClusterConfig, run_sim_cluster
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--algorithm", default="lock-free",
+                        choices=COS_ALGORITHMS)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--profile", default="light",
+                        choices=sorted(PROFILES))
+    parser.add_argument("--write-pct", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--measure-ops", type=int, default=5000)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Boosting concurrency in Parallel "
+                    "State Machine Replication' (Middleware '19)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("names", nargs="*",
+                         choices=["fig2", "fig3", "fig4", "fig5", "fig6", []],
+                         help="figures to run (default: all)")
+    figures.add_argument("--full", action="store_true",
+                         help="paper's full parameter grids")
+    figures.add_argument("--plot", action="store_true",
+                         help="render ASCII charts instead of tables")
+
+    standalone = sub.add_parser(
+        "standalone", help="one standalone data-structure run (paper §7.3)")
+    _add_common(standalone)
+
+    smr = sub.add_parser(
+        "smr", help="one simulated SMR cluster run (paper §7.4)")
+    _add_common(smr)
+    smr.add_argument("--clients", type=int, default=200)
+
+    ablations = sub.add_parser("ablations", help="run ablation sweeps")
+    ablations.add_argument("--full", action="store_true")
+    return parser
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    wanted = set(args.names) or {"fig2", "fig3", "fig4", "fig5", "fig6"}
+    quick = not args.full
+    show = (lambda fig: print(plot_figure(fig))) if args.plot else print_figure
+    fig2_data = fig4_data = None
+    if wanted & {"fig2", "fig3"}:
+        fig2_data = figure2(quick=quick)
+        if "fig2" in wanted:
+            show(fig2_data)
+    if "fig3" in wanted:
+        show(figure3(quick=quick, fig2=fig2_data))
+    if wanted & {"fig4", "fig5"}:
+        fig4_data = figure4(quick=quick)
+        if "fig4" in wanted:
+            show(fig4_data)
+    if "fig5" in wanted:
+        show(figure5(quick=quick, fig4=fig4_data))
+    if "fig6" in wanted:
+        show(figure6(quick=quick))
+    return 0
+
+
+def _cmd_standalone(args: argparse.Namespace) -> int:
+    result = run_standalone(StandaloneConfig(
+        algorithm=args.algorithm,
+        workers=args.workers,
+        profile=PROFILES[args.profile],
+        write_pct=args.write_pct,
+        seed=args.seed,
+        measure_ops=args.measure_ops,
+        warm_ops=max(args.measure_ops // 10, 50),
+    ))
+    print(f"algorithm={args.algorithm} workers={args.workers} "
+          f"profile={args.profile} writes={args.write_pct}%")
+    print(f"throughput: {result.kops:.1f} kops/s "
+          f"({result.executed} cmds in {result.virtual_time * 1e3:.1f} "
+          f"virtual ms, {result.events} events)")
+    return 0
+
+
+def _cmd_smr(args: argparse.Namespace) -> int:
+    result = run_sim_cluster(SimClusterConfig(
+        algorithm=args.algorithm,
+        workers=args.workers,
+        profile=PROFILES[args.profile],
+        write_pct=args.write_pct,
+        n_clients=args.clients,
+        seed=args.seed,
+        measure_ops=args.measure_ops,
+        warm_ops=max(args.measure_ops // 10, 50),
+    ))
+    print(f"algorithm={args.algorithm} workers={args.workers} "
+          f"profile={args.profile} writes={args.write_pct}% "
+          f"clients={args.clients}")
+    print(f"throughput: {result.kops:.1f} kops/s   "
+          f"latency: mean {result.latency_ms:.2f} ms / "
+          f"p99 {result.latency_p99 * 1e3:.2f} ms")
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    quick = not args.full
+    for runner in (ablation_graph_size, ablation_batch_size,
+                   ablation_keyed_conflicts, ablation_handoff_cost,
+                   ablation_class_scheduler):
+        print_figure(runner(quick=quick))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "figures": _cmd_figures,
+        "standalone": _cmd_standalone,
+        "smr": _cmd_smr,
+        "ablations": _cmd_ablations,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

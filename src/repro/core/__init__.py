@@ -1,0 +1,94 @@
+"""Core package: the paper's contribution.
+
+Contains the Conflict-Ordered Set (COS) abstract data type and its three
+implementations — coarse-grained (Alg. 2), fine-grained lock coupling
+(Algs. 3-4) and lock-free (Algs. 5-7) — plus the FIFO COS used by the
+sequential-SMR baseline and the threaded runtime that executes them on OS
+threads.
+"""
+
+from repro.core.command import (
+    AlwaysConflicts,
+    Command,
+    ConflictRelation,
+    KeyedConflicts,
+    NeverConflicts,
+    PredicateConflicts,
+    ReadWriteConflicts,
+)
+from repro.core.class_based import ClassBasedCOS, ClassConflicts, read_write_classes
+from repro.core.cos import COS, DEFAULT_MAX_SIZE, StructureCosts
+from repro.core.coarse_grained import CoarseGrainedCOS
+from repro.core.history import (
+    HistoryRecorder,
+    HistoryViolation,
+    RecordingCOS,
+    check_history,
+)
+from repro.core.fine_grained import FineGrainedCOS
+from repro.core.lock_free import LockFreeCOS
+from repro.core.sequential import SequentialCOS
+from repro.core.threaded import ThreadedCOS, ThreadedRuntime
+
+__all__ = [
+    "Command",
+    "ConflictRelation",
+    "ReadWriteConflicts",
+    "KeyedConflicts",
+    "NeverConflicts",
+    "AlwaysConflicts",
+    "PredicateConflicts",
+    "COS",
+    "StructureCosts",
+    "DEFAULT_MAX_SIZE",
+    "CoarseGrainedCOS",
+    "FineGrainedCOS",
+    "ClassBasedCOS",
+    "ClassConflicts",
+    "read_write_classes",
+    "HistoryRecorder",
+    "HistoryViolation",
+    "RecordingCOS",
+    "check_history",
+    "LockFreeCOS",
+    "SequentialCOS",
+    "ThreadedCOS",
+    "ThreadedRuntime",
+    "make_cos",
+    "COS_ALGORITHMS",
+]
+
+#: Names accepted by :func:`make_cos`, in the order the paper presents them
+#: (plus the class-based extension from the related-work line).
+COS_ALGORITHMS = ("coarse-grained", "fine-grained", "lock-free", "sequential",
+                  "class-based")
+
+
+def make_cos(name, runtime, conflicts, max_size=DEFAULT_MAX_SIZE,
+             costs=StructureCosts.zero(), classes_of=None):
+    """Construct a COS implementation by its paper name.
+
+    Args:
+        name: One of :data:`COS_ALGORITHMS`.
+        runtime: The runtime whose primitives the structure should use.
+        conflicts: The application conflict relation (ignored by
+            ``"sequential"``, which orders everything, and by
+            ``"class-based"``, which derives conflicts from classes).
+        max_size: Graph capacity (paper default: 150).
+        costs: Structure cost model for simulation runs.
+        classes_of: For ``"class-based"`` only — maps a command to its
+            conflict classes; defaults to the single-class readers/writers
+            model (:func:`read_write_classes`).
+    """
+    if name == "coarse-grained":
+        return CoarseGrainedCOS(runtime, conflicts, max_size, costs)
+    if name == "fine-grained":
+        return FineGrainedCOS(runtime, conflicts, max_size, costs)
+    if name == "lock-free":
+        return LockFreeCOS(runtime, conflicts, max_size, costs)
+    if name == "sequential":
+        return SequentialCOS(runtime, max_size, costs)
+    if name == "class-based":
+        return ClassBasedCOS(runtime, classes_of or read_write_classes(),
+                             max_size, costs)
+    raise ValueError(f"unknown COS algorithm {name!r}; expected one of {COS_ALGORITHMS}")

@@ -1,0 +1,118 @@
+"""Coarse-grained DAG scheduler (paper Algorithm 2, CBASE-style).
+
+The whole dependency graph is one critical section: a single monitor (one
+mutex plus the ``nFull`` and ``hasReady`` condition variables) serializes
+``insert``, ``get`` and ``remove``.  This is the baseline the paper shows to
+bottleneck the replica under high delivery rates.
+
+Faithful points:
+
+- ``insert`` blocks while the graph holds ``max_size`` nodes (Alg. 2 l. 12),
+  checks every resident node for conflicts (l. 14-16) and signals
+  ``hasReady`` when the new node arrives free of dependencies (l. 19).
+- ``get`` scans for the *oldest* waiting node without incoming edges
+  (l. 21-26) and waits on ``hasReady`` otherwise.
+- ``remove`` deletes the node's outgoing edges, signalling ``hasReady`` for
+  every node that becomes free (l. 30-33), then frees a slot (l. 35).
+
+Implementation notes: nodes live in an insertion-ordered dict so the oldest-
+first scan of ``get`` follows delivery order and removal is O(1); outgoing
+edges are materialized (``deps_out``) so ``remove`` touches only actual
+dependents, matching the paper's observation that removing an independent
+command is cheap (§7.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.command import Command, ConflictRelation
+from repro.core.cos import COS, DEFAULT_MAX_SIZE, StructureCosts
+from repro.core.effects import Acquire, Release, Signal, Wait, Work
+from repro.core.node import EXECUTING, WAITING, CoarseNode
+from repro.core.runtime import EffectGen, Runtime
+
+__all__ = ["CoarseGrainedCOS"]
+
+
+class CoarseGrainedCOS(COS):
+    """COS implementation with a single lock over the whole graph."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        conflicts: ConflictRelation,
+        max_size: int = DEFAULT_MAX_SIZE,
+        costs: StructureCosts = StructureCosts.zero(),
+    ):
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self._conflicts = conflicts
+        self._max_size = max_size
+        self._costs = costs
+        self._mutex = runtime.mutex()
+        self._not_full = runtime.condition(self._mutex)
+        self._has_ready = runtime.condition(self._mutex)
+        self._nodes: Dict[int, CoarseNode] = {}  # seq -> node, delivery order
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------ API
+
+    def insert(self, cmd: Command) -> EffectGen:
+        node = CoarseNode(cmd, self._next_seq)
+        self._next_seq += 1
+        yield Acquire(self._mutex)
+        while len(self._nodes) >= self._max_size:
+            yield Wait(self._not_full)
+        visit = self._costs.insert_visit
+        edge = self._costs.edge
+        conflicts = self._conflicts.conflicts
+        for other in self._nodes.values():
+            if visit:
+                yield Work(visit)
+            if conflicts(other.cmd, cmd):
+                if edge:
+                    yield Work(edge)
+                other.deps_out[node] = None
+                node.deps_in.add(other)
+        self._nodes[node.seq] = node
+        if not node.deps_in:
+            yield Signal(self._has_ready)
+        yield Release(self._mutex)
+
+    def get(self) -> EffectGen:
+        yield Acquire(self._mutex)
+        visit = self._costs.get_visit
+        while True:
+            found = None
+            for node in self._nodes.values():  # oldest first
+                if visit:
+                    yield Work(visit)
+                if node.status == WAITING and not node.deps_in:
+                    found = node
+                    break
+            if found is not None:
+                found.status = EXECUTING
+                yield Release(self._mutex)
+                return found
+            yield Wait(self._has_ready)
+
+    def remove(self, handle: CoarseNode) -> EffectGen:
+        yield Acquire(self._mutex)
+        edge = self._costs.edge
+        for dependent in handle.deps_out:
+            if edge:
+                yield Work(edge)
+            dependent.deps_in.discard(handle)
+            if not dependent.deps_in and dependent.status == WAITING:
+                yield Signal(self._has_ready)
+        handle.deps_out.clear()
+        del self._nodes[handle.seq]
+        yield Signal(self._not_full)
+        yield Release(self._mutex)
+
+    # ---------------------------------------------------------- inspection
+
+    def size_unsafe(self) -> int:
+        """Current node count, read without synchronization (tests only)."""
+        return len(self._nodes)

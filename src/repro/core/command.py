@@ -1,0 +1,125 @@
+"""Commands and conflict relations.
+
+A *command* is the unit submitted by clients, totally ordered by atomic
+broadcast and executed by replicas.  Two commands *conflict* when they access
+common state and at least one writes it (paper §1); conflicting commands must
+execute in delivery order, while independent commands may run concurrently.
+
+The conflict relation is application knowledge.  This module defines the
+:class:`ConflictRelation` protocol plus the relations used by the paper's
+linked-list application and by the extra example services.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+__all__ = [
+    "Command",
+    "ConflictRelation",
+    "ReadWriteConflicts",
+    "KeyedConflicts",
+    "NeverConflicts",
+    "AlwaysConflicts",
+    "PredicateConflicts",
+]
+
+_command_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Command:
+    """An application command.
+
+    Attributes:
+        op: Operation name, interpreted by the application service
+            (e.g. ``"contains"`` or ``"add"`` for the linked-list service).
+        args: Operation arguments (must be hashable for dedup/history use).
+        client_id: Identifier of the submitting client, ``None`` for
+            internally generated commands.
+        request_id: Client-local sequence number used to match responses.
+        uid: Process-wide unique identifier, assigned automatically.
+        writes: Whether the command may modify service state.  Used by the
+            generic read/write conflict relation; services with richer
+            conflict knowledge may ignore it.
+    """
+
+    op: str
+    args: Tuple[Any, ...] = ()
+    client_id: Optional[str] = None
+    request_id: int = 0
+    uid: int = field(default_factory=lambda: next(_command_counter))
+    writes: bool = True
+
+    def __repr__(self) -> str:  # compact, log-friendly
+        return f"Command({self.op}{self.args!r}, uid={self.uid})"
+
+
+class ConflictRelation:
+    """Decides whether two commands conflict.
+
+    Subclasses implement :meth:`conflicts`.  The relation must be symmetric:
+    ``conflicts(a, b) == conflicts(b, a)``; it need not be reflexive, although
+    most useful relations are for write commands.
+    """
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, a: Command, b: Command) -> bool:
+        return self.conflicts(a, b)
+
+
+class ReadWriteConflicts(ConflictRelation):
+    """Two commands conflict iff at least one of them writes.
+
+    This is the conflict model of the paper's linked-list application
+    (§7.2): ``contains`` commands do not conflict with each other, but
+    conflict with ``add`` commands, which conflict with everything.
+    """
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        return a.writes or b.writes
+
+
+class KeyedConflicts(ConflictRelation):
+    """Read/write conflicts scoped to a key extracted from each command.
+
+    Commands on different keys never conflict; commands on the same key
+    conflict iff at least one writes.  ``key_of`` defaults to the first
+    command argument.
+    """
+
+    def __init__(self, key_of: Optional[Callable[[Command], Hashable]] = None):
+        self._key_of = key_of or (lambda cmd: cmd.args[0] if cmd.args else None)
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        if not (a.writes or b.writes):
+            return False
+        return self._key_of(a) == self._key_of(b)
+
+
+class NeverConflicts(ConflictRelation):
+    """No two commands conflict (maximum parallelism; paper's 0%-writes case)."""
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        return False
+
+
+class AlwaysConflicts(ConflictRelation):
+    """Every pair of commands conflicts (fully sequential execution)."""
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        return True
+
+
+class PredicateConflicts(ConflictRelation):
+    """Adapts an arbitrary symmetric predicate into a ConflictRelation."""
+
+    def __init__(self, predicate: Callable[[Command, Command], bool]):
+        self._predicate = predicate
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        return self._predicate(a, b)

@@ -1,0 +1,87 @@
+"""The Conflict-Ordered Set (COS) abstract data type (paper §3.3).
+
+A COS keeps track of the order among conflicting commands.  Its sequential
+specification:
+
+- ``insert(c)`` inserts command ``c``; inserts happen in atomic-broadcast
+  delivery order (they are invoked sequentially by the scheduler thread).
+- ``get()`` returns a command ``c`` iff ``c`` is in the structure, no previous
+  ``get`` returned it, and no conflicting command inserted before ``c`` is
+  still in the structure.
+- ``remove(c)`` removes ``c`` after it has executed, potentially enabling the
+  commands that depend on it.
+
+Implementations in this package are written as *effect generators* (see
+:mod:`repro.core.effects`): each public operation returns a generator that a
+runtime drives to completion.  ``get`` returns a node *handle*; the handle's
+command is obtained with :meth:`COS.command_of` and must be passed back to
+``remove`` unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.command import Command
+from repro.core.runtime import EffectGen
+
+__all__ = ["COS", "StructureCosts", "DEFAULT_MAX_SIZE"]
+
+#: Paper §7.2: "we configured the maximum size of the dependency graph with
+#: 150 entries for all approaches".
+DEFAULT_MAX_SIZE = 150
+
+
+@dataclass(frozen=True)
+class StructureCosts:
+    """Computation charged by the algorithms themselves (simulation only).
+
+    The runtime already charges per-primitive synchronization costs; these
+    model the pure-CPU part of graph maintenance:
+
+    Attributes:
+        insert_visit: Cost of visiting one node during ``insert`` (conflict
+            check against the incoming command).
+        get_visit: Cost of visiting one node during ``get`` (readiness check).
+        remove_visit: Cost of visiting one node or edge during ``remove``.
+        edge: Cost of materializing or deleting one dependency edge
+            (set insert/remove plus allocation).
+        retry_backoff: Cost charged when a traversal must restart from the
+            head (lock-free / fine-grained ``get`` position races).
+    """
+
+    insert_visit: float = 0.0
+    get_visit: float = 0.0
+    remove_visit: float = 0.0
+    edge: float = 0.0
+    retry_backoff: float = 0.0
+
+    @staticmethod
+    def zero() -> "StructureCosts":
+        """Costs for threaded execution, where real CPU time is the cost."""
+        return StructureCosts()
+
+
+class COS(ABC):
+    """Abstract Conflict-Ordered Set over effect generators."""
+
+    @abstractmethod
+    def insert(self, cmd: Command) -> EffectGen:
+        """Insert ``cmd``.  Must be invoked in delivery order, sequentially."""
+
+    @abstractmethod
+    def get(self) -> EffectGen:
+        """Return a handle to a command with no pending conflicting
+        predecessor, blocking until one exists.  Never returns the same
+        command twice."""
+
+    @abstractmethod
+    def remove(self, handle: Any) -> EffectGen:
+        """Remove an executed command, given the handle ``get`` returned."""
+
+    @staticmethod
+    def command_of(handle: Any) -> Command:
+        """Extract the command from a handle returned by ``get``."""
+        return handle.cmd

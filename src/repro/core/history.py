@@ -1,0 +1,168 @@
+"""Execution-history recording and COS specification checking.
+
+Verification tooling: a :class:`HistoryRecorder` timestamps the lifecycle of
+every command as it flows through a COS (insert, get, remove), and
+:func:`check_history` validates the recorded history against the COS
+sequential specification (paper §3.3):
+
+- a command is returned by ``get`` at most once, and only after its insert;
+- ``remove`` follows the command's own ``get``;
+- for commands ``a`` inserted before ``b`` with ``(a, b)`` conflicting,
+  ``b``'s get happens only after ``a``'s remove — conflicting commands never
+  overlap and execute in delivery order.
+
+The recorder is thread-safe and cheap enough to wrap stress tests; the
+checker raises :class:`HistoryViolation` with a precise description of the
+first violated clause.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.command import Command, ConflictRelation
+from repro.errors import ReproError
+
+__all__ = [
+    "HistoryEvent",
+    "HistoryRecorder",
+    "HistoryViolation",
+    "check_history",
+    "RecordingCOS",
+]
+
+INSERT = "insert"
+GET = "get"
+REMOVE = "remove"
+
+
+class HistoryViolation(ReproError):
+    """The recorded history violates the COS specification."""
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One timestamped lifecycle event of a command."""
+
+    kind: str       # insert | get | remove
+    uid: int        # command uid
+    seq: int        # global event sequence number (total order)
+
+
+class HistoryRecorder:
+    """Thread-safe, totally ordered event log."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[HistoryEvent] = []
+        self._counter = itertools.count()
+
+    def record(self, kind: str, command: Command) -> None:
+        with self._lock:
+            self._events.append(
+                HistoryEvent(kind, command.uid, next(self._counter)))
+
+    @property
+    def events(self) -> List[HistoryEvent]:
+        with self._lock:
+            return list(self._events)
+
+
+class RecordingCOS:
+    """Wraps a threaded COS facade, recording every operation.
+
+    Drop-in replacement for :class:`~repro.core.threaded.ThreadedCOS` in
+    tests.  Recording points are chosen so that the recorded order can only
+    be *stricter* than the real one — no false violations:
+
+    - ``insert`` records *before* the insert starts (inserts are sequential,
+      so record order is still delivery order, and any get of the command
+      necessarily records later);
+    - ``get`` records after the handle is obtained;
+    - ``remove`` records *before* the removal starts, so a conflicting get
+      recorded later truly happened after the command finished executing.
+    """
+
+    def __init__(self, inner: Any, recorder: Optional[HistoryRecorder] = None):
+        self._inner = inner
+        self.recorder = recorder or HistoryRecorder()
+
+    def insert(self, cmd: Command) -> None:
+        self.recorder.record(INSERT, cmd)
+        self._inner.insert(cmd)
+
+    def get(self) -> Any:
+        handle = self._inner.get()
+        self.recorder.record(GET, self._inner.command_of(handle))
+        return handle
+
+    def remove(self, handle: Any) -> None:
+        self.recorder.record(REMOVE, self._inner.command_of(handle))
+        self._inner.remove(handle)
+
+    def command_of(self, handle: Any) -> Command:
+        return self._inner.command_of(handle)
+
+
+def check_history(
+    events: Sequence[HistoryEvent],
+    commands: Sequence[Command],
+    conflicts: ConflictRelation,
+) -> None:
+    """Validate a history against the COS specification.
+
+    Args:
+        events: The recorded, totally ordered events.
+        commands: Commands in delivery order (defines the conflict order).
+        conflicts: The conflict relation in force during the run.
+
+    Raises:
+        HistoryViolation: on the first violated specification clause.
+    """
+    by_uid: Dict[int, Dict[str, int]] = {}
+    for event in events:
+        slots = by_uid.setdefault(event.uid, {})
+        if event.kind in slots:
+            raise HistoryViolation(
+                f"command {event.uid} has duplicate {event.kind!r} events")
+        slots[event.kind] = event.seq
+
+    known = {command.uid for command in commands}
+    for uid, slots in by_uid.items():
+        if uid not in known:
+            raise HistoryViolation(f"unknown command uid {uid} in history")
+
+    for command in commands:
+        slots = by_uid.get(command.uid)
+        if slots is None:
+            raise HistoryViolation(f"{command} never appears in the history")
+        if INSERT not in slots:
+            raise HistoryViolation(f"{command} was never inserted")
+        if GET in slots and slots[GET] < slots[INSERT]:
+            raise HistoryViolation(f"{command} was got before its insert")
+        if REMOVE in slots:
+            if GET not in slots:
+                raise HistoryViolation(f"{command} removed without a get")
+            if slots[REMOVE] < slots[GET]:
+                raise HistoryViolation(f"{command} removed before its get")
+
+    # Conflict ordering: for i < j conflicting, remove(i) < get(j).
+    for i, first in enumerate(commands):
+        first_slots = by_uid[first.uid]
+        for second in commands[i + 1:]:
+            if not conflicts.conflicts(first, second):
+                continue
+            second_slots = by_uid[second.uid]
+            if GET not in second_slots:
+                continue  # second never executed: nothing to order
+            if REMOVE not in first_slots:
+                raise HistoryViolation(
+                    f"{second} executed while conflicting predecessor "
+                    f"{first} was never removed")
+            if first_slots[REMOVE] > second_slots[GET]:
+                raise HistoryViolation(
+                    f"conflicting {first} and {second} overlapped: "
+                    f"remove@{first_slots[REMOVE]} > get@{second_slots[GET]}")

@@ -1,0 +1,63 @@
+"""Abstract runtime interface for effect-based algorithms.
+
+A :class:`Runtime` manufactures synchronization primitives (mutexes,
+semaphores, condition variables, atomic cells) and knows how to execute
+effect generators that operate on them.  Algorithms only ever hold opaque
+handles created by *their* runtime, which keeps Algorithm 2-7 code identical
+across the threaded and simulated execution environments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator
+
+from repro.core.effects import Effect
+
+__all__ = [
+    "Mutex",
+    "Semaphore",
+    "Condition",
+    "AtomicCell",
+    "Runtime",
+    "EffectGen",
+]
+
+# Algorithms are generators that yield effects and receive effect results.
+EffectGen = Generator[Effect, Any, Any]
+
+
+class Mutex(ABC):
+    """Opaque mutual-exclusion handle.  Operated on via Acquire/Release."""
+
+
+class Semaphore(ABC):
+    """Opaque counting-semaphore handle.  Operated on via Down/Up."""
+
+
+class Condition(ABC):
+    """Opaque condition-variable handle, bound to a mutex at creation."""
+
+
+class AtomicCell(ABC):
+    """Opaque linearizable register handle.  Operated on via Load/Store/Cas."""
+
+
+class Runtime(ABC):
+    """Factory for primitives plus an executor for effect generators."""
+
+    @abstractmethod
+    def mutex(self) -> Mutex:
+        """Create a new, unlocked mutex."""
+
+    @abstractmethod
+    def semaphore(self, initial: int = 0) -> Semaphore:
+        """Create a counting semaphore with the given initial value."""
+
+    @abstractmethod
+    def condition(self, mutex: Mutex) -> Condition:
+        """Create a condition variable associated with ``mutex``."""
+
+    @abstractmethod
+    def atomic(self, initial: Any = None) -> AtomicCell:
+        """Create an atomic cell holding ``initial``."""

@@ -1,0 +1,94 @@
+"""FIFO Conflict-Ordered Set for classic (sequential) SMR.
+
+Classic SMR executes every command in delivery order on a single worker
+(paper §3.1, Fig. 1a).  That is exactly a COS whose conflict relation is
+total: ``get`` hands out commands strictly in insertion order, one at a
+time.  Modelling it as a COS lets the sequential-SMR baseline of Figs. 4-5
+reuse the same replica machinery as the parallel techniques.
+
+The implementation keeps a bounded FIFO guarded by a mutex, with ``space``
+and ``ready`` semaphores providing the blocking behaviour.  A command is
+only made available after its predecessor was removed, which serializes
+execution even if the replica is (mis)configured with several workers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.core.command import Command
+from repro.core.cos import COS, DEFAULT_MAX_SIZE, StructureCosts
+from repro.core.effects import Acquire, Down, Release, Up, Work
+from repro.core.runtime import EffectGen, Runtime
+
+__all__ = ["SequentialCOS", "SequentialHandle"]
+
+
+class SequentialHandle:
+    """Handle returned by :meth:`SequentialCOS.get`."""
+
+    __slots__ = ("cmd", "seq")
+
+    def __init__(self, cmd: Command, seq: int):
+        self.cmd = cmd
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        return f"SequentialHandle(seq={self.seq}, {self.cmd!r})"
+
+
+class SequentialCOS(COS):
+    """Totally ordered COS: commands execute strictly one at a time."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        max_size: int = DEFAULT_MAX_SIZE,
+        costs: StructureCosts = StructureCosts.zero(),
+    ):
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self._costs = costs
+        self._mutex = runtime.mutex()
+        self._queue: Deque[SequentialHandle] = deque()
+        self._space = runtime.semaphore(max_size)
+        self._ready = runtime.semaphore(0)
+        self._in_flight: Optional[SequentialHandle] = None
+        self._next_seq = 0
+
+    def insert(self, cmd: Command) -> EffectGen:
+        yield Down(self._space)
+        handle = SequentialHandle(cmd, self._next_seq)
+        self._next_seq += 1
+        yield Acquire(self._mutex)
+        self._queue.append(handle)
+        # The head of the queue is executable only when nothing is running.
+        signal = self._in_flight is None and len(self._queue) == 1
+        yield Release(self._mutex)
+        if signal:
+            yield Up(self._ready)
+
+    def get(self) -> EffectGen:
+        yield Down(self._ready)
+        if self._costs.get_visit:
+            yield Work(self._costs.get_visit)
+        yield Acquire(self._mutex)
+        handle = self._queue.popleft()
+        self._in_flight = handle
+        yield Release(self._mutex)
+        return handle
+
+    def remove(self, handle: SequentialHandle) -> EffectGen:
+        if self._costs.remove_visit:
+            yield Work(self._costs.remove_visit)
+        yield Acquire(self._mutex)
+        if self._in_flight is not handle:
+            yield Release(self._mutex)
+            raise LookupError(f"{handle!r} is not the executing command")
+        self._in_flight = None
+        signal = bool(self._queue)
+        yield Release(self._mutex)
+        if signal:
+            yield Up(self._ready)
+        yield Up(self._space)

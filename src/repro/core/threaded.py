@@ -1,0 +1,167 @@
+"""Threaded runtime: executes effect generators on real OS threads.
+
+This runtime performs each effect with a ``threading`` primitive, so the COS
+algorithms run as genuinely concurrent Python code.  Under CPython's GIL this
+cannot demonstrate multi-core *speedup* (see DESIGN.md §2), but it does
+exercise real interleavings, which is what the correctness tests need, and
+it is a perfectly usable in-process scheduler for I/O-bound services.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Type
+
+from repro.core.command import Command
+from repro.core.cos import COS
+from repro.core.effects import (
+    Acquire,
+    Cas,
+    Down,
+    Effect,
+    Load,
+    Release,
+    Signal,
+    SignalAll,
+    Store,
+    Up,
+    Wait,
+    Work,
+)
+from repro.core.runtime import AtomicCell, Condition, EffectGen, Mutex, Runtime, Semaphore
+
+__all__ = ["ThreadedRuntime", "ThreadedCOS"]
+
+
+class _ThreadedMutex(Mutex):
+    __slots__ = ("lock",)
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+
+
+class _ThreadedSemaphore(Semaphore):
+    __slots__ = ("sem",)
+
+    def __init__(self, initial: int) -> None:
+        self.sem = threading.Semaphore(initial)
+
+
+class _ThreadedCondition(Condition):
+    __slots__ = ("cv",)
+
+    def __init__(self, mutex: _ThreadedMutex) -> None:
+        self.cv = threading.Condition(mutex.lock)
+
+
+class _ThreadedAtomic(AtomicCell):
+    """Atomic cell backed by the GIL for load/store and a lock for CAS.
+
+    Attribute reads/writes of a Python object are atomic under the GIL;
+    compare-and-set needs a lock to make the read-modify-write step atomic.
+    One lock is shared per runtime — CAS throughput is GIL-bound anyway and
+    per-cell locks would triple the memory footprint of graph nodes.
+    """
+
+    __slots__ = ("value", "_cas_lock")
+
+    def __init__(self, initial: Any, cas_lock: threading.Lock) -> None:
+        self.value = initial
+        self._cas_lock = cas_lock
+
+    def compare_and_set(self, expected: Any, new: Any) -> bool:
+        with self._cas_lock:
+            if self.value == expected:
+                self.value = new
+                return True
+            return False
+
+
+class ThreadedRuntime(Runtime):
+    """Runtime executing effect generators with ``threading`` primitives."""
+
+    def __init__(self) -> None:
+        self._cas_lock = threading.Lock()
+        self._handlers: Dict[Type[Effect], Callable[[Any], Any]] = {
+            Acquire: lambda e: e.mutex.lock.acquire(),
+            Release: lambda e: e.mutex.lock.release(),
+            Wait: lambda e: e.condition.cv.wait(),
+            Signal: lambda e: e.condition.cv.notify(),
+            SignalAll: lambda e: e.condition.cv.notify_all(),
+            Down: lambda e: e.semaphore.sem.acquire(),
+            Up: self._up,
+            Load: lambda e: e.cell.value,
+            Store: self._store,
+            Cas: lambda e: e.cell.compare_and_set(e.expected, e.new),
+            Work: lambda e: None,
+        }
+
+    # ------------------------------------------------------------ factories
+
+    def mutex(self) -> Mutex:
+        return _ThreadedMutex()
+
+    def semaphore(self, initial: int = 0) -> Semaphore:
+        return _ThreadedSemaphore(initial)
+
+    def condition(self, mutex: Mutex) -> Condition:
+        return _ThreadedCondition(mutex)
+
+    def atomic(self, initial: Any = None) -> AtomicCell:
+        return _ThreadedAtomic(initial, self._cas_lock)
+
+    # ------------------------------------------------------------ execution
+
+    @staticmethod
+    def _up(effect: Up) -> None:
+        effect.semaphore.sem.release(effect.amount)
+
+    @staticmethod
+    def _store(effect: Store) -> None:
+        effect.cell.value = effect.value
+
+    def run(self, gen: EffectGen) -> Any:
+        """Drive an effect generator to completion on the calling thread."""
+        handlers = self._handlers
+        result: Any = None
+        while True:
+            try:
+                effect = gen.send(result)
+            except StopIteration as stop:
+                return stop.value
+            result = handlers[type(effect)](effect)
+
+
+class ThreadedCOS:
+    """Blocking facade over a COS for plain multithreaded Python code.
+
+    Example::
+
+        runtime = ThreadedRuntime()
+        cos = ThreadedCOS(LockFreeCOS(runtime, ReadWriteConflicts()), runtime)
+        cos.insert(cmd)            # scheduler thread
+        handle = cos.get()         # worker thread, blocks until ready
+        ...execute...
+        cos.remove(handle)
+    """
+
+    def __init__(self, cos: COS, runtime: ThreadedRuntime):
+        self._cos = cos
+        self._runtime = runtime
+
+    @property
+    def algorithm(self) -> COS:
+        """The underlying effect-generator implementation."""
+        return self._cos
+
+    def insert(self, cmd: Command) -> None:
+        self._runtime.run(self._cos.insert(cmd))
+
+    def get(self) -> Any:
+        return self._runtime.run(self._cos.get())
+
+    def remove(self, handle: Any) -> None:
+        self._runtime.run(self._cos.remove(handle))
+
+    def command_of(self, handle: Any) -> Command:
+        return self._cos.command_of(handle)

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class ProtocolError(ReproError):
+    """A distributed-protocol invariant was violated (bug or bad message)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class SchedulerError(ReproError):
+    """A COS scheduler invariant was violated."""
+
+
+class ShutdownError(ReproError):
+    """An operation was attempted on a component that has been shut down."""

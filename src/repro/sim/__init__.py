@@ -1,0 +1,44 @@
+"""Deterministic discrete-event simulation substrate.
+
+Executes the same COS effect generators as the threaded runtime, but on a
+virtual clock with a synchronization cost model — this is how the repository
+reproduces the paper's multi-core throughput results on a single GIL-bound
+interpreter (see DESIGN.md §2).
+"""
+
+from repro.sim.costs import (
+    HEAVY,
+    LIGHT,
+    MODERATE,
+    PROFILES,
+    ExecutionProfile,
+    SyncCosts,
+    structure_costs,
+)
+from repro.sim.metrics import Metrics
+from repro.sim.process import SimProcess
+from repro.sim.runtime import SimRuntime
+from repro.sim.simulator import Simulator
+from repro.sim.sync import SimAtomic, SimCondition, SimMutex, SimSemaphore
+from repro.sim.trace import TraceEntry, Tracer, traced
+
+__all__ = [
+    "Simulator",
+    "SimRuntime",
+    "SimProcess",
+    "SimMutex",
+    "SimSemaphore",
+    "SimCondition",
+    "SimAtomic",
+    "SyncCosts",
+    "ExecutionProfile",
+    "LIGHT",
+    "MODERATE",
+    "HEAVY",
+    "PROFILES",
+    "structure_costs",
+    "Metrics",
+    "Tracer",
+    "TraceEntry",
+    "traced",
+]

@@ -1,0 +1,143 @@
+"""Cost models for the simulated execution environment.
+
+Two kinds of cost are charged during a simulation:
+
+- :class:`SyncCosts` — per-primitive synchronization costs charged by the
+  simulated runtime itself (lock fast path, contended hand-off, atomic
+  read-modify-write, semaphore operations).  The *contended hand-off* is the
+  crucial one: waking a blocked thread costs on the order of microseconds on
+  real hardware (futex wake + scheduler + cache warm-up), which is what makes
+  lock-based schedulers plateau in the paper while the lock-free scheduler
+  keeps scaling.
+- :class:`~repro.core.cos.StructureCosts` — per-node CPU work charged by the
+  COS algorithms (conflict checks, readiness scans); see
+  :func:`structure_costs`.
+
+Execution-cost presets follow the paper §7.2: the linked-list service is
+initialized with 1k / 10k / 100k entries, giving *light*, *moderate* and
+*heavy* commands.  Values approximate a JVM linked-list scan of those sizes
+on the paper's 1.8 GHz Opterons and were calibrated so the standalone peaks
+land in the paper's ranges (~500 / ~400 / ~100 kops/s); see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cos import StructureCosts
+
+__all__ = [
+    "SyncCosts",
+    "ExecutionProfile",
+    "LIGHT",
+    "MODERATE",
+    "HEAVY",
+    "PROFILES",
+    "structure_costs",
+]
+
+_US = 1e-6  # one microsecond
+_NS = 1e-9  # one nanosecond
+
+
+@dataclass(frozen=True)
+class SyncCosts:
+    """Synchronization primitive costs (seconds) charged by the sim runtime.
+
+    Attributes:
+        lock_fast: Mutex acquire/release when the caller was also the lock's
+            previous holder (line stays in the caller's cache; biased /
+            uncontended fast path).
+        lock_remote: Mutex acquire when another thread held the lock last —
+            the lock word and the data it guards must migrate between cores
+            (coherence miss + fence).  This is what makes hand-over-hand
+            walking expensive as soon as several walkers share the chain.
+        handoff: Latency between releasing a contended *mutex* and the next
+            waiter resuming.  Short critical sections are typically resolved
+            by brief spinning, so this is cheap relative to a full park.
+        park: Latency for a thread blocked on a *dependency* wait (semaphore
+            down with no permits: the ``ready``/``space`` gates) to resume
+            after being released — futex sleep, scheduler dispatch, cold
+            caches.  This is what makes write barriers expensive: every
+            write's dependents sit parked until the write completes.
+        wake: CPU time the *waker* spends unparking a blocked thread
+            (futex_wake syscall).  Crucial: when workers park on the
+            ``ready`` semaphore, every insert pays this to wake one — it is
+            what caps the paper's insert thread near 500 kops/s.
+        atomic_load: An atomic/volatile read (cached line: ~a plain load).
+        atomic_rmw: An atomic read-modify-write (CAS, atomic store with
+            fence) — pays the coherence round trip.
+        semaphore: Uncontended semaphore up/down.
+        signal: Condition-variable signal with no waiter switch.
+    """
+
+    lock_fast: float = 15 * _NS
+    lock_remote: float = 250 * _NS
+    handoff: float = 0.9 * _US
+    park: float = 6.0 * _US
+    wake: float = 0.5 * _US
+    atomic_load: float = 3 * _NS
+    atomic_rmw: float = 30 * _NS
+    semaphore: float = 30 * _NS
+    signal: float = 60 * _NS
+
+    @staticmethod
+    def default() -> "SyncCosts":
+        return SyncCosts()
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """A workload weight class (paper §7.2).
+
+    Attributes:
+        name: ``light`` / ``moderate`` / ``heavy``.
+        list_size: Linked-list population the paper used for this class.
+        execute_cost: Virtual CPU seconds to execute one command.
+        insert_base: Fixed scheduler-side cost per insert (request handoff,
+            node allocation, JVM-equivalent per-request overhead).  This is
+            what pins the insert thread — and therefore every scheduler's
+            ceiling — near ~500 kops/s in Figs. 2a/2b, exactly as the paper
+            observes ("the thread inserting requests in the graph eventually
+            becomes a bottleneck", §7.3.1).
+        get_base / remove_base: Fixed worker-side costs around execution.
+    """
+
+    name: str
+    list_size: int
+    execute_cost: float
+    insert_base: float = 1.45 * _US
+    get_base: float = 0.25 * _US
+    remove_base: float = 0.25 * _US
+
+
+LIGHT = ExecutionProfile(name="light", list_size=1_000, execute_cost=3.5 * _US)
+MODERATE = ExecutionProfile(name="moderate", list_size=10_000, execute_cost=42 * _US)
+HEAVY = ExecutionProfile(name="heavy", list_size=100_000, execute_cost=670 * _US)
+
+PROFILES = {p.name: p for p in (LIGHT, MODERATE, HEAVY)}
+
+
+def structure_costs(per_node_visit: float = 6 * _NS,
+                    per_edge: float = 50 * _NS,
+                    retry_backoff: float = 0.3 * _US) -> StructureCosts:
+    """Structure cost model used by all simulated COS instances.
+
+    ``per_node_visit`` covers one conflict/readiness check against a resident
+    node — a couple of JIT-compiled field reads and a comparison, so it is
+    deliberately *small*.  What separates the three algorithms is not the
+    visits but the synchronization each visit drags along: the fine-grained
+    walk performs two mutex operations per node, the coarse-grained graph
+    pays contended lock hand-offs per command, and the lock-free graph pays
+    a handful of atomics (see :class:`SyncCosts`).  ``per_edge`` is the cost
+    of materializing or deleting one dependency edge (set insert/remove,
+    allocation), which dominates under write-heavy workloads where a new
+    command conflicts with most of the resident graph.
+    """
+    return StructureCosts(
+        insert_visit=per_node_visit,
+        get_visit=per_node_visit * 2 / 3,  # get only tests a status flag
+        remove_visit=per_node_visit,
+        edge=per_edge,
+        retry_backoff=retry_backoff,
+    )

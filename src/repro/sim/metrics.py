@@ -1,0 +1,105 @@
+"""Measurement helpers for simulation runs.
+
+The paper measures *throughput at the servers* and *latency at the clients*
+after a warm-up phase (§7.2).  :class:`Metrics` mirrors that: counters are
+timestamped against the virtual clock, and the reporting helpers exclude
+everything before ``mark_warm()`` was called.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.simulator import Simulator
+
+__all__ = ["Metrics", "TimeSeries"]
+
+
+class TimeSeries:
+    """Periodic samples of a counter's rate on the virtual clock.
+
+    Call :meth:`sample` on a fixed virtual-time cadence (e.g. from a
+    dedicated sampling process); each sample records the counter's rate
+    over the elapsed interval, giving throughput-over-time curves for
+    transient analysis (warm-up, crash dips, recovery ramps).
+    """
+
+    def __init__(self, simulator: Simulator):
+        self._sim = simulator
+        self._last_time = simulator.now
+        self._last_count = 0
+        self.points: List[Tuple[float, float]] = []  # (time, rate)
+
+    def sample(self, count: int) -> None:
+        now = self._sim.now
+        elapsed = now - self._last_time
+        if elapsed > 0:
+            rate = (count - self._last_count) / elapsed
+            self.points.append((now, rate))
+        self._last_time = now
+        self._last_count = count
+
+
+class Metrics:
+    """Counters and latency samples on the virtual clock."""
+
+    def __init__(self, simulator: Simulator):
+        self._sim = simulator
+        self._counts: Dict[str, int] = {}
+        self._warm_counts: Dict[str, int] = {}
+        self._latencies: List[float] = []
+        self._warm_at: Optional[float] = None
+
+    # ------------------------------------------------------------ recording
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def record_latency(self, seconds: float) -> None:
+        if self._warm_at is not None:
+            self._latencies.append(seconds)
+
+    def mark_warm(self) -> None:
+        """End the warm-up phase: snapshot counters and note the time."""
+        self._warm_at = self._sim.now
+        self._warm_counts = dict(self._counts)
+
+    # ------------------------------------------------------------ reporting
+
+    def count(self, name: str) -> int:
+        """Total count since the start of the run."""
+        return self._counts.get(name, 0)
+
+    def warm_count(self, name: str) -> int:
+        """Count since ``mark_warm()`` (0 if warm-up never ended)."""
+        if self._warm_at is None:
+            return 0
+        return self._counts.get(name, 0) - self._warm_counts.get(name, 0)
+
+    def throughput(self, name: str) -> float:
+        """Events per virtual second since ``mark_warm()``."""
+        if self._warm_at is None:
+            return 0.0
+        elapsed = self._sim.now - self._warm_at
+        if elapsed <= 0:
+            return 0.0
+        return self.warm_count(name) / elapsed
+
+    def latency_stats(self) -> Tuple[float, float, float]:
+        """(mean, median, p99) of recorded latencies, in seconds."""
+        if not self._latencies:
+            return (0.0, 0.0, 0.0)
+        ordered = sorted(self._latencies)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        median = ordered[n // 2]
+        p99 = ordered[min(n - 1, int(n * 0.99))]
+        return (mean, median, p99)
+
+    @property
+    def warm_started(self) -> bool:
+        return self._warm_at is not None
+
+    def time_series(self) -> TimeSeries:
+        """A rate sampler bound to this metrics object's clock."""
+        return TimeSeries(self._sim)

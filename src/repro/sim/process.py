@@ -1,0 +1,49 @@
+"""Simulated processes (virtual threads).
+
+A :class:`SimProcess` wraps an effect generator being interpreted by the
+:class:`~repro.sim.runtime.SimRuntime`.  Processes model the scheduler and
+worker threads of the paper's replicas; unlike OS threads they run one at a
+time in real time but overlap freely in *virtual* time, so 64 simulated
+workers genuinely execute 64 commands concurrently on the virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+__all__ = ["SimProcess"]
+
+
+class SimProcess:
+    """Bookkeeping for one simulated thread."""
+
+    __slots__ = ("gen", "name", "done", "result", "error", "_done_callbacks")
+
+    def __init__(self, gen: Any, name: str):
+        self.gen = gen
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._done_callbacks: List[Callable[["SimProcess"], None]] = []
+
+    def on_done(self, callback: Callable[["SimProcess"], None]) -> None:
+        """Register a callback fired when the process finishes."""
+        if self.done:
+            callback(self)
+        else:
+            self._done_callbacks.append(callback)
+
+    def finish(self, result: Any = None,
+               error: Optional[BaseException] = None) -> None:
+        """Mark the process completed and fire completion callbacks."""
+        self.done = True
+        self.result = result
+        self.error = error
+        callbacks, self._done_callbacks = self._done_callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"SimProcess({self.name}, {state})"

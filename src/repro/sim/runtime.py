@@ -1,0 +1,205 @@
+"""Simulated runtime: interprets effect generators on virtual time.
+
+The same algorithm generators that :class:`~repro.core.threaded.ThreadedRuntime`
+drives on OS threads are interpreted here as simulated processes.  Each
+effect charges its cost from the :class:`~repro.sim.costs.SyncCosts` model;
+blocking effects suspend the process until a simulated peer wakes it.
+
+Two preemption modes:
+
+- ``"quantum"`` (default): a process runs synchronously until it blocks or
+  accumulates ``quantum`` seconds of charged cost, then reschedules itself.
+  Fast — benchmark runs use this.  Within one slice the process's effects
+  are applied atomically, so interleaving granularity is the quantum.
+- ``"effect"``: every effect is its own event, giving the finest
+  deterministic interleaving.  Slow — the concurrency tests use this to
+  shake out algorithm races that quantum mode would hide.
+- ``"fuzz"``: like ``"effect"``, but every effect also gets a small random
+  delay from a seeded RNG, so different seeds explore *different* (still
+  reproducible) interleavings.  A loop over seeds is a cheap systematic
+  schedule explorer for the lock-free algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import partial
+from typing import Any, Optional
+
+from repro.core.effects import (
+    Acquire,
+    Cas,
+    Down,
+    Load,
+    Release,
+    Signal,
+    SignalAll,
+    Store,
+    Up,
+    Wait,
+    Work,
+)
+from repro.core.runtime import Condition, EffectGen, Mutex, Runtime
+from repro.errors import SimulationError
+from repro.sim.costs import SyncCosts
+from repro.sim.process import SimProcess
+from repro.sim.simulator import Simulator
+from repro.sim.sync import SimAtomic, SimCondition, SimMutex, SimSemaphore
+
+__all__ = ["SimRuntime"]
+
+#: Effects one process may perform inside a single slice before the runtime
+#: declares a livelock (a spin loop with no Work cost would otherwise hang
+#: the simulation at a single virtual instant).
+_LIVELOCK_LIMIT = 1_000_000
+
+
+class SimRuntime(Runtime):
+    """Runtime executing effect generators as simulated processes."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        costs: SyncCosts = SyncCosts.default(),
+        quantum: float = 1e-6,
+        preemption: str = "quantum",
+        fuzz_seed: int = 0,
+        fuzz_jitter: float = 2e-7,
+    ):
+        if preemption not in ("quantum", "effect", "fuzz"):
+            raise SimulationError(f"unknown preemption mode {preemption!r}")
+        if quantum <= 0:
+            raise SimulationError(f"quantum must be positive, got {quantum}")
+        self._sim = simulator
+        self._costs = costs
+        self._quantum = quantum
+        self._per_effect = preemption in ("effect", "fuzz")
+        self._fuzz: Optional[random.Random] = (
+            random.Random(fuzz_seed) if preemption == "fuzz" else None)
+        self._fuzz_jitter = fuzz_jitter
+        self._spawned = 0
+
+    # ------------------------------------------------------------ factories
+
+    def mutex(self) -> SimMutex:
+        return SimMutex(self._schedule_resume, self._costs.handoff)
+
+    def semaphore(self, initial: int = 0) -> SimSemaphore:
+        # Semaphore waits are dependency waits (ready/space gates): a
+        # blocked process fully parks, so resuming costs the park latency
+        # rather than the cheaper mutex hand-off.
+        return SimSemaphore(initial, self._schedule_resume, self._costs.park)
+
+    def condition(self, mutex: Mutex) -> Condition:
+        if not isinstance(mutex, SimMutex):
+            raise SimulationError("condition() needs a mutex from this runtime")
+        return SimCondition(mutex)
+
+    def atomic(self, initial: Any = None) -> SimAtomic:
+        return SimAtomic(initial)
+
+    # ------------------------------------------------------------ processes
+
+    def spawn(self, gen: EffectGen, name: Optional[str] = None) -> SimProcess:
+        """Start interpreting ``gen`` as a new simulated process."""
+        self._spawned += 1
+        proc = SimProcess(gen, name or f"proc-{self._spawned}")
+        self._sim.schedule(0.0, partial(self._interpret, proc, None))
+        return proc
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._sim
+
+    # ---------------------------------------------------------- interpreter
+
+    def _schedule_resume(self, proc: SimProcess, value: Any, delay: float) -> None:
+        if self._fuzz is not None:
+            # Seeded jitter on every resume path (including blocking
+            # wakeups) so each seed explores a distinct interleaving.
+            delay += self._fuzz.random() * self._fuzz_jitter
+        self._sim.schedule(delay, partial(self._interpret, proc, value))
+
+    def _interpret(self, proc: SimProcess, value: Any) -> None:
+        """Advance ``proc`` until it blocks, exhausts its quantum, or ends."""
+        gen = proc.gen
+        costs = self._costs
+        quantum = self._quantum
+        per_effect = self._per_effect
+        acc = 0.0
+        budget = _LIVELOCK_LIMIT
+        while True:
+            try:
+                effect = gen.send(value)
+            except StopIteration as stop:
+                if acc > 0:
+                    self._sim.schedule(acc, partial(proc.finish, stop.value))
+                else:
+                    proc.finish(stop.value)
+                return
+            except Exception as error:  # algorithm bug: crash loudly
+                proc.finish(None, error=error)
+                raise
+            budget -= 1
+            if budget == 0:
+                raise SimulationError(
+                    f"{proc.name} performed {_LIVELOCK_LIMIT} effects in one "
+                    f"slice at t={self._sim.now}: livelock?"
+                )
+            cls = type(effect)
+            if cls is Work:
+                acc += effect.cost
+                value = None
+            elif cls is Load:
+                acc += costs.atomic_load
+                value = effect.cell.value
+            elif cls is Cas:
+                acc += costs.atomic_rmw
+                value = effect.cell.compare_and_set(effect.expected, effect.new)
+            elif cls is Store:
+                acc += costs.atomic_rmw
+                effect.cell.value = effect.value
+                value = None
+            elif cls is Acquire:
+                mutex = effect.mutex
+                if mutex.last_holder is proc:
+                    acc += costs.lock_fast
+                else:
+                    # The lock word (and the data it guards) lives in another
+                    # core's cache: pay the coherence transfer.
+                    acc += costs.lock_remote
+                if not mutex.acquire(proc):
+                    return  # blocked; release() will resume us
+                value = None
+            elif cls is Release:
+                acc += costs.lock_fast
+                if effect.mutex.release(proc):
+                    acc += costs.wake  # futex wake paid by the releaser
+                value = None
+            elif cls is Down:
+                acc += costs.semaphore
+                if not effect.semaphore.down(proc):
+                    return  # blocked; up() will resume us
+                value = None
+            elif cls is Up:
+                acc += costs.semaphore
+                woken = effect.semaphore.up(effect.amount)
+                if woken:
+                    acc += costs.wake * woken  # futex wakes paid by the caller
+                value = None
+            elif cls is Wait:
+                effect.condition.wait(proc)
+                return  # blocked; signal + mutex hand-off will resume us
+            elif cls is Signal:
+                acc += costs.signal
+                effect.condition.signal(proc)
+                value = None
+            elif cls is SignalAll:
+                acc += costs.signal
+                effect.condition.signal_all(proc)
+                value = None
+            else:
+                raise SimulationError(f"unknown effect {effect!r}")
+            if per_effect or acc >= quantum:
+                self._schedule_resume(proc, value, acc)
+                return

@@ -1,0 +1,111 @@
+"""Deterministic discrete-event simulator.
+
+A tiny, fast event-loop core: a binary heap of ``(time, sequence, callback)``
+entries.  The sequence number makes event ordering total and therefore the
+whole simulation deterministic — two runs with the same seed produce
+identical traces, which the reproducibility tests rely on.
+
+Virtual time is in **seconds** (floats).  The simulator knows nothing about
+processes or synchronization; those live in :mod:`repro.sim.runtime` and
+:mod:`repro.sim.sync` and are built purely out of ``schedule`` calls.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event heap plus virtual clock."""
+
+    #: How many events to process between ``stop_when`` checks.
+    _STOP_CHECK_INTERVAL = 256
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------ schedule
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute virtual time ``when`` (>= now)."""
+        self.schedule(when - self.now, callback)
+
+    # ----------------------------------------------------------------- run
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Process events until the heap drains, ``until`` is reached, or
+        ``stop_when()`` turns true (checked periodically for speed).
+
+        Returns the virtual time at which the run stopped.  Events scheduled
+        beyond ``until`` stay in the heap, so ``run`` can be called again to
+        continue the same simulation.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        heap = self._heap
+        check_interval = self._STOP_CHECK_INTERVAL
+        try:
+            countdown = check_interval
+            while heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                _, _, callback = heapq.heappop(heap)
+                self.now = when
+                callback()
+                self._events_processed += 1
+                countdown -= 1
+                if countdown == 0:
+                    countdown = check_interval
+                    if stop_when is not None and stop_when():
+                        break
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the heap is empty."""
+        if not self._heap:
+            return False
+        when, _, callback = heapq.heappop(self._heap)
+        self.now = when
+        callback()
+        self._events_processed += 1
+        return True
+
+    # ---------------------------------------------------------- inspection
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently in the heap."""
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed since construction."""
+        return self._events_processed

@@ -1,0 +1,152 @@
+"""Simulated synchronization primitives.
+
+Each primitive keeps a FIFO wait queue of :class:`SimProcess` objects and
+wakes them through the runtime's resume hook, charging the configured
+hand-off latency.  FIFO queues make the simulation fair and deterministic.
+
+The runtime (not user code) calls these methods while interpreting effects;
+see :mod:`repro.sim.runtime`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.core.runtime import AtomicCell, Condition, Mutex, Semaphore
+from repro.errors import SimulationError
+from repro.sim.process import SimProcess
+
+__all__ = ["SimMutex", "SimSemaphore", "SimCondition", "SimAtomic"]
+
+# Signature of the runtime hook used to resume a blocked process:
+# resume(process, send_value, extra_delay).
+ResumeHook = Callable[[SimProcess, Any, float], None]
+
+
+class SimMutex(Mutex):
+    """FIFO mutex that remembers its last holder (cache-coherence model)."""
+
+    __slots__ = ("owner", "last_holder", "waiters", "_resume", "_handoff")
+
+    def __init__(self, resume: ResumeHook, handoff: float):
+        self.owner: Optional[SimProcess] = None
+        self.last_holder: Optional[SimProcess] = None
+        self.waiters: Deque[SimProcess] = deque()
+        self._resume = resume
+        self._handoff = handoff
+
+    def acquire(self, proc: SimProcess) -> bool:
+        """Try to take the mutex; on contention, queue and return False."""
+        if self.owner is None:
+            self.owner = proc
+            self.last_holder = proc
+            return True
+        self.waiters.append(proc)
+        return False
+
+    def release(self, proc: SimProcess) -> bool:
+        """Release; returns True when a blocked waiter had to be woken."""
+        if self.owner is not proc:
+            raise SimulationError(
+                f"{proc.name} released a mutex owned by "
+                f"{self.owner.name if self.owner else 'nobody'}"
+            )
+        if self.waiters:
+            successor = self.waiters.popleft()
+            self.owner = successor
+            self.last_holder = successor
+            self._resume(successor, None, self._handoff)
+            return True
+        self.owner = None
+        return False
+
+    def hand_to(self, proc: SimProcess) -> None:
+        """Transfer ownership directly (condition-variable requeue path)."""
+        if self.owner is None:
+            self.owner = proc
+            self.last_holder = proc
+            self._resume(proc, None, self._handoff)
+        else:
+            self.waiters.append(proc)
+
+
+class SimSemaphore(Semaphore):
+    """FIFO counting semaphore."""
+
+    __slots__ = ("value", "waiters", "_resume", "_handoff")
+
+    def __init__(self, initial: int, resume: ResumeHook, handoff: float):
+        if initial < 0:
+            raise SimulationError(f"semaphore initial value {initial} < 0")
+        self.value = initial
+        self.waiters: Deque[SimProcess] = deque()
+        self._resume = resume
+        self._handoff = handoff
+
+    def down(self, proc: SimProcess) -> bool:
+        """P(): take a unit or queue; returns whether the caller proceeds."""
+        if self.value > 0:
+            self.value -= 1
+            return True
+        self.waiters.append(proc)
+        return False
+
+    def up(self, amount: int = 1) -> int:
+        """V() ``amount`` times, waking queued processes first.
+
+        Returns how many blocked processes were woken (the caller pays a
+        wake cost for each).
+        """
+        woken = 0
+        for _ in range(amount):
+            if self.waiters:
+                successor = self.waiters.popleft()
+                self._resume(successor, None, self._handoff)
+                woken += 1
+            else:
+                self.value += 1
+        return woken
+
+
+class SimCondition(Condition):
+    """Condition variable bound to a :class:`SimMutex` (Mesa semantics)."""
+
+    __slots__ = ("mutex", "waiters")
+
+    def __init__(self, mutex: SimMutex):
+        self.mutex = mutex
+        self.waiters: Deque[SimProcess] = deque()
+
+    def wait(self, proc: SimProcess) -> None:
+        """Atomically release the mutex and join the wait queue."""
+        self.waiters.append(proc)
+        self.mutex.release(proc)
+
+    def signal(self, proc: SimProcess) -> None:
+        """Move one waiter to the mutex queue (caller must hold the mutex)."""
+        if self.mutex.owner is not proc:
+            raise SimulationError(f"{proc.name} signalled without holding the mutex")
+        if self.waiters:
+            self.mutex.waiters.append(self.waiters.popleft())
+
+    def signal_all(self, proc: SimProcess) -> None:
+        if self.mutex.owner is not proc:
+            raise SimulationError(f"{proc.name} signalled without holding the mutex")
+        while self.waiters:
+            self.mutex.waiters.append(self.waiters.popleft())
+
+
+class SimAtomic(AtomicCell):
+    """Linearizable register; atomicity is free inside one event callback."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, initial: Any):
+        self.value = initial
+
+    def compare_and_set(self, expected: Any, new: Any) -> bool:
+        if self.value == expected:
+            self.value = new
+            return True
+        return False

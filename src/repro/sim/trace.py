@@ -1,0 +1,75 @@
+"""Effect tracing for debugging and analysis.
+
+A :class:`Tracer` records the stream of effects an algorithm performs —
+optionally with virtual timestamps — without touching the runtimes: wrap
+any effect generator with :func:`traced` and run it as usual (works with
+both the threaded runtime and the simulator).
+
+Typical uses: counting how many node visits an ``insert`` performs at a
+given graph population, checking that ``lfGet`` retries stay rare, or
+dumping a failing interleaving from a deterministic simulation run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from repro.core.effects import Effect
+from repro.core.runtime import EffectGen
+
+__all__ = ["Tracer", "TraceEntry", "traced"]
+
+TraceEntry = Tuple[float, str, str]  # (time, label, effect kind)
+
+
+class Tracer:
+    """Bounded in-memory effect log with per-kind counters."""
+
+    def __init__(self, capacity: int = 100_000,
+                 clock: Optional[Callable[[], float]] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._entries: Deque[TraceEntry] = deque(maxlen=capacity)
+        self._clock = clock or (lambda: 0.0)
+        self.counts: Counter = Counter()
+
+    def record(self, label: str, kind: str) -> None:
+        self.counts[kind] += 1
+        self._entries.append((self._clock(), label, kind))
+
+    @property
+    def entries(self) -> List[TraceEntry]:
+        return list(self._entries)
+
+    def count(self, kind: str) -> int:
+        """Total effects of ``kind`` (class name, or ``"return"``)."""
+        return self.counts[kind]
+
+    def summary(self) -> str:
+        """One line per effect kind, most frequent first."""
+        lines = [f"{kind:>12}: {count}"
+                 for kind, count in self.counts.most_common()]
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.counts.clear()
+
+
+def traced(gen: EffectGen, tracer: Tracer, label: str = "") -> EffectGen:
+    """Wrap an effect generator, recording every effect it performs.
+
+    Transparent to the runtime: effects and results pass through unchanged
+    and the wrapped generator's return value is preserved.
+    """
+    result: Any = None
+    while True:
+        try:
+            effect = gen.send(result)
+        except StopIteration as stop:
+            tracer.record(label, "return")
+            return stop.value
+        if isinstance(effect, Effect):
+            tracer.record(label, type(effect).__name__)
+        result = yield effect

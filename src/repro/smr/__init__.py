@@ -1,0 +1,20 @@
+"""State machine replication layer: services, replicas, clients, clusters."""
+
+from repro.smr.checkpoint import Checkpoint, CheckpointError
+from repro.smr.client import Client, ClientTimeout
+from repro.smr.cluster import ClusterConfig, ThreadedCluster
+from repro.smr.replica import STOP_OP, ParallelReplica, SequentialReplica
+from repro.smr.service import Service
+
+__all__ = [
+    "Service",
+    "ParallelReplica",
+    "SequentialReplica",
+    "STOP_OP",
+    "Client",
+    "ClientTimeout",
+    "ClusterConfig",
+    "ThreadedCluster",
+    "Checkpoint",
+    "CheckpointError",
+]

@@ -1,0 +1,44 @@
+"""Checkpointing and state transfer for replica recovery.
+
+A checkpoint is a consistent cut of a replica: the service snapshot, the
+dedup/response cache, and the atomic-broadcast instance up to which the
+snapshot reflects every delivered command.  Because workers execute out of
+delivery order, a consistent cut requires *quiescence*: delivery is briefly
+blocked while the in-flight commands drain, then the state is copied.
+
+A recovering replica installs a peer's checkpoint and rejoins the broadcast
+group with ``first_instance = checkpoint.instance + 1``; the heartbeat
+anti-entropy of :class:`~repro.broadcast.paxos.MultiPaxos` then pulls any
+instances decided between the checkpoint and the present.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["Checkpoint", "CheckpointError"]
+
+
+class CheckpointError(ReproError):
+    """Quiescence could not be reached or a checkpoint is unusable."""
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A consistent replica cut.
+
+    Attributes:
+        instance: Highest atomic-broadcast instance whose commands are all
+            reflected in ``state`` (-1 when nothing was delivered yet).
+        state: The service snapshot.
+        dedup: Per-client ``(request_id, response)`` cache, so a recovered
+            replica keeps exactly-once semantics across its restart.
+    """
+
+    instance: int
+    state: Any
+    dedup: Dict[str, Tuple[int, Any]] = field(default_factory=dict)

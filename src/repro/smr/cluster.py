@@ -1,0 +1,248 @@
+"""Threaded SMR cluster: wiring for a full in-process deployment.
+
+Assembles transport + atomic broadcast nodes + replicas + clients into a
+running replicated service, the in-process equivalent of the paper's
+3-machine BFT-SMaRt deployment (§7.1):
+
+- every replica runs a broadcast protocol node (Multi-Paxos by default) and
+  an execution engine (parallel scheduler/workers or sequential);
+- clients submit batches through a contact replica and wait for the first
+  response;
+- :meth:`ThreadedCluster.crash` kills a replica (crash-stop) to exercise
+  fault tolerance with ``f = 1`` out of ``n = 3``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.broadcast import (
+    FaultPlan,
+    MultiPaxos,
+    SequencerBroadcast,
+    ThreadedNode,
+    ThreadedTransport,
+)
+from repro.broadcast.storage import InMemoryStableStore
+from repro.core.command import Command
+from repro.core.cos import DEFAULT_MAX_SIZE
+from repro.errors import ConfigurationError, ShutdownError
+from repro.smr.client import Client
+from repro.smr.replica import ParallelReplica, SequentialReplica
+from repro.smr.service import Service
+
+__all__ = ["ClusterConfig", "ThreadedCluster"]
+
+ServiceFactory = Callable[[], Service]
+
+
+@dataclass
+class ClusterConfig:
+    """Parameters of a threaded cluster deployment."""
+
+    service_factory: ServiceFactory
+    n_replicas: int = 3
+    protocol: str = "paxos"            # "paxos" | "sequencer"
+    cos_algorithm: str = "lock-free"   # any of COS_ALGORITHMS, or "sequential"
+    workers: int = 4
+    max_graph_size: int = DEFAULT_MAX_SIZE
+    batch_size: int = 64
+    heartbeat_interval: float = 0.05
+    leader_timeout: float = 0.25
+    client_timeout: float = 2.0
+    #: Persist acceptor state per node so crashed replicas can rejoin
+    #: safely (see repro.broadcast.storage).
+    stable_storage: bool = False
+    fault_plan: FaultPlan = field(default_factory=lambda: FaultPlan(
+        min_delay=0.0, max_delay=0.0))
+
+    def validate(self) -> None:
+        if self.protocol not in ("paxos", "sequencer"):
+            raise ConfigurationError(f"unknown protocol {self.protocol!r}")
+        if self.protocol == "paxos" and self.n_replicas % 2 == 0:
+            raise ConfigurationError(
+                f"paxos needs an odd replica count, got {self.n_replicas}"
+            )
+        if self.n_replicas < 1:
+            raise ConfigurationError("need at least one replica")
+
+
+class ThreadedCluster:
+    """A running in-process replicated service."""
+
+    def __init__(self, config: ClusterConfig):
+        config.validate()
+        self.config = config
+        self._transport = ThreadedTransport(config.n_replicas, config.fault_plan)
+        self._stores: Dict[int, Dict[Any, Any]] = {}
+        self._clients: Dict[str, Client] = {}
+        self._clients_lock = threading.Lock()
+        self._client_counter = itertools.count(1)
+        self.replicas: List[ParallelReplica] = []
+        self.nodes: List[ThreadedNode] = []
+        for replica_id in range(config.n_replicas):
+            replica = self._build_replica(replica_id)
+            self.replicas.append(replica)
+            self.nodes.append(
+                ThreadedNode(
+                    replica_id,
+                    self._build_protocol(replica_id),
+                    self._transport,
+                    replica.on_deliver,
+                )
+            )
+        self._started = False
+
+    # --------------------------------------------------------------- builders
+
+    def _build_replica(self, replica_id: int) -> ParallelReplica:
+        service = self.config.service_factory()
+        if self.config.cos_algorithm == "sequential":
+            return SequentialReplica(
+                replica_id,
+                service,
+                max_queue_size=self.config.max_graph_size,
+                on_response=self._route_response,
+            )
+        return ParallelReplica(
+            replica_id,
+            service,
+            cos_algorithm=self.config.cos_algorithm,
+            workers=self.config.workers,
+            max_graph_size=self.config.max_graph_size,
+            on_response=self._route_response,
+        )
+
+    def _build_protocol(self, replica_id: int, first_instance: int = 0) -> Any:
+        if self.config.protocol == "sequencer":
+            return SequencerBroadcast(replica_id, self.config.n_replicas)
+        store = None
+        if self.config.stable_storage:
+            store = InMemoryStableStore(
+                self._stores.setdefault(replica_id, {}))
+        # Stagger leader timeouts so campaigns rarely collide.
+        return MultiPaxos(
+            replica_id,
+            self.config.n_replicas,
+            batch_size=self.config.batch_size,
+            heartbeat_interval=self.config.heartbeat_interval,
+            leader_timeout=self.config.leader_timeout * (1 + 0.35 * replica_id),
+            first_instance=first_instance,
+            stable_store=store,
+        )
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> "ThreadedCluster":
+        if self._started:
+            raise ShutdownError("cluster already started")
+        self._started = True
+        for replica in self.replicas:
+            replica.start()
+        for node in self.nodes:
+            node.start()
+        return self
+
+    def stop(self) -> None:
+        for node in self.nodes:
+            node.stop()
+        self._transport.close()
+        for replica in self.replicas:
+            replica.stop()
+
+    def __enter__(self) -> "ThreadedCluster":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ client
+
+    def client(self, client_id: Optional[str] = None, contact: int = 0,
+               timeout: Optional[float] = None) -> Client:
+        """Create (and register) a client of this cluster."""
+        if client_id is None:
+            client_id = f"client-{next(self._client_counter)}"
+        client = Client(
+            client_id,
+            self._submit,
+            self.config.n_replicas,
+            contact=contact,
+            timeout=timeout if timeout is not None else self.config.client_timeout,
+        )
+        with self._clients_lock:
+            if client_id in self._clients:
+                raise ConfigurationError(f"duplicate client id {client_id!r}")
+            self._clients[client_id] = client
+        return client
+
+    def _submit(self, payload: Tuple[Command, ...], contact: int) -> None:
+        node = self.nodes[contact % len(self.nodes)]
+        if not node.running:
+            node = next((n for n in self.nodes if n.running), None)
+            if node is None:
+                raise ShutdownError("no replica is running")
+        node.submit(payload)
+
+    def _route_response(self, command: Command, response: Any,
+                        replica_id: int) -> None:
+        with self._clients_lock:
+            client = self._clients.get(command.client_id)
+        if client is not None:
+            client.deliver_response(command, response)
+
+    # ------------------------------------------------------------------ faults
+
+    def crash(self, replica_id: int) -> None:
+        """Crash-stop one replica: no more messages in or out, no execution."""
+        self._transport.crash(replica_id)
+        self.nodes[replica_id].stop()
+        self.replicas[replica_id].stop(timeout=1.0)
+
+    def restart_replica(self, replica_id: int,
+                        from_peer: Optional[int] = None) -> None:
+        """Rebuild a crashed replica from a live peer's checkpoint.
+
+        The peer briefly quiesces to produce a consistent cut; the new
+        replica installs it and rejoins the broadcast group at
+        ``checkpoint.instance + 1``.  Heartbeat anti-entropy pulls any
+        instances decided since the checkpoint.  With
+        ``config.stable_storage`` the rebuilt protocol node also recovers
+        its acceptor promises, so rejoining cannot violate agreement.
+        """
+        if self.nodes[replica_id].running:
+            raise ConfigurationError(
+                f"replica {replica_id} is still running; crash it first")
+        if from_peer is None:
+            candidates = [
+                index for index, node in enumerate(self.nodes)
+                if index != replica_id and node.running
+            ]
+            if not candidates:
+                raise ShutdownError("no live peer to recover from")
+            from_peer = candidates[0]
+        checkpoint = self.replicas[from_peer].take_checkpoint()
+        self._transport.reset_inbox(replica_id)
+        self._transport.recover(replica_id)
+        replica = self._build_replica(replica_id)
+        replica.install_checkpoint(checkpoint)
+        self.replicas[replica_id] = replica
+        protocol = self._build_protocol(
+            replica_id, first_instance=checkpoint.instance + 1)
+        node = ThreadedNode(replica_id, protocol, self._transport,
+                            replica.on_deliver)
+        self.nodes[replica_id] = node
+        replica.start()
+        node.start()
+
+    # --------------------------------------------------------------- helpers
+
+    def services(self) -> List[Service]:
+        """The replicas' service instances (for consistency checks)."""
+        return [replica.service for replica in self.replicas]
+
+    def total_executed(self) -> List[int]:
+        return [replica.executed for replica in self.replicas]

@@ -1,0 +1,278 @@
+"""Replica execution engines (paper Fig. 1 and Algorithm 1).
+
+A :class:`ParallelReplica` is the paper's scheduler/worker architecture:
+the atomic-broadcast delivery callback plays the *parallelizer* role and
+inserts delivered commands into a COS in total order; a pool of worker
+threads repeatedly gets an independent command, executes it against the
+service, responds to the client, and removes it from the COS.
+
+A :class:`SequentialReplica` is classic SMR — the same machinery over the
+FIFO :class:`~repro.core.sequential.SequentialCOS` with a single worker.
+
+Replicas deduplicate commands by ``(client_id, request_id)`` at delivery
+time.  Delivery order is identical at all replicas, so the dedup decision
+is deterministic; duplicates of already-executed commands are answered from
+the response cache, which makes client retransmission safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import time
+
+from repro.core import ThreadedCOS, ThreadedRuntime, make_cos
+from repro.core.command import Command
+from repro.core.cos import DEFAULT_MAX_SIZE
+from repro.errors import ShutdownError
+from repro.smr.checkpoint import Checkpoint, CheckpointError
+from repro.smr.service import Service
+
+__all__ = ["ParallelReplica", "SequentialReplica", "STOP_OP"]
+
+#: Poison-pill operation used to shut worker threads down.
+STOP_OP = "__replica_stop__"
+
+# Called with (command, response, replica_id) after execution.
+ResponseCallback = Callable[[Command, Any, int], None]
+
+
+def _flatten_commands(payload: Any) -> Iterable[Command]:
+    """Yield commands from an arbitrarily nested batch, in order."""
+    if isinstance(payload, Command):
+        yield payload
+        return
+    for item in payload:
+        yield from _flatten_commands(item)
+
+
+class ParallelReplica:
+    """Scheduler + worker-pool replica over a Conflict-Ordered Set."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        service: Service,
+        cos_algorithm: str = "lock-free",
+        workers: int = 4,
+        max_graph_size: int = DEFAULT_MAX_SIZE,
+        on_response: Optional[ResponseCallback] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.replica_id = replica_id
+        self.service = service
+        self.workers = workers
+        self._on_response = on_response
+        self._runtime = ThreadedRuntime()
+        self._cos = ThreadedCOS(
+            make_cos(cos_algorithm, self._runtime, service.conflicts,
+                     max_size=max_graph_size),
+            self._runtime,
+        )
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._stopping = False
+        self._state_lock = threading.Lock()
+        self._deliver_lock = threading.Lock()
+        self._executed = 0
+        self._scheduled = 0
+        self._last_instance = -1
+        # (client_id -> (request_id, response or _PENDING)) response cache.
+        self._dedup: Dict[str, Tuple[int, Any]] = {}
+
+    _PENDING = object()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        if self._started:
+            raise ShutdownError("replica already started")
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"replica-{self.replica_id}-worker-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain workers with poison pills and join them.  Idempotent."""
+        if not self._started or self._stopping:
+            return
+        self._stopping = True
+        for _ in range(self.workers):
+            self._cos.insert(Command(op=STOP_OP, writes=True))
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def resize_workers(self, workers: int) -> None:
+        """Reconfigure the worker pool at runtime.
+
+        Growing spawns threads immediately; shrinking inserts poison pills
+        that retire one worker each once they reach the head of the conflict
+        order (cf. the reconfigurable parallel SMR line the paper cites
+        [Alchieri et al., SRDS'17]).
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not self._started or self._stopping:
+            raise ShutdownError("resize requires a running replica")
+        delta = workers - self.workers
+        if delta > 0:
+            for index in range(delta):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=(f"replica-{self.replica_id}-worker-"
+                          f"{len(self._threads) + index}"),
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        else:
+            for _ in range(-delta):
+                self._cos.insert(Command(op=STOP_OP, writes=True))
+        self.workers = workers
+
+    # --------------------------------------------------------- SMR plumbing
+
+    def on_deliver(self, instance: int, payload: Any) -> None:
+        """Atomic-broadcast delivery: schedule a batch of commands.
+
+        This is the parallelizer (scheduler) role of Algorithm 1 — it runs
+        on the broadcast node's event-loop thread, which makes inserts
+        naturally sequential in delivery order.  ``payload`` may be a single
+        command, a client batch, or a protocol batch of client batches; the
+        nesting is flattened in order.
+        """
+        with self._deliver_lock:
+            for command in _flatten_commands(payload):
+                if self._is_duplicate(command):
+                    continue
+                self._scheduled += 1
+                self._cos.insert(command)
+            self._last_instance = max(self._last_instance, instance)
+
+    def _is_duplicate(self, command: Command) -> bool:
+        if command.client_id is None:
+            return False
+        with self._state_lock:
+            cached = self._dedup.get(command.client_id)
+            if cached is not None and command.request_id <= cached[0]:
+                duplicate_of_latest = command.request_id == cached[0]
+                response = cached[1]
+            else:
+                self._dedup[command.client_id] = (
+                    command.request_id, self._PENDING,
+                )
+                return False
+        if (duplicate_of_latest and response is not self._PENDING
+                and self._on_response is not None):
+            # Retransmission of the latest executed command: re-answer.
+            self._on_response(command, response, self.replica_id)
+        return True
+
+    # -------------------------------------------------------------- workers
+
+    def _worker_loop(self) -> None:
+        cos = self._cos
+        service = self.service
+        while True:
+            handle = cos.get()
+            command = cos.command_of(handle)
+            if command.op == STOP_OP:
+                cos.remove(handle)
+                return
+            response = service.execute(command)
+            with self._state_lock:
+                self._executed += 1
+                if command.client_id is not None:
+                    cached = self._dedup.get(command.client_id)
+                    # Only fill the cache slot this command reserved; a newer
+                    # request from the same client may already own it.
+                    if cached is not None and cached[0] == command.request_id:
+                        self._dedup[command.client_id] = (
+                            command.request_id, response,
+                        )
+            if self._on_response is not None:
+                self._on_response(command, response, self.replica_id)
+            cos.remove(handle)
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def executed(self) -> int:
+        """Commands executed so far."""
+        with self._state_lock:
+            return self._executed
+
+    @property
+    def last_instance(self) -> int:
+        """Highest atomic-broadcast instance delivered so far (-1 if none)."""
+        return self._last_instance
+
+    def take_checkpoint(self, timeout: float = 5.0) -> Checkpoint:
+        """Quiesce and snapshot a consistent cut (see smr/checkpoint.py).
+
+        Delivery is blocked while in-flight commands drain; on success the
+        returned checkpoint reflects every command of every instance up to
+        :attr:`last_instance`.
+        """
+        with self._deliver_lock:
+            deadline = time.time() + timeout
+            while True:
+                with self._state_lock:
+                    drained = self._executed >= self._scheduled
+                if drained:
+                    break
+                if time.time() > deadline:
+                    raise CheckpointError(
+                        f"replica {self.replica_id} did not quiesce within "
+                        f"{timeout}s")
+                time.sleep(0.001)
+            with self._state_lock:
+                dedup = {
+                    client: entry
+                    for client, entry in self._dedup.items()
+                    if entry[1] is not self._PENDING
+                }
+            return Checkpoint(self._last_instance, self.service.snapshot(),
+                              dedup)
+
+    def install_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Adopt a peer's checkpoint.  Only valid before :meth:`start`."""
+        if self._started:
+            raise CheckpointError("cannot install a checkpoint while running")
+        self.service.restore(checkpoint.state)
+        self._dedup = dict(checkpoint.dedup)
+        self._last_instance = checkpoint.instance
+
+    def cached_response(self, client_id: str) -> Optional[Tuple[int, Any]]:
+        """Last (request_id, response) executed for ``client_id``, if any."""
+        cached = self._dedup.get(client_id)
+        if cached is None or cached[1] is self._PENDING:
+            return None
+        return cached
+
+
+class SequentialReplica(ParallelReplica):
+    """Classic SMR: strict delivery-order execution on one worker."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        service: Service,
+        max_queue_size: int = DEFAULT_MAX_SIZE,
+        on_response: Optional[ResponseCallback] = None,
+    ):
+        super().__init__(
+            replica_id,
+            service,
+            cos_algorithm="sequential",
+            workers=1,
+            max_graph_size=max_queue_size,
+            on_response=on_response,
+        )

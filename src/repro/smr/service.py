@@ -1,0 +1,52 @@
+"""Application service interface for state machine replication.
+
+A service is a deterministic state machine (paper §3.1): ``execute`` must
+be a pure function of the current state and the command.  The service also
+owns the application's conflict knowledge: the scheduler asks it which
+commands conflict, and the COS serializes exactly those.
+
+Thread-safety contract: the replica guarantees that two commands execute
+concurrently only if the service declared them non-conflicting, so
+``execute`` needs no internal locking as long as the conflict relation is
+sound (e.g. read-only commands may overlap).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.core.command import Command, ConflictRelation
+
+__all__ = ["Service"]
+
+
+class Service(ABC):
+    """Deterministic, conflict-aware application state machine."""
+
+    @abstractmethod
+    def execute(self, command: Command) -> Any:
+        """Apply ``command`` and return its response.  Must be deterministic."""
+
+    @property
+    @abstractmethod
+    def conflicts(self) -> ConflictRelation:
+        """The service's conflict relation, used by the scheduler."""
+
+    @property
+    def execution_cost(self) -> float:
+        """Mean virtual-seconds per command for simulation runs.
+
+        Threaded replicas ignore this (real execution takes real time);
+        the simulated cluster charges it per command.
+        """
+        return 0.0
+
+    def snapshot(self) -> Any:
+        """Serializable copy of the full service state (checkpointing,
+        replica consistency checks).  Override for efficiency."""
+        raise NotImplementedError(f"{type(self).__name__} does not snapshot")
+
+    def restore(self, snapshot: Any) -> None:
+        """Replace the service state with a snapshot from a peer."""
+        raise NotImplementedError(f"{type(self).__name__} does not restore")

@@ -1,0 +1,326 @@
+"""Simulated SMR cluster (paper §7.4 environment).
+
+Runs the *real* Multi-Paxos state machines of :mod:`repro.broadcast.paxos`
+over the discrete-event simulator, with simulated replicas (COS + scheduler
++ workers on :class:`~repro.sim.runtime.SimRuntime`) and closed-loop
+clients.  This is the environment that regenerates Figs. 4-6: the ordering
+protocol adds both latency (consensus round trips on a simulated LAN) and
+CPU overhead (per-command ordering work on the scheduler path), which is
+exactly why the SMR numbers sit below the standalone numbers in the paper.
+
+Clients stamp requests, submit batches to the leader replica, and block on
+a semaphore until the first replica response arrives; latency is measured
+at the client (paper §7.2), throughput at replica 0.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.broadcast.messages import Deliver, Send, SetTimer
+from repro.broadcast.paxos import MultiPaxos
+from repro.core import make_cos
+from repro.core.command import Command
+from repro.core.cos import DEFAULT_MAX_SIZE
+from repro.core.effects import Down, Up, Work
+from repro.core.runtime import EffectGen
+from repro.errors import ConfigurationError
+from repro.sim import (
+    ExecutionProfile,
+    Metrics,
+    SimRuntime,
+    Simulator,
+    SyncCosts,
+    structure_costs,
+)
+from repro.workload import WorkloadGenerator
+
+__all__ = ["SimClusterConfig", "SimClusterResult", "run_sim_cluster"]
+
+_US = 1e-6
+
+
+@dataclass(frozen=True)
+class SimClusterConfig:
+    """Parameters of one simulated SMR run (one point of Figs. 4-6)."""
+
+    algorithm: str                      # COS algorithm or "sequential"
+    workers: int
+    profile: ExecutionProfile
+    write_pct: float = 0.0
+    n_replicas: int = 3
+    n_clients: int = 200
+    client_batch: int = 20              # commands per client request (§7.1)
+    max_graph_size: int = DEFAULT_MAX_SIZE
+    batch_size: int = 16                # consensus batch (client payloads)
+    ordering_cpu: float = 1.3 * _US     # per-command protocol CPU at replicas
+    net_min: float = 40 * _US           # one-way LAN latency range
+    net_max: float = 120 * _US
+    execute_replicas: int = 1           # how many replicas run execution
+    class_shards: int = 1               # shards for the class-based scheduler
+    seed: int = 1
+    warm_ops: int = 800
+    measure_ops: int = 6_000
+    max_virtual_time: float = 60.0
+    sync_costs: SyncCosts = field(default_factory=SyncCosts.default)
+
+
+@dataclass(frozen=True)
+class SimClusterResult:
+    """Outcome of one simulated SMR run."""
+
+    config: SimClusterConfig
+    throughput: float       # commands per virtual second at replica 0
+    latency_mean: float     # client-side seconds per request batch
+    latency_median: float
+    latency_p99: float
+    executed: int
+    virtual_time: float
+    events: int
+
+    @property
+    def kops(self) -> float:
+        return self.throughput / 1e3
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_mean * 1e3
+
+
+class _SimProtocolNode:
+    """Drives one protocol state machine on the virtual clock."""
+
+    def __init__(
+        self,
+        node_id: int,
+        protocol: MultiPaxos,
+        sim: Simulator,
+        rng: random.Random,
+        net_min: float,
+        net_max: float,
+        on_deliver: Callable[[Any], None],
+    ):
+        self.node_id = node_id
+        self.protocol = protocol
+        self._sim = sim
+        self._rng = rng
+        self._net_min = net_min
+        self._net_max = net_max
+        self._on_deliver = on_deliver
+        self.peers: List["_SimProtocolNode"] = []
+
+    def start(self) -> None:
+        self._perform(self.protocol.start())
+
+    def submit(self, payload: Any) -> None:
+        self._perform(self.protocol.submit(payload))
+
+    def on_message(self, src: int, msg: Any) -> None:
+        self._perform(self.protocol.on_message(src, msg))
+
+    def _perform(self, actions: List[Any]) -> None:
+        for action in actions:
+            kind = type(action)
+            if kind is Send:
+                delay = self._rng.uniform(self._net_min, self._net_max)
+                peer = self.peers[action.dst]
+                self._sim.schedule(
+                    delay, lambda p=peer, m=action.msg: p.on_message(self.node_id, m)
+                )
+            elif kind is Deliver:
+                self._on_deliver(action.payload)
+            elif kind is SetTimer:
+                self._sim.schedule(
+                    action.delay,
+                    lambda n=action.name: self._perform(self.protocol.on_timer(n)),
+                )
+            else:  # pragma: no cover - defensive
+                raise ConfigurationError(f"unknown action {action!r}")
+
+
+def run_sim_cluster(config: SimClusterConfig) -> SimClusterResult:
+    """Simulate one SMR configuration and return throughput and latency."""
+    if config.workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {config.workers}")
+    if not 1 <= config.execute_replicas <= config.n_replicas:
+        raise ConfigurationError("execute_replicas out of range")
+    sim = Simulator()
+    runtime = SimRuntime(sim, costs=config.sync_costs)
+    metrics = Metrics(sim)
+    rng = random.Random(config.seed * 6151 + 7)
+    profile = config.profile
+    total_target = config.warm_ops + config.measure_ops
+
+    from repro.core.command import ReadWriteConflicts
+
+    conflicts = ReadWriteConflicts()
+
+    # ------------------------------------------------- response bookkeeping
+    # Per client: a semaphore the client blocks on and the request id it is
+    # waiting for; the first executing replica to answer releases it.
+    client_sems = [runtime.semaphore(0) for _ in range(config.n_clients)]
+    waiting_for: List[Optional[int]] = [None] * config.n_clients
+    outstanding: List[int] = [0] * config.n_clients
+
+    def respond(command: Command) -> None:
+        index = int(command.client_id)
+        if waiting_for[index] != command.request_id:
+            return  # duplicate response from another replica
+        outstanding[index] -= 1
+        if outstanding[index] == 0:
+            waiting_for[index] = None
+            client_sems[index].up()
+
+    # ------------------------------------------------------------- replicas
+    nodes: List[_SimProtocolNode] = []
+    for replica_id in range(config.n_replicas):
+        executes = replica_id < config.execute_replicas
+        if executes:
+            on_deliver = _build_executor(
+                replica_id, config, runtime, conflicts, metrics,
+                rng, respond, measure=replica_id == 0,
+            )
+        else:
+            on_deliver = lambda payload: None
+        protocol = MultiPaxos(
+            replica_id,
+            config.n_replicas,
+            batch_size=config.batch_size,
+            heartbeat_interval=0.05,
+            leader_timeout=0.2 * (1 + 0.35 * replica_id),
+        )
+        nodes.append(
+            _SimProtocolNode(
+                replica_id, protocol, sim, rng,
+                config.net_min, config.net_max, on_deliver,
+            )
+        )
+    for node in nodes:
+        node.peers = nodes
+        node.start()
+
+    # -------------------------------------------------------------- clients
+    leader = nodes[0]
+
+    def client_proc(index: int) -> EffectGen:
+        workload = WorkloadGenerator(
+            config.write_pct,
+            seed=config.seed * 100_003 + index,
+            client_id=str(index),
+        )
+        request_id = 0
+        sem = client_sems[index]
+        # Stagger arrivals so 200 clients do not fire at the same instant.
+        yield Work(rng.uniform(0.0, 500e-6))
+        while True:
+            request_id += 1
+            batch = []
+            for _ in range(config.client_batch):
+                cmd = workload.next_command()
+                batch.append(
+                    Command(cmd.op, cmd.args, str(index), request_id,
+                            writes=cmd.writes)
+                )
+            waiting_for[index] = request_id
+            outstanding[index] = len(batch)
+            sent_at = sim.now
+            delay = rng.uniform(config.net_min, config.net_max)
+            sim.schedule(delay, lambda b=tuple(batch): leader.submit(b))
+            yield Down(sem)
+            metrics.record_latency(sim.now - sent_at)
+
+    for index in range(config.n_clients):
+        runtime.spawn(client_proc(index), f"client-{index}")
+
+    sim.run(
+        until=config.max_virtual_time,
+        stop_when=lambda: metrics.count("executed") >= total_target,
+    )
+    mean, median, p99 = metrics.latency_stats()
+    return SimClusterResult(
+        config=config,
+        throughput=metrics.throughput("executed"),
+        latency_mean=mean,
+        latency_median=median,
+        latency_p99=p99,
+        executed=metrics.warm_count("executed"),
+        virtual_time=sim.now,
+        events=sim.events_processed,
+    )
+
+
+def _build_executor(
+    replica_id: int,
+    config: SimClusterConfig,
+    runtime: SimRuntime,
+    conflicts: Any,
+    metrics: Metrics,
+    rng: random.Random,
+    respond: Callable[[Command], None],
+    measure: bool,
+) -> Callable[[Any], None]:
+    """Create one replica's execution engine; returns its deliver callback."""
+    sim = runtime.simulator
+    profile = config.profile
+    classes_of = None
+    if config.algorithm == "class-based":
+        from repro.core import read_write_classes
+
+        classes_of = read_write_classes(config.class_shards)
+    cos = make_cos(
+        config.algorithm,
+        runtime,
+        conflicts,
+        max_size=config.max_graph_size,
+        costs=structure_costs(),
+        classes_of=classes_of,
+    )
+    in_queue: Deque[Command] = deque()
+    queued = runtime.semaphore(0)
+
+    def on_deliver(payload: Any) -> None:
+        commands = list(_flatten(payload))
+        in_queue.extend(commands)
+        queued.up(len(commands))
+
+    def scheduler() -> EffectGen:
+        while True:
+            yield Down(queued)
+            command = in_queue.popleft()
+            # Per-command protocol CPU (decode, MAC-equivalent, bookkeeping)
+            # plus the scheduler-side insert cost.
+            cost = (config.ordering_cpu + profile.insert_base)
+            yield Work(cost * (0.8 + 0.4 * rng.random()))
+            yield from cos.insert(command)
+
+    def worker(index: int) -> EffectGen:
+        while True:
+            yield Work(profile.get_base)
+            handle = yield from cos.get()
+            command = cos.command_of(handle)
+            yield Work(profile.execute_cost * (0.5 + rng.random()))
+            yield from cos.remove(handle)
+            yield Work(profile.remove_base)
+            if measure:
+                metrics.incr("executed")
+                if (not metrics.warm_started
+                        and metrics.count("executed") >= config.warm_ops):
+                    metrics.mark_warm()
+            delay = rng.uniform(config.net_min, config.net_max)
+            sim.schedule(delay, lambda c=command: respond(c))
+
+    runtime.spawn(scheduler(), f"replica-{replica_id}-scheduler")
+    for index in range(config.workers):
+        runtime.spawn(worker(index), f"replica-{replica_id}-worker-{index}")
+    return on_deliver
+
+
+def _flatten(payload: Any):
+    if isinstance(payload, Command):
+        yield payload
+        return
+    for item in payload:
+        yield from _flatten(item)

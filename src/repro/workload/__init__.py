@@ -1,0 +1,5 @@
+"""Workload generation for experiments and examples."""
+
+from repro.workload.generator import READ_OP, WRITE_OP, WorkloadGenerator
+
+__all__ = ["WorkloadGenerator", "READ_OP", "WRITE_OP"]

@@ -1,0 +1,68 @@
+"""Deterministic workload generation (paper §7.2).
+
+The paper's application is a linked list of integers offering ``contains``
+(read) and ``add`` (write).  A workload is characterized by its write
+percentage — "15% of writes represents a workload with 15% of writes and 85%
+of reads" — with uniformly random keys.  Generation is seeded so every run
+of an experiment sees the identical command stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.core.command import Command
+
+__all__ = ["WorkloadGenerator", "READ_OP", "WRITE_OP"]
+
+READ_OP = "contains"
+WRITE_OP = "add"
+
+
+class WorkloadGenerator:
+    """Seeded stream of read/write commands with a fixed write percentage."""
+
+    def __init__(
+        self,
+        write_pct: float,
+        key_space: int = 10_000,
+        seed: int = 1,
+        client_id: Optional[str] = None,
+    ):
+        if not 0.0 <= write_pct <= 100.0:
+            raise ValueError(f"write_pct must be in [0, 100], got {write_pct}")
+        if key_space < 1:
+            raise ValueError(f"key_space must be >= 1, got {key_space}")
+        self._write_fraction = write_pct / 100.0
+        self._key_space = key_space
+        self._rng = random.Random(seed)
+        self._client_id = client_id
+        self._issued = 0
+
+    def next_command(self) -> Command:
+        """Produce the next command of the stream."""
+        rng = self._rng
+        is_write = rng.random() < self._write_fraction
+        key = rng.randrange(self._key_space)
+        self._issued += 1
+        return Command(
+            op=WRITE_OP if is_write else READ_OP,
+            args=(key,),
+            client_id=self._client_id,
+            request_id=self._issued,
+            writes=is_write,
+        )
+
+    def commands(self, count: int) -> List[Command]:
+        """Produce ``count`` commands eagerly (pre-created, paper §7.3)."""
+        return [self.next_command() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[Command]:
+        while True:
+            yield self.next_command()
+
+    @property
+    def issued(self) -> int:
+        """How many commands have been generated so far."""
+        return self._issued

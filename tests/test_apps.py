@@ -1,0 +1,169 @@
+"""Tests for the application services (linked list, KV store, bank)."""
+
+import pytest
+
+from repro.apps import BankService, KVStoreService, LinkedListService
+from repro.core.command import Command
+
+
+def read(key):
+    return Command("contains", (key,), writes=False)
+
+
+def write(key):
+    return Command("add", (key,), writes=True)
+
+
+class TestLinkedList:
+    def test_initial_population(self):
+        service = LinkedListService(initial_size=100)
+        assert len(service) == 100
+        assert 0 in service
+        assert 99 in service
+        assert 100 not in service
+
+    def test_contains(self):
+        service = LinkedListService(initial_size=10)
+        assert service.execute(read(5)) is True
+        assert service.execute(read(50)) is False
+
+    def test_add_new(self):
+        service = LinkedListService(initial_size=3)
+        assert service.execute(write(7)) is True
+        assert service.execute(read(7)) is True
+        assert len(service) == 4
+
+    def test_add_duplicate(self):
+        service = LinkedListService(initial_size=3)
+        assert service.execute(write(1)) is False
+        assert len(service) == 3
+
+    def test_add_to_empty(self):
+        service = LinkedListService()
+        assert service.execute(write(5)) is True
+        assert len(service) == 1
+
+    def test_snapshot_restore_round_trip(self):
+        service = LinkedListService(initial_size=5)
+        service.execute(write(42))
+        snapshot = service.snapshot()
+        other = LinkedListService()
+        other.restore(snapshot)
+        assert other.snapshot() == snapshot
+        assert 42 in other
+
+    def test_snapshot_preserves_order(self):
+        service = LinkedListService(initial_size=3)
+        assert service.snapshot() == [0, 1, 2]
+        service.execute(write(9))
+        assert service.snapshot() == [0, 1, 2, 9]  # appended at the tail
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            LinkedListService().execute(Command("bogus", (1,)))
+
+    def test_conflict_relation_is_read_write(self):
+        service = LinkedListService()
+        assert service.conflicts.conflicts(write(1), read(2))
+        assert not service.conflicts.conflicts(read(1), read(1))
+
+    def test_execution_cost_passthrough(self):
+        assert LinkedListService(execution_cost=1e-6).execution_cost == 1e-6
+        assert LinkedListService().execution_cost == 0.0
+
+
+class TestKVStore:
+    def test_put_get(self):
+        service = KVStoreService()
+        assert service.execute(KVStoreService.put("k", 1)) is None
+        assert service.execute(KVStoreService.get("k")) == 1
+
+    def test_put_returns_previous(self):
+        service = KVStoreService()
+        service.execute(KVStoreService.put("k", 1))
+        assert service.execute(KVStoreService.put("k", 2)) == 1
+
+    def test_delete(self):
+        service = KVStoreService()
+        service.execute(KVStoreService.put("k", 1))
+        assert service.execute(KVStoreService.delete("k")) == 1
+        assert service.execute(KVStoreService.get("k")) is None
+        assert service.execute(KVStoreService.delete("k")) is None
+
+    def test_cas(self):
+        service = KVStoreService()
+        service.execute(KVStoreService.put("k", 1))
+        assert service.execute(KVStoreService.cas("k", 1, 2)) is True
+        assert service.execute(KVStoreService.cas("k", 1, 3)) is False
+        assert service.execute(KVStoreService.get("k")) == 2
+
+    def test_keyed_conflicts(self):
+        service = KVStoreService()
+        put_a = KVStoreService.put("a", 1)
+        put_b = KVStoreService.put("b", 1)
+        get_a = KVStoreService.get("a")
+        assert service.conflicts.conflicts(put_a, get_a)
+        assert not service.conflicts.conflicts(put_a, put_b)
+
+    def test_snapshot_restore(self):
+        service = KVStoreService()
+        service.execute(KVStoreService.put("k", 1))
+        other = KVStoreService()
+        other.restore(service.snapshot())
+        assert other.execute(KVStoreService.get("k")) == 1
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            KVStoreService().execute(Command("incr", ("k",)))
+
+
+class TestBank:
+    def test_deposit_withdraw(self):
+        service = BankService()
+        assert service.execute(BankService.deposit("a", 100)) == 100
+        assert service.execute(BankService.withdraw("a", 30)) == 70
+        assert service.execute(BankService.balance("a")) == 70
+
+    def test_overdraft_refused(self):
+        service = BankService()
+        service.execute(BankService.deposit("a", 10))
+        assert service.execute(BankService.withdraw("a", 50)) is None
+        assert service.execute(BankService.balance("a")) == 10
+
+    def test_transfer(self):
+        service = BankService()
+        service.execute(BankService.deposit("a", 100))
+        assert service.execute(BankService.transfer("a", "b", 40)) is True
+        assert service.execute(BankService.balance("a")) == 60
+        assert service.execute(BankService.balance("b")) == 40
+
+    def test_transfer_insufficient(self):
+        service = BankService()
+        assert service.execute(BankService.transfer("a", "b", 1)) is False
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            BankService().execute(BankService.deposit("a", -5))
+
+    def test_money_conservation(self):
+        service = BankService()
+        service.execute(BankService.deposit("a", 500))
+        service.execute(BankService.deposit("b", 500))
+        service.execute(BankService.transfer("a", "b", 123))
+        service.execute(BankService.transfer("b", "a", 77))
+        assert service.total_money() == 1000
+
+    def test_conflict_scoping(self):
+        relation = BankService().conflicts
+        transfer_ab = BankService.transfer("a", "b", 1)
+        transfer_cd = BankService.transfer("c", "d", 1)
+        balance_a = BankService.balance("a")
+        balance_c = BankService.balance("c")
+        assert relation.conflicts(transfer_ab, balance_a)
+        assert not relation.conflicts(transfer_ab, transfer_cd)
+        assert not relation.conflicts(transfer_ab, balance_c)
+        assert not relation.conflicts(balance_a, balance_a)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            BankService().execute(Command("audit", ("a",)))

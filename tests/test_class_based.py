@@ -1,0 +1,165 @@
+"""Tests for the class-based (early) scheduler."""
+
+import threading
+
+import pytest
+
+from conftest import run_threaded_workload
+from repro.core import ThreadedCOS, ThreadedRuntime
+from repro.core.class_based import (
+    ClassBasedCOS,
+    ClassConflicts,
+    read_write_classes,
+)
+from repro.core.command import Command
+from repro.core.history import RecordingCOS, check_history
+
+
+def keyed(command_key, writes=False):
+    return Command("op", (command_key,), writes=writes)
+
+
+def keyed_classes(command):
+    return (command.args[0],)
+
+
+def make(classes_of=keyed_classes, max_size=64):
+    runtime = ThreadedRuntime()
+    return ThreadedCOS(
+        ClassBasedCOS(runtime, classes_of, max_size=max_size), runtime)
+
+
+class TestSemantics:
+    def test_same_class_serializes(self):
+        cos = make()
+        a, b = keyed("k"), keyed("k")
+        cos.insert(a)
+        cos.insert(b)
+        handle = cos.get()
+        assert cos.command_of(handle) is a
+        got = []
+
+        def getter():
+            got.append(cos.command_of(cos.get()))
+
+        thread = threading.Thread(target=getter, daemon=True)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive()  # b blocked behind a
+        cos.remove(handle)
+        thread.join(timeout=5)
+        assert got == [b]
+
+    def test_different_classes_parallel(self):
+        cos = make()
+        a, b = keyed("x"), keyed("y")
+        cos.insert(a)
+        cos.insert(b)
+        handles = [cos.get(), cos.get()]
+        assert {cos.command_of(h).uid for h in handles} == {a.uid, b.uid}
+
+    def test_multi_class_command_waits_for_all(self):
+        cos = make(classes_of=lambda c: tuple(c.args))
+        first = Command("op", ("x",))
+        second = Command("op", ("y",))
+        barrier = Command("op", ("x", "y"))
+        cos.insert(first)
+        cos.insert(second)
+        cos.insert(barrier)
+        h1, h2 = cos.get(), cos.get()
+        cos.remove(h1)
+        got = []
+
+        def getter():
+            got.append(cos.command_of(cos.get()))
+
+        thread = threading.Thread(target=getter, daemon=True)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive()  # barrier still waits for "y"
+        cos.remove(h2)
+        thread.join(timeout=5)
+        assert got == [barrier]
+
+    def test_command_with_no_classes_rejected(self):
+        cos = make(classes_of=lambda c: ())
+        with pytest.raises(ValueError):
+            cos.insert(keyed("k"))
+
+    def test_remove_wrong_node_rejected(self):
+        cos = make()
+        cos.insert(keyed("k"))
+        cos.insert(keyed("k"))
+        handle = cos.get()
+        cos.remove(handle)
+        with pytest.raises(LookupError):
+            cos.remove(handle)  # already removed
+
+
+class TestReadWriteClasses:
+    def test_single_shard_model(self):
+        classes_of = read_write_classes(shards=1)
+        read = Command("contains", (5,), writes=False)
+        write = Command("add", (5,), writes=True)
+        assert classes_of(read) == (0,)
+        assert classes_of(write) == (0,)
+
+    def test_sharded_writes_touch_all(self):
+        classes_of = read_write_classes(shards=4)
+        write = Command("add", (5,), writes=True)
+        assert classes_of(write) == (0, 1, 2, 3)
+        read = Command("contains", (5,), writes=False)
+        assert len(classes_of(read)) == 1
+
+    def test_class_conflicts_relation(self):
+        relation = ClassConflicts(read_write_classes(shards=4))
+        write = Command("add", (1,), writes=True)
+        read_a = Command("contains", (1,), writes=False)
+        assert relation.conflicts(write, read_a)
+        # Two reads conflict only if they land in the same shard.
+        same = [Command("contains", (k,), writes=False) for k in range(16)]
+        hits = sum(relation.conflicts(same[0], other) for other in same[1:])
+        assert hits < 15  # sharding separates at least some reads
+
+
+class TestStress:
+    def test_invariants_under_threads(self):
+        classes_of = lambda c: (c.args[0] % 7,)
+        runtime = ThreadedRuntime()
+        cos = RecordingCOS(ThreadedCOS(
+            ClassBasedCOS(runtime, classes_of, max_size=32), runtime))
+        commands = [Command("op", (i,)) for i in range(400)]
+
+        def worker():
+            while True:
+                handle = cos.get()
+                if cos.command_of(handle).op == "__stop__":
+                    cos.remove(handle)
+                    return
+                cos.remove(handle)
+
+        threads = [threading.Thread(target=worker, daemon=True)
+                   for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for command in commands:
+            cos.insert(command)
+        stops = [Command("__stop__", (i,)) for i in range(6)]
+        for stop in stops:
+            cos.insert(stop)
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        check_history(cos.recorder.events, commands + stops,
+                      ClassConflicts(classes_of))
+
+    def test_full_workload_with_rw_classes(self):
+        from repro.core import ThreadedCOS as TC
+        runtime = ThreadedRuntime()
+        classes_of = read_write_classes(shards=8)
+        cos = TC(ClassBasedCOS(runtime, classes_of, max_size=64), runtime)
+        from conftest import make_mixed_commands
+        commands = make_mixed_commands(600, write_every=10)
+        log = run_threaded_workload(cos, commands, n_workers=8)
+        assert len(log.finish) == len(commands)
+        log.assert_conflicts_ordered(commands, ClassConflicts(classes_of))

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStandalone:
+    def test_runs_and_prints_throughput(self, capsys):
+        code = main(["standalone", "--algorithm", "lock-free",
+                     "--workers", "4", "--measure-ops", "800"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out
+        assert "kops/s" in out
+
+    @pytest.mark.parametrize("algorithm", ("coarse-grained", "sequential",
+                                           "class-based"))
+    def test_all_algorithms_accepted(self, capsys, algorithm):
+        assert main(["standalone", "--algorithm", algorithm,
+                     "--workers", "2", "--measure-ops", "400"]) == 0
+
+    def test_write_pct_flag(self, capsys):
+        assert main(["standalone", "--write-pct", "50",
+                     "--measure-ops", "400"]) == 0
+        assert "writes=50.0%" in capsys.readouterr().out
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["standalone", "--algorithm", "bogus"])
+
+
+class TestSmr:
+    def test_prints_latency(self, capsys):
+        code = main(["smr", "--workers", "2", "--clients", "20",
+                     "--measure-ops", "600"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency:" in out
+
+
+class TestFigures:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_single_figure(self, capsys, monkeypatch):
+        # Patch figure2 to avoid a multi-second sweep in unit tests.
+        import repro.cli as cli
+        from repro.bench import FigureData
+
+        def fake_figure2(quick=None):
+            figure = FigureData(name="fig2", title="t", x_label="w",
+                                y_label="kops")
+            figure.add_point("light", "lock-free", 1, 100.0)
+            return figure
+
+        monkeypatch.setattr(cli, "figure2", fake_figure2)
+        assert cli.main(["figures", "fig2"]) == 0
+        assert "fig2" in capsys.readouterr().out

@@ -1,0 +1,121 @@
+"""Unit tests for the SMR client (retry, batching, response matching)."""
+
+import threading
+
+import pytest
+
+from repro.core.command import Command
+from repro.errors import ShutdownError
+from repro.smr.client import Client, ClientTimeout
+
+
+def read(key):
+    return Command("contains", (key,), writes=False)
+
+
+class FakeServer:
+    """Captures submissions and optionally answers like a replica."""
+
+    def __init__(self, respond=True, fail_contacts=()):
+        self.submissions = []
+        self.respond = respond
+        self.fail_contacts = set(fail_contacts)
+        self.client = None
+
+    def submit(self, payload, contact):
+        if contact in self.fail_contacts:
+            raise ShutdownError("replica down")
+        self.submissions.append((payload, contact))
+        if self.respond:
+            for command in payload:
+                self.client.deliver_response(command, f"resp-{command.args[0]}")
+
+
+def make_client(server, **kwargs):
+    client = Client("c1", server.submit, n_replicas=3,
+                    timeout=kwargs.pop("timeout", 0.05), **kwargs)
+    server.client = client
+    return client
+
+
+class TestClient:
+    def test_execute_returns_response(self):
+        server = FakeServer()
+        client = make_client(server)
+        assert client.execute(read(7)) == "resp-7"
+
+    def test_commands_stamped_with_identity(self):
+        server = FakeServer()
+        client = make_client(server)
+        client.execute(read(1))
+        client.execute(read(2))
+        (first, _), (second, _) = server.submissions
+        assert first[0].client_id == "c1"
+        assert first[0].request_id == 1
+        assert second[0].request_id == 2
+        assert client.requests_issued == 2
+
+    def test_batch_preserves_order(self):
+        server = FakeServer()
+        client = make_client(server)
+        responses = client.execute_batch([read(5), read(6), read(7)])
+        assert responses == ["resp-5", "resp-6", "resp-7"]
+
+    def test_empty_batch(self):
+        server = FakeServer()
+        client = make_client(server)
+        assert client.execute_batch([]) == []
+
+    def test_duplicate_responses_ignored(self):
+        server = FakeServer(respond=False)
+        client = make_client(server)
+
+        def answer():
+            while not server.submissions:
+                pass
+            (payload, _), = server.submissions
+            for _ in range(3):  # three replicas answer
+                client.deliver_response(payload[0], "same")
+
+        thread = threading.Thread(target=answer, daemon=True)
+        thread.start()
+        assert client.execute(read(1)) == "same"
+        thread.join()
+
+    def test_timeout_then_retry_other_contact(self):
+        server = FakeServer(respond=False)
+        client = make_client(server, timeout=0.02)
+        with pytest.raises(ClientTimeout):
+            client.execute(read(1))
+        contacts = [contact for _, contact in server.submissions]
+        assert len(set(contacts)) > 1  # rotated through replicas
+
+    def test_dead_contact_skipped(self):
+        server = FakeServer(fail_contacts={0})
+        client = make_client(server, contact=0)
+        assert client.execute(read(3)) == "resp-3"
+        assert server.submissions[0][1] == 1  # fell over to replica 1
+
+    def test_all_dead_times_out(self):
+        server = FakeServer(fail_contacts={0, 1, 2})
+        client = make_client(server)
+        with pytest.raises(ClientTimeout):
+            client.execute(read(1))
+
+    def test_stale_response_for_old_request_ignored(self):
+        server = FakeServer(respond=False)
+        client = make_client(server, timeout=0.2)
+
+        def answer():
+            while not server.submissions:
+                pass
+            (payload, _), = server.submissions
+            stale = Command("contains", (9,), client_id="c1", request_id=999,
+                            writes=False)
+            client.deliver_response(stale, "stale")
+            client.deliver_response(payload[0], "fresh")
+
+        thread = threading.Thread(target=answer, daemon=True)
+        thread.start()
+        assert client.execute(read(1)) == "fresh"
+        thread.join()

@@ -1,0 +1,141 @@
+"""White-box tests for the coarse-grained monitor and fine-grained list."""
+
+import pytest
+
+from repro.core import ReadWriteConflicts, ThreadedRuntime
+from repro.core.coarse_grained import CoarseGrainedCOS
+from repro.core.command import Command
+from repro.core.fine_grained import FineGrainedCOS
+from repro.core.node import EXECUTING, WAITING
+
+
+def read(key=0):
+    return Command("contains", (key,), writes=False)
+
+
+def write(key=0):
+    return Command("add", (key,), writes=True)
+
+
+@pytest.fixture
+def runtime():
+    return ThreadedRuntime()
+
+
+class TestCoarseGrained:
+    def test_size_tracks_population(self, runtime):
+        cos = CoarseGrainedCOS(runtime, ReadWriteConflicts())
+        assert cos.size_unsafe() == 0
+        runtime.run(cos.insert(read(1)))
+        runtime.run(cos.insert(read(2)))
+        assert cos.size_unsafe() == 2
+        handle = runtime.run(cos.get())
+        assert cos.size_unsafe() == 2  # executing nodes stay resident
+        runtime.run(cos.remove(handle))
+        assert cos.size_unsafe() == 1
+
+    def test_edges_recorded_both_ways(self, runtime):
+        cos = CoarseGrainedCOS(runtime, ReadWriteConflicts())
+        runtime.run(cos.insert(write(1)))
+        runtime.run(cos.insert(read(1)))
+        nodes = list(cos._nodes.values())
+        writer, reader = nodes
+        assert reader in writer.deps_out
+        assert writer in reader.deps_in
+
+    def test_get_picks_oldest_ready(self, runtime):
+        cos = CoarseGrainedCOS(runtime, ReadWriteConflicts())
+        commands = [read(i) for i in range(4)]
+        for command in commands:
+            runtime.run(cos.insert(command))
+        for expected in commands:
+            handle = runtime.run(cos.get())
+            assert handle.cmd is expected
+            runtime.run(cos.remove(handle))
+
+    def test_status_transitions(self, runtime):
+        cos = CoarseGrainedCOS(runtime, ReadWriteConflicts())
+        runtime.run(cos.insert(read(1)))
+        (node,) = cos._nodes.values()
+        assert node.status == WAITING
+        handle = runtime.run(cos.get())
+        assert handle.status == EXECUTING
+
+    def test_remove_clears_edges(self, runtime):
+        cos = CoarseGrainedCOS(runtime, ReadWriteConflicts())
+        runtime.run(cos.insert(write(1)))
+        runtime.run(cos.insert(write(2)))
+        handle = runtime.run(cos.get())
+        dependent = [n for n in cos._nodes.values() if n is not handle][0]
+        runtime.run(cos.remove(handle))
+        assert not dependent.deps_in
+        assert handle.seq not in cos._nodes
+
+
+class TestFineGrained:
+    def _chain(self, cos):
+        nodes = []
+        node = cos._head.nxt
+        while node is not cos._tail:
+            nodes.append(node)
+            node = node.nxt
+        return nodes
+
+    def test_list_order_is_delivery_order(self, runtime):
+        cos = FineGrainedCOS(runtime, ReadWriteConflicts())
+        commands = [read(i) for i in range(4)]
+        for command in commands:
+            runtime.run(cos.insert(command))
+        assert [n.cmd for n in self._chain(cos)] == commands
+
+    def test_sentinels_bracket_list(self, runtime):
+        cos = FineGrainedCOS(runtime, ReadWriteConflicts())
+        assert cos._head.sentinel and cos._tail.sentinel
+        assert cos._head.nxt is cos._tail
+        runtime.run(cos.insert(read(1)))
+        assert cos._head.nxt.nxt is cos._tail
+
+    def test_remove_unlinks_physically(self, runtime):
+        cos = FineGrainedCOS(runtime, ReadWriteConflicts())
+        runtime.run(cos.insert(read(1)))
+        runtime.run(cos.insert(read(2)))
+        handle = runtime.run(cos.get())
+        runtime.run(cos.remove(handle))
+        chain = self._chain(cos)
+        assert handle not in chain
+        assert len(chain) == 1
+
+    def test_dependency_edges(self, runtime):
+        cos = FineGrainedCOS(runtime, ReadWriteConflicts())
+        runtime.run(cos.insert(write(1)))
+        runtime.run(cos.insert(read(1)))
+        writer, reader = self._chain(cos)
+        assert writer in reader.deps_in
+        handle = runtime.run(cos.get())
+        assert handle is writer
+        runtime.run(cos.remove(handle))
+        assert not reader.deps_in
+
+    def test_remove_interior_node(self, runtime):
+        cos = FineGrainedCOS(runtime, ReadWriteConflicts())
+        for key in range(3):
+            runtime.run(cos.insert(read(key)))
+        chain = self._chain(cos)
+        middle = chain[1]
+        taken = []
+        while True:
+            handle = runtime.run(cos.get())
+            if handle is middle:
+                break
+            taken.append(handle)
+        runtime.run(cos.remove(middle))
+        assert middle not in self._chain(cos)
+        assert len(self._chain(cos)) == 2
+
+    def test_remove_missing_node_raises(self, runtime):
+        cos = FineGrainedCOS(runtime, ReadWriteConflicts())
+        runtime.run(cos.insert(read(1)))
+        handle = runtime.run(cos.get())
+        runtime.run(cos.remove(handle))
+        with pytest.raises(LookupError):
+            runtime.run(cos.remove(handle))

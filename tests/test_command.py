@@ -1,0 +1,117 @@
+"""Tests for commands and conflict relations."""
+
+import pytest
+
+from repro.core.command import (
+    AlwaysConflicts,
+    Command,
+    KeyedConflicts,
+    NeverConflicts,
+    PredicateConflicts,
+    ReadWriteConflicts,
+)
+
+
+def read(key=0):
+    return Command("contains", (key,), writes=False)
+
+
+def write(key=0):
+    return Command("add", (key,), writes=True)
+
+
+class TestCommand:
+    def test_uids_are_unique(self):
+        a, b = read(), read()
+        assert a.uid != b.uid
+
+    def test_fields(self):
+        cmd = Command("op", (1, 2), client_id="c1", request_id=7, writes=True)
+        assert cmd.op == "op"
+        assert cmd.args == (1, 2)
+        assert cmd.client_id == "c1"
+        assert cmd.request_id == 7
+        assert cmd.writes
+
+    def test_defaults(self):
+        cmd = Command("noargs")
+        assert cmd.args == ()
+        assert cmd.client_id is None
+        assert cmd.request_id == 0
+        assert cmd.writes is True  # safe default: assume a write
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            read().op = "other"
+
+    def test_repr_is_compact(self):
+        cmd = read(3)
+        assert "contains" in repr(cmd)
+        assert str(cmd.uid) in repr(cmd)
+
+
+class TestReadWriteConflicts:
+    def test_reads_independent(self):
+        assert not ReadWriteConflicts().conflicts(read(1), read(1))
+
+    def test_read_write_conflict(self):
+        relation = ReadWriteConflicts()
+        assert relation.conflicts(read(1), write(2))
+        assert relation.conflicts(write(2), read(1))
+
+    def test_write_write_conflict(self):
+        assert ReadWriteConflicts().conflicts(write(1), write(2))
+
+    def test_callable(self):
+        assert ReadWriteConflicts()(write(1), read(1))
+
+
+class TestKeyedConflicts:
+    def test_same_key_write_conflicts(self):
+        relation = KeyedConflicts()
+        assert relation.conflicts(write(1), write(1))
+        assert relation.conflicts(write(1), read(1))
+
+    def test_different_key_independent(self):
+        relation = KeyedConflicts()
+        assert not relation.conflicts(write(1), write(2))
+        assert not relation.conflicts(write(1), read(2))
+
+    def test_reads_never_conflict(self):
+        assert not KeyedConflicts().conflicts(read(1), read(1))
+
+    def test_custom_key_extractor(self):
+        relation = KeyedConflicts(key_of=lambda cmd: cmd.args[1])
+        a = Command("op", ("x", "k"), writes=True)
+        b = Command("op", ("y", "k"), writes=True)
+        assert relation.conflicts(a, b)
+
+    def test_argless_commands_share_none_key(self):
+        relation = KeyedConflicts()
+        a = Command("op", (), writes=True)
+        b = Command("op", (), writes=True)
+        assert relation.conflicts(a, b)
+
+    def test_symmetry(self):
+        relation = KeyedConflicts()
+        pairs = [(read(1), write(1)), (write(1), write(2)), (read(1), read(2))]
+        for a, b in pairs:
+            assert relation.conflicts(a, b) == relation.conflicts(b, a)
+
+
+class TestOtherRelations:
+    def test_never(self):
+        assert not NeverConflicts().conflicts(write(1), write(1))
+
+    def test_always(self):
+        assert AlwaysConflicts().conflicts(read(1), read(2))
+
+    def test_predicate(self):
+        relation = PredicateConflicts(lambda a, b: a.op == b.op)
+        assert relation.conflicts(read(1), read(2))
+        assert not relation.conflicts(read(1), write(2))
+
+    def test_base_class_is_abstract(self):
+        from repro.core.command import ConflictRelation
+        with pytest.raises(NotImplementedError):
+            ConflictRelation().conflicts(read(), read())

@@ -1,0 +1,100 @@
+"""COS algorithms under the simulator's finest interleaving ('effect' mode).
+
+Every effect is its own event here, so the deterministic scheduler explores
+much finer interleavings than quantum mode — a complementary check to the
+real-thread stress tests, with perfectly reproducible schedules.
+"""
+
+import pytest
+
+from conftest import GRAPH_ALGORITHMS, make_mixed_commands
+from repro.core import ReadWriteConflicts, make_cos
+from repro.core.effects import Work
+from repro.core.runtime import EffectGen
+from repro.sim import SimRuntime, Simulator, structure_costs
+
+
+def run_sim_workload(algorithm, commands, n_workers, preemption="effect",
+                     max_size=16, seed_jitter=False):
+    """Algorithm 1 in the simulator; returns per-command (start, finish)."""
+    sim = Simulator()
+    runtime = SimRuntime(sim, preemption=preemption)
+    conflicts = ReadWriteConflicts()
+    cos = make_cos(algorithm, runtime, conflicts, max_size=max_size,
+                   costs=structure_costs())
+    start = {}
+    finish = {}
+    order = []
+    remaining = {"count": len(commands)}
+
+    def scheduler() -> EffectGen:
+        for command in commands:
+            yield Work(1e-7)
+            yield from cos.insert(command)
+
+    def worker(index: int) -> EffectGen:
+        while remaining["count"] > 0:
+            handle = yield from cos.get()
+            command = cos.command_of(handle)
+            start[command.uid] = sim.now
+            order.append(command.uid)
+            yield Work(1e-6 * (1 + index % 3))
+            finish[command.uid] = sim.now
+            yield from cos.remove(handle)
+            remaining["count"] -= 1
+
+    runtime.spawn(scheduler(), "scheduler")
+    for index in range(n_workers):
+        runtime.spawn(worker(index), f"worker-{index}")
+    sim.run(until=120.0)
+    return start, finish, order
+
+
+@pytest.mark.parametrize("algorithm", GRAPH_ALGORITHMS)
+@pytest.mark.parametrize("n_workers", (1, 3, 8))
+def test_exactly_once_fine_interleaving(algorithm, n_workers):
+    commands = make_mixed_commands(120, write_every=6)
+    start, finish, order = run_sim_workload(algorithm, commands, n_workers)
+    assert len(start) == len(commands)
+    assert len(order) == len(set(order))
+
+
+@pytest.mark.parametrize("algorithm", GRAPH_ALGORITHMS)
+def test_conflict_order_fine_interleaving(algorithm):
+    commands = make_mixed_commands(100, write_every=4)
+    start, finish, _ = run_sim_workload(algorithm, commands, 4)
+    conflicts = ReadWriteConflicts()
+    for i, first in enumerate(commands):
+        for second in commands[i + 1:]:
+            if conflicts.conflicts(first, second):
+                assert finish[first.uid] <= start[second.uid], (
+                    f"{first} overlapped {second}")
+
+
+@pytest.mark.parametrize("algorithm", GRAPH_ALGORITHMS)
+def test_write_only_is_sequential(algorithm):
+    commands = make_mixed_commands(60, write_every=1)
+    _, _, order = run_sim_workload(algorithm, commands, 6)
+    assert order == [command.uid for command in commands]
+
+
+@pytest.mark.parametrize("algorithm", GRAPH_ALGORITHMS)
+def test_deterministic_replay(algorithm):
+    """Two identical sim runs produce identical execution orders."""
+    commands = make_mixed_commands(80, write_every=5)
+    first = run_sim_workload(algorithm, commands, 4)
+    second = run_sim_workload(algorithm, commands, 4)
+    assert first == second
+
+
+@pytest.mark.parametrize("algorithm", GRAPH_ALGORITHMS)
+def test_quantum_mode_same_invariants(algorithm):
+    commands = make_mixed_commands(100, write_every=3)
+    start, finish, order = run_sim_workload(
+        algorithm, commands, 4, preemption="quantum")
+    assert len(order) == len(commands)
+    conflicts = ReadWriteConflicts()
+    for i, first in enumerate(commands):
+        for second in commands[i + 1:]:
+            if conflicts.conflicts(first, second):
+                assert finish[first.uid] <= start[second.uid]

@@ -1,0 +1,132 @@
+"""Property-based tests of COS semantics (hypothesis).
+
+Strategy: generate a random command stream (ops, keys, read/write mix) and
+a worker count, run it through each scheduler on real threads, and check
+the machine-checkable consequences of the COS specification:
+
+- exactly-once execution;
+- conflicting pairs execute in delivery order, without overlap;
+- replaying the stream against the linked-list service in parallel yields
+  the same final state as strict sequential execution (independent
+  commands commute).
+"""
+
+import threading
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import GRAPH_ALGORITHMS, make_threaded_cos
+from repro.apps import LinkedListService
+from repro.core import KeyedConflicts, ReadWriteConflicts
+from repro.core.command import Command
+
+_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def command_streams(draw):
+    length = draw(st.integers(min_value=1, max_value=60))
+    commands = []
+    for _ in range(length):
+        key = draw(st.integers(min_value=0, max_value=9))
+        is_write = draw(st.booleans())
+        commands.append(Command(
+            op="add" if is_write else "contains",
+            args=(key,),
+            writes=is_write,
+        ))
+    return commands
+
+
+def _execute_parallel(algorithm, commands, conflicts, service, n_workers):
+    """Algorithm-1 loop applying commands to a service; thread-safe by COS."""
+    cos = make_threaded_cos(algorithm, conflicts, max_size=16)
+    responses = {}
+    response_lock = threading.Lock()
+
+    def worker():
+        while True:
+            handle = cos.get()
+            command = cos.command_of(handle)
+            if command.op == "__stop__":
+                cos.remove(handle)
+                return
+            result = service.execute(command)
+            with response_lock:
+                responses[command.uid] = result
+            cos.remove(handle)
+
+    threads = [threading.Thread(target=worker, daemon=True)
+               for _ in range(n_workers)]
+    for thread in threads:
+        thread.start()
+    for command in commands:
+        cos.insert(command)
+    for _ in range(n_workers):
+        cos.insert(Command(op="__stop__", writes=True))
+    for thread in threads:
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+    return responses
+
+
+class TestParallelEqualsSequential:
+    @given(commands=command_streams(),
+           n_workers=st.integers(min_value=1, max_value=6),
+           algorithm=st.sampled_from(GRAPH_ALGORITHMS))
+    @settings(**_SETTINGS)
+    def test_linked_list_state_converges(self, commands, n_workers, algorithm):
+        reference = LinkedListService(initial_size=5)
+        expected = [reference.execute(command) for command in commands]
+        expected_state = reference.snapshot()
+
+        service = LinkedListService(initial_size=5)
+        responses = _execute_parallel(
+            algorithm, commands, ReadWriteConflicts(), service, n_workers)
+        assert service.snapshot() == expected_state
+        # Responses must match too: with read/write conflicts the execution
+        # is equivalent to the delivery order for every command.
+        assert [responses[c.uid] for c in commands] == expected
+
+    @given(commands=command_streams(),
+           n_workers=st.integers(min_value=1, max_value=6),
+           algorithm=st.sampled_from(GRAPH_ALGORITHMS))
+    @settings(**_SETTINGS)
+    def test_exactly_once(self, commands, n_workers, algorithm):
+        service = LinkedListService(initial_size=0)
+        responses = _execute_parallel(
+            algorithm, commands, ReadWriteConflicts(), service, n_workers)
+        assert set(responses) == {command.uid for command in commands}
+
+
+class TestKeyedConflictProperty:
+    @given(commands=command_streams(),
+           algorithm=st.sampled_from(GRAPH_ALGORITHMS))
+    @settings(**_SETTINGS)
+    def test_per_key_write_order_preserved(self, commands, algorithm):
+        """With keyed conflicts, per-key command subsequences serialize in
+        delivery order, so a per-key log must equal the delivery order."""
+        logs = {}
+        log_lock = threading.Lock()
+
+        class LoggingService(LinkedListService):
+            def execute(self, command):
+                with log_lock:
+                    logs.setdefault(command.args[0], []).append(command.uid)
+                return True
+
+        service = LoggingService()
+        _execute_parallel(algorithm, commands, KeyedConflicts(), service, 4)
+        for key, uids in logs.items():
+            # All commands conflict per key once any is a write; reads-only
+            # keys may reorder, so check only keys that contain a write.
+            key_commands = [c for c in commands if c.args[0] == key]
+            if any(c.writes for c in key_commands):
+                writes_expected = [c.uid for c in key_commands if c.writes]
+                writes_logged = [uid for uid in uids if uid in set(writes_expected)]
+                assert writes_logged == writes_expected

@@ -1,0 +1,181 @@
+"""Sequential-specification tests for every COS implementation (§3.3).
+
+Driven single-threaded through the threaded runtime, each implementation
+must satisfy the COS contract: ``get`` returns only commands with no
+conflicting predecessor still present, never returns a command twice, and
+``remove`` releases dependents.
+"""
+
+import threading
+
+import pytest
+
+from conftest import ALL_ALGORITHMS, GRAPH_ALGORITHMS, make_threaded_cos
+from repro.core import NeverConflicts, ReadWriteConflicts
+from repro.core.command import Command
+
+
+def read(key=0):
+    return Command("contains", (key,), writes=False)
+
+
+def write(key=0):
+    return Command("add", (key,), writes=True)
+
+
+@pytest.fixture(params=ALL_ALGORITHMS)
+def cos(request):
+    return make_threaded_cos(request.param, ReadWriteConflicts())
+
+
+@pytest.fixture(params=GRAPH_ALGORITHMS)
+def graph_cos(request):
+    return make_threaded_cos(request.param, ReadWriteConflicts())
+
+
+class TestBasicCycle:
+    def test_insert_get_remove(self, cos):
+        cmd = read(1)
+        cos.insert(cmd)
+        handle = cos.get()
+        assert cos.command_of(handle) is cmd
+        cos.remove(handle)
+
+    def test_fifo_for_independent_commands(self, cos):
+        commands = [read(i) for i in range(5)]
+        for cmd in commands:
+            cos.insert(cmd)
+        for expected in commands:
+            handle = cos.get()
+            assert cos.command_of(handle) is expected
+            cos.remove(handle)
+
+    def test_get_never_returns_same_command_twice(self, graph_cos):
+        commands = [read(i) for i in range(10)]
+        for cmd in commands:
+            graph_cos.insert(cmd)
+        seen = set()
+        handles = []
+        for _ in commands:
+            handle = graph_cos.get()
+            uid = graph_cos.command_of(handle).uid
+            assert uid not in seen
+            seen.add(uid)
+            handles.append(handle)
+        for handle in handles:
+            graph_cos.remove(handle)
+
+
+class TestConflictOrdering:
+    def test_write_blocks_following_read(self, graph_cos):
+        w, r = write(1), read(1)
+        graph_cos.insert(w)
+        graph_cos.insert(r)
+        handle = graph_cos.get()
+        assert graph_cos.command_of(handle) is w
+        # r must not be gettable before w is removed: try concurrently.
+        got = []
+
+        def getter():
+            got.append(graph_cos.command_of(graph_cos.get()))
+
+        thread = threading.Thread(target=getter, daemon=True)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive(), "read executed before conflicting write finished"
+        graph_cos.remove(handle)
+        thread.join(timeout=5)
+        assert got == [r]
+
+    def test_independent_reads_all_gettable(self, graph_cos):
+        reads = [read(i) for i in range(4)]
+        for cmd in reads:
+            graph_cos.insert(cmd)
+        handles = [graph_cos.get() for _ in reads]
+        assert {graph_cos.command_of(h).uid for h in handles} == {
+            c.uid for c in reads}
+
+    def test_read_write_read_serialization(self, graph_cos):
+        r1, w, r2 = read(1), write(1), read(2)
+        for cmd in (r1, w, r2):
+            graph_cos.insert(cmd)
+        # Only r1 is initially free (w depends on r1, r2 depends on w).
+        h1 = graph_cos.get()
+        assert graph_cos.command_of(h1) is r1
+        graph_cos.remove(h1)
+        h2 = graph_cos.get()
+        assert graph_cos.command_of(h2) is w
+        graph_cos.remove(h2)
+        h3 = graph_cos.get()
+        assert graph_cos.command_of(h3) is r2
+        graph_cos.remove(h3)
+
+    def test_remove_releases_all_dependents(self, graph_cos):
+        w = write(1)
+        reads = [read(i) for i in range(3)]
+        graph_cos.insert(w)
+        for cmd in reads:
+            graph_cos.insert(cmd)
+        handle = graph_cos.get()
+        assert graph_cos.command_of(handle) is w
+        graph_cos.remove(handle)
+        got = {graph_cos.command_of(graph_cos.get()).uid for _ in reads}
+        assert got == {c.uid for c in reads}
+
+
+class TestCapacity:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_insert_blocks_when_full(self, algorithm):
+        cos = make_threaded_cos(algorithm, ReadWriteConflicts(), max_size=3)
+        for i in range(3):
+            cos.insert(read(i))
+        blocked = threading.Event()
+        done = threading.Event()
+
+        def inserter():
+            blocked.set()
+            cos.insert(read(99))
+            done.set()
+
+        thread = threading.Thread(target=inserter, daemon=True)
+        thread.start()
+        blocked.wait(timeout=5)
+        assert not done.wait(timeout=0.2), "insert did not block on full graph"
+        handle = cos.get()
+        cos.remove(handle)
+        assert done.wait(timeout=5), "insert not released by remove"
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_invalid_max_size_rejected(self, algorithm):
+        with pytest.raises(ValueError):
+            make_threaded_cos(algorithm, ReadWriteConflicts(), max_size=0)
+
+
+class TestBlockingGet:
+    def test_get_blocks_until_insert(self, cos):
+        got = []
+
+        def getter():
+            got.append(cos.command_of(cos.get()))
+
+        thread = threading.Thread(target=getter, daemon=True)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive(), "get returned from an empty structure"
+        cmd = read(1)
+        cos.insert(cmd)
+        thread.join(timeout=5)
+        assert got == [cmd]
+
+
+class TestNoConflictRelation:
+    @pytest.mark.parametrize("algorithm", GRAPH_ALGORITHMS)
+    def test_never_conflicts_gives_full_freedom(self, algorithm):
+        cos = make_threaded_cos(algorithm, NeverConflicts())
+        writes = [write(i) for i in range(5)]
+        for cmd in writes:
+            cos.insert(cmd)
+        handles = [cos.get() for _ in writes]
+        assert len(handles) == 5
+        for handle in handles:
+            cos.remove(handle)

@@ -1,0 +1,146 @@
+"""Model-based (stateful) testing of the COS implementations.
+
+Hypothesis drives random insert/get/remove sequences against each real
+implementation (single-threaded) while a reference model predicts the legal
+outcomes of every operation:
+
+- ``get`` must return some command the model deems *ready* (inserted, not
+  yet got, no conflicting predecessor still present);
+- a full drain must be possible from any state (progress, paper §6.2.2);
+- capacity accounting never drifts.
+"""
+
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from conftest import GRAPH_ALGORITHMS, make_threaded_cos
+from repro.core import ReadWriteConflicts
+from repro.core.command import Command
+
+MAX_SIZE = 8
+
+
+class _ModelState:
+    """Reference model of one COS instance."""
+
+    def __init__(self):
+        self.present = []      # commands in the structure, delivery order
+        self.executing = set() # uids handed out by get, not yet removed
+
+    def ready_uids(self):
+        ready = []
+        relation = ReadWriteConflicts()
+        for index, command in enumerate(self.present):
+            if command.uid in self.executing:
+                continue
+            blocked = any(
+                relation.conflicts(earlier, command)
+                for earlier in self.present[:index]
+            )
+            if not blocked:
+                ready.append(command.uid)
+        return ready
+
+    @property
+    def population(self):
+        return len(self.present)
+
+
+class COSMachine(RuleBasedStateMachine):
+    algorithm = None  # set by subclasses
+
+    @initialize()
+    def setup(self):
+        self.cos = make_threaded_cos(
+            self.algorithm, ReadWriteConflicts(), max_size=MAX_SIZE)
+        self.model = _ModelState()
+        self.handles = {}
+        self.counter = 0
+
+    # --------------------------------------------------------------- rules
+
+    @precondition(lambda self: self.model.population < MAX_SIZE)
+    @rule(is_write=st.booleans(), key=st.integers(0, 3))
+    def insert(self, is_write, key):
+        self.counter += 1
+        command = Command(
+            op="add" if is_write else "contains",
+            args=(key,),
+            writes=is_write,
+        )
+        self.cos.insert(command)
+        self.model.present.append(command)
+
+    @precondition(lambda self: bool(self.model.ready_uids()))
+    @rule()
+    def get(self):
+        handle = self.cos.get()  # must not block: the model says ready work
+        command = self.cos.command_of(handle)
+        assert command.uid in self.model.ready_uids(), (
+            f"get returned non-ready command {command}")
+        self.model.executing.add(command.uid)
+        self.handles[command.uid] = handle
+
+    @precondition(lambda self: bool(self.handles))
+    @rule(pick=st.randoms(use_true_random=False))
+    def remove(self, pick):
+        uid = pick.choice(sorted(self.handles))
+        handle = self.handles.pop(uid)
+        self.cos.remove(handle)
+        self.model.executing.discard(uid)
+        self.model.present = [
+            command for command in self.model.present if command.uid != uid
+        ]
+
+    # ---------------------------------------------------------- invariants
+
+    @invariant()
+    def no_deadlock(self):
+        # Progress (paper §6.2.2): pending commands may only wait on
+        # commands still present (executing or ready); if nothing is ready
+        # and nothing is executing, yet commands are present, the graph
+        # has deadlocked.
+        if self.model.present and not self.model.ready_uids():
+            assert self.model.executing, (
+                "deadlock: commands present, none ready, none executing")
+
+    def teardown(self):
+        # Full drain must always succeed from any state.
+        import random as random_module
+
+        rng = random_module.Random(0)
+        steps = 0
+        while self.model.present:
+            steps += 1
+            assert steps < 10_000, "drain did not terminate"
+            while self.model.ready_uids():
+                self.get()
+            assert self.handles, "nothing executing and nothing ready"
+            self.remove(rng)
+
+
+def _machine_for(algorithm_name):
+    machine = type(
+        f"COSMachine_{algorithm_name}",
+        (COSMachine,),
+        {"algorithm": algorithm_name},
+    )
+    machine.TestCase.settings = settings(
+        max_examples=25, stateful_step_count=40, deadline=None,
+        # Preconditions legitimately filter many rules (full graph, no
+        # ready work), so disable the filtering health check.
+        suppress_health_check=[HealthCheck.filter_too_much,
+                               HealthCheck.too_slow])
+    return machine.TestCase
+
+
+TestCoarseGrainedMachine = _machine_for("coarse-grained")
+TestFineGrainedMachine = _machine_for("fine-grained")
+TestLockFreeMachine = _machine_for("lock-free")

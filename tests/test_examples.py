@@ -1,0 +1,56 @@
+"""Smoke tests: the runnable examples actually run.
+
+Each example is executed as a subprocess (the way a user runs it); the
+slower demos are trimmed via their CLI arguments where available.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=120):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "replicas consistent: True" in result.stdout
+
+
+def test_bank_transfers():
+    result = run_example("bank_transfers.py")
+    assert result.returncode == 0, result.stderr
+    assert "money conserved: True" in result.stdout
+
+
+def test_crash_and_recover():
+    result = run_example("crash_and_recover.py")
+    assert result.returncode == 0, result.stderr
+    assert "replicas converged: True" in result.stdout
+
+
+@pytest.mark.slow
+def test_replicated_linked_list_small():
+    result = run_example("replicated_linked_list.py", "10", "2", timeout=240)
+    assert result.returncode == 0, result.stderr
+    assert "replicas consistent: True" in result.stdout
+    assert "lock-free" in result.stdout
+
+
+@pytest.mark.slow
+def test_paper_figures_single():
+    result = run_example("paper_figures.py", "fig2", timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "fig2" in result.stdout
+    assert "lock-free" in result.stdout

@@ -1,0 +1,106 @@
+"""Targeted tests for the documented get-restart divergence (DESIGN.md #1).
+
+A node can become ready *behind* an in-flight ``get`` traversal: the
+semaphore admitted the getter for a node that a faster peer then stole,
+while the node freed by a concurrent remove sits at a position the
+traversal has already passed.  The paper's pseudocode walks off the end of
+the list; our implementations restart from the head.  These tests engineer
+exactly that interleaving on real threads and assert the get still
+completes with the correct command.
+"""
+
+import threading
+import time
+
+import pytest
+
+from conftest import make_threaded_cos
+from repro.core import ReadWriteConflicts
+from repro.core.command import Command
+
+
+def read(key):
+    return Command("contains", (key,), writes=False)
+
+
+def write(key):
+    return Command("add", (key,), writes=True)
+
+
+@pytest.mark.parametrize("algorithm", ("fine-grained", "lock-free"))
+def test_node_freed_behind_traversal_is_still_found(algorithm):
+    """w1 <- r2 ordering; a getter blocked on the semaphore is released by
+    w1's removal while another getter races it for r2."""
+    cos = make_threaded_cos(algorithm, ReadWriteConflicts(), max_size=16)
+    w1, r2 = write(1), read(2)
+    cos.insert(w1)
+    cos.insert(r2)
+    handle_w1 = cos.get()
+
+    got = []
+    lock = threading.Lock()
+
+    def getter():
+        handle = cos.get()
+        with lock:
+            got.append(cos.command_of(handle))
+        cos.remove(handle)
+
+    # Two getters race for the single command r2 that becomes ready when
+    # w1 is removed; one wins, the other must keep blocking (not spin off
+    # the end of the list and crash).
+    threads = [threading.Thread(target=getter, daemon=True) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.05)
+    cos.remove(handle_w1)  # frees r2 behind any in-flight traversal
+    time.sleep(0.2)
+    with lock:
+        assert got == [r2]
+    # Unblock the loser with one more command and join everything.
+    r3 = read(3)
+    cos.insert(r3)
+    for thread in threads:
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+    with lock:
+        assert set(got) == {r2, r3}
+
+
+@pytest.mark.parametrize("algorithm", ("fine-grained", "lock-free"))
+def test_interleaved_frees_and_gets_many_rounds(algorithm):
+    """Repeated write-barrier / release cycles with racing getters."""
+    cos = make_threaded_cos(algorithm, ReadWriteConflicts(), max_size=32)
+    executed = []
+    lock = threading.Lock()
+    rounds = 30
+
+    def getter():
+        while True:
+            handle = cos.get()
+            command = cos.command_of(handle)
+            if command.op == "__stop__":
+                cos.remove(handle)
+                return
+            with lock:
+                executed.append(command.uid)
+            cos.remove(handle)
+
+    threads = [threading.Thread(target=getter, daemon=True) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    expected = []
+    for round_index in range(rounds):
+        barrier = write(round_index)
+        frees = [read(round_index * 10 + offset) for offset in range(3)]
+        cos.insert(barrier)
+        for command in frees:
+            cos.insert(command)
+        expected.append(barrier)
+        expected.extend(frees)
+    for _ in threads:
+        cos.insert(Command(op="__stop__", writes=True))
+    for thread in threads:
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+    assert sorted(executed) == sorted(c.uid for c in expected)

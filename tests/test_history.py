@@ -1,0 +1,139 @@
+"""Tests for the history recorder and COS specification checker."""
+
+import threading
+
+import pytest
+
+from conftest import GRAPH_ALGORITHMS, make_mixed_commands, make_threaded_cos
+from repro.core import ReadWriteConflicts
+from repro.core.command import Command
+from repro.core.history import (
+    GET,
+    INSERT,
+    REMOVE,
+    HistoryEvent,
+    HistoryRecorder,
+    HistoryViolation,
+    RecordingCOS,
+    check_history,
+)
+
+
+def read(key):
+    return Command("contains", (key,), writes=False)
+
+
+def write(key):
+    return Command("add", (key,), writes=True)
+
+
+def events(*triples):
+    return [HistoryEvent(kind, uid, seq)
+            for seq, (kind, uid) in enumerate(triples)]
+
+
+class TestChecker:
+    def test_valid_sequential_history(self):
+        a, b = write(1), read(1)
+        history = events((INSERT, a.uid), (GET, a.uid), (REMOVE, a.uid),
+                         (INSERT, b.uid), (GET, b.uid), (REMOVE, b.uid))
+        check_history(history, [a, b], ReadWriteConflicts())
+
+    def test_overlapping_independent_commands_ok(self):
+        a, b = read(1), read(2)
+        history = events((INSERT, a.uid), (INSERT, b.uid), (GET, a.uid),
+                         (GET, b.uid), (REMOVE, b.uid), (REMOVE, a.uid))
+        check_history(history, [a, b], ReadWriteConflicts())
+
+    def test_conflict_overlap_detected(self):
+        a, b = write(1), write(2)
+        history = events((INSERT, a.uid), (INSERT, b.uid), (GET, a.uid),
+                         (GET, b.uid), (REMOVE, a.uid), (REMOVE, b.uid))
+        with pytest.raises(HistoryViolation, match="overlapped"):
+            check_history(history, [a, b], ReadWriteConflicts())
+
+    def test_get_before_insert_detected(self):
+        a = read(1)
+        history = events((GET, a.uid), (INSERT, a.uid))
+        with pytest.raises(HistoryViolation, match="before its insert"):
+            check_history(history, [a], ReadWriteConflicts())
+
+    def test_double_get_detected(self):
+        a = read(1)
+        history = events((INSERT, a.uid), (GET, a.uid), (GET, a.uid))
+        with pytest.raises(HistoryViolation, match="duplicate"):
+            check_history(history, [a], ReadWriteConflicts())
+
+    def test_remove_without_get_detected(self):
+        a = read(1)
+        history = events((INSERT, a.uid), (REMOVE, a.uid))
+        with pytest.raises(HistoryViolation, match="without a get"):
+            check_history(history, [a], ReadWriteConflicts())
+
+    def test_missing_insert_detected(self):
+        a = read(1)
+        with pytest.raises(HistoryViolation, match="never appears"):
+            check_history([], [a], ReadWriteConflicts())
+
+    def test_unknown_uid_detected(self):
+        a = read(1)
+        history = events((INSERT, a.uid), (INSERT, 999_999_999))
+        with pytest.raises(HistoryViolation, match="unknown command"):
+            check_history(history, [a], ReadWriteConflicts())
+
+    def test_executed_while_predecessor_unremoved(self):
+        a, b = write(1), write(2)
+        history = events((INSERT, a.uid), (INSERT, b.uid),
+                         (GET, a.uid), (GET, b.uid))
+        with pytest.raises(HistoryViolation, match="never removed"):
+            check_history(history, [a, b], ReadWriteConflicts())
+
+
+class TestRecorderIntegration:
+    @pytest.mark.parametrize("algorithm", GRAPH_ALGORITHMS)
+    def test_recorded_stress_run_checks_clean(self, algorithm):
+        conflicts = ReadWriteConflicts()
+        cos = RecordingCOS(
+            make_threaded_cos(algorithm, conflicts, max_size=32))
+        commands = make_mixed_commands(400, write_every=5)
+
+        def worker():
+            while True:
+                handle = cos.get()
+                command = cos.command_of(handle)
+                if command.op == "__stop__":
+                    cos.remove(handle)
+                    return
+                cos.remove(handle)
+
+        threads = [threading.Thread(target=worker, daemon=True)
+                   for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for command in commands:
+            cos.insert(command)
+        stops = [Command(op="__stop__", writes=True) for _ in threads]
+        for stop in stops:
+            cos.insert(stop)
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        check_history(cos.recorder.events, list(commands) + stops, conflicts)
+
+    def test_recorder_thread_safety(self):
+        recorder = HistoryRecorder()
+        commands = [read(i) for i in range(100)]
+
+        def hammer(chunk):
+            for command in chunk:
+                recorder.record(INSERT, command)
+
+        threads = [threading.Thread(target=hammer, args=(commands[i::4],))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        recorded = recorder.events
+        assert len(recorded) == 100
+        assert [e.seq for e in recorded] == sorted(e.seq for e in recorded)

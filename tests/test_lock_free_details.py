@@ -1,0 +1,153 @@
+"""White-box tests of the lock-free DAG's lazy-removal machinery (Alg. 6-7).
+
+These drive the effect generators directly through the threaded runtime so
+internal node states can be asserted between operations.
+"""
+
+import pytest
+
+from repro.core import ReadWriteConflicts, ThreadedRuntime
+from repro.core.command import Command
+from repro.core.lock_free import LockFreeCOS
+from repro.core.node import EXECUTING, READY, REMOVED, WAITING
+
+
+def read(key=0):
+    return Command("contains", (key,), writes=False)
+
+
+def write(key=0):
+    return Command("add", (key,), writes=True)
+
+
+@pytest.fixture
+def runtime():
+    return ThreadedRuntime()
+
+
+@pytest.fixture
+def cos(runtime):
+    return LockFreeCOS(runtime, ReadWriteConflicts(), max_size=50)
+
+
+def _chain(runtime, cos):
+    """Walk the node list via atomic cells; returns nodes in order."""
+    nodes = []
+    node = cos._head.value
+    while node is not None:
+        nodes.append(node)
+        node = node.nxt.value
+    return nodes
+
+
+class TestStates:
+    def test_new_independent_node_is_ready(self, runtime, cos):
+        runtime.run(cos.insert(read(1)))
+        (node,) = _chain(runtime, cos)
+        assert node.st.value == READY
+
+    def test_dependent_node_waits(self, runtime, cos):
+        runtime.run(cos.insert(write(1)))
+        runtime.run(cos.insert(read(1)))
+        first, second = _chain(runtime, cos)
+        assert first.st.value == READY
+        assert second.st.value == WAITING
+        assert first in second.dep_on.value
+        assert second in first.dep_me.value
+
+    def test_get_marks_executing(self, runtime, cos):
+        runtime.run(cos.insert(read(1)))
+        handle = runtime.run(cos.get())
+        assert handle.st.value == EXECUTING
+
+    def test_remove_is_logical(self, runtime, cos):
+        runtime.run(cos.insert(read(1)))
+        handle = runtime.run(cos.get())
+        runtime.run(cos.remove(handle))
+        # Still physically present, only marked removed.
+        assert _chain(runtime, cos) == [handle]
+        assert handle.st.value == REMOVED
+
+
+class TestHelpedRemoval:
+    def test_insert_unlinks_removed_nodes(self, runtime, cos):
+        runtime.run(cos.insert(read(1)))
+        handle = runtime.run(cos.get())
+        runtime.run(cos.remove(handle))
+        runtime.run(cos.insert(read(2)))
+        chain = _chain(runtime, cos)
+        assert handle not in chain
+        assert len(chain) == 1
+
+    def test_removed_head_is_replaced(self, runtime, cos):
+        runtime.run(cos.insert(read(1)))
+        runtime.run(cos.insert(read(2)))
+        first = runtime.run(cos.get())
+        runtime.run(cos.remove(first))
+        runtime.run(cos.insert(read(3)))
+        chain = _chain(runtime, cos)
+        assert first not in chain
+        assert cos._head.value is chain[0]
+
+    def test_helped_remove_prunes_dep_on(self, runtime, cos):
+        runtime.run(cos.insert(write(1)))
+        runtime.run(cos.insert(write(2)))
+        first = runtime.run(cos.get())
+        runtime.run(cos.remove(first))
+        runtime.run(cos.insert(read(3)))  # triggers helpedRemove of first
+        chain = _chain(runtime, cos)
+        second = chain[0]
+        assert first not in second.dep_on.value
+
+    def test_interior_removal_bypasses(self, runtime, cos):
+        for key in (1, 2, 3):
+            runtime.run(cos.insert(read(key)))
+        chain = _chain(runtime, cos)
+        middle = chain[1]
+        # Take the middle node specifically.
+        taken = []
+        while True:
+            handle = runtime.run(cos.get())
+            if handle is middle:
+                break
+            taken.append(handle)
+        runtime.run(cos.remove(middle))
+        runtime.run(cos.insert(read(4)))
+        new_chain = _chain(runtime, cos)
+        assert middle not in new_chain
+        assert len(new_chain) == 3  # two old reads + the new one
+
+
+class TestReadiness:
+    def test_dependent_becomes_ready_on_remove(self, runtime, cos):
+        runtime.run(cos.insert(write(1)))
+        runtime.run(cos.insert(write(2)))
+        first = runtime.run(cos.get())
+        _, second = _chain(runtime, cos)
+        assert second.st.value == WAITING
+        runtime.run(cos.remove(first))
+        assert second.st.value == READY
+
+    def test_multi_dependency_waits_for_all(self, runtime, cos):
+        runtime.run(cos.insert(read(1)))
+        runtime.run(cos.insert(read(2)))
+        runtime.run(cos.insert(write(3)))  # depends on both reads
+        chain = _chain(runtime, cos)
+        writer = chain[2]
+        first = runtime.run(cos.get())
+        runtime.run(cos.remove(first))
+        assert writer.st.value == WAITING  # one read still pending
+        second = runtime.run(cos.get())
+        runtime.run(cos.remove(second))
+        assert writer.st.value == READY
+
+    def test_ready_counting_exactly_once(self, runtime, cos):
+        """A node freed by a removal is counted ready exactly once."""
+        runtime.run(cos.insert(write(1)))
+        runtime.run(cos.insert(write(2)))
+        first = runtime.run(cos.get())
+        runtime.run(cos.remove(first))
+        # ready semaphore must allow exactly one more get.
+        second = runtime.run(cos.get())
+        assert second.cmd.args == (2,)
+        assert cos._ready.sem.acquire(blocking=False) is False

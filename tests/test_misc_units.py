@@ -1,0 +1,149 @@
+"""Small unit tests: effects, nodes, sequential COS edge paths, reprs."""
+
+import pytest
+
+from repro.core import ReadWriteConflicts, ThreadedRuntime
+from repro.core.command import Command
+from repro.core.effects import (
+    Acquire,
+    Cas,
+    Down,
+    Load,
+    Release,
+    Signal,
+    SignalAll,
+    Store,
+    Up,
+    Wait,
+    Work,
+)
+from repro.core.node import (
+    EXECUTING,
+    READY,
+    REMOVED,
+    WAITING,
+    CoarseNode,
+    FineNode,
+    LockFreeNode,
+)
+from repro.core.sequential import SequentialCOS, SequentialHandle
+
+
+def read(key=0):
+    return Command("contains", (key,), writes=False)
+
+
+class TestEffects:
+    def test_reprs_name_their_kind(self):
+        mutex, sem, cond, cell = object(), object(), object(), object()
+        cases = [
+            (Acquire(mutex), "Acquire"),
+            (Release(mutex), "Release"),
+            (Wait(cond), "Wait"),
+            (Signal(cond), "Signal"),
+            (SignalAll(cond), "SignalAll"),
+            (Down(sem), "Down"),
+            (Up(sem, 3), "Up"),
+            (Load(cell), "Load"),
+            (Store(cell, 5), "Store"),
+            (Cas(cell, 1, 2), "Cas"),
+            (Work(1e-6), "Work"),
+        ]
+        for effect, name in cases:
+            assert name in repr(effect)
+
+    def test_up_default_amount(self):
+        assert Up(object()).amount == 1
+
+    def test_effects_are_slotted(self):
+        with pytest.raises(AttributeError):
+            Work(1.0).extra = True
+
+
+class TestNodes:
+    def test_status_constants(self):
+        assert (WAITING, READY, EXECUTING, REMOVED) == (
+            "wtg", "rdy", "exe", "rmd")
+
+    def test_coarse_node_defaults(self):
+        node = CoarseNode(read(1), 7)
+        assert node.status == WAITING
+        assert not node.deps_in and not node.deps_out
+        assert "seq=7" in repr(node)
+
+    def test_fine_node_sentinel_repr(self):
+        runtime = ThreadedRuntime()
+        sentinel = FineNode(None, -1, runtime, sentinel=True)
+        assert "sentinel" in repr(sentinel)
+        regular = FineNode(read(1), 0, runtime)
+        assert "wtg" in repr(regular)
+
+    def test_lock_free_node_starts_unpublished(self):
+        runtime = ThreadedRuntime()
+        node = LockFreeNode(read(1), 0, runtime)
+        assert node.st.value == WAITING
+        assert node.dep_on.value is None
+        assert node.dep_me.value == ()
+        assert node.nxt.value is None
+
+
+class TestSequentialCOS:
+    def _make(self, max_size=4):
+        runtime = ThreadedRuntime()
+        return runtime, SequentialCOS(runtime, max_size=max_size)
+
+    def test_remove_wrong_handle_raises(self):
+        runtime, cos = self._make()
+        runtime.run(cos.insert(read(1)))
+        runtime.run(cos.insert(read(2)))
+        first = runtime.run(cos.get())
+        runtime.run(cos.remove(first))
+        with pytest.raises(LookupError):
+            runtime.run(cos.remove(first))  # already removed
+
+    def test_handle_repr(self):
+        handle = SequentialHandle(read(3), 9)
+        assert "seq=9" in repr(handle)
+
+    def test_second_get_blocked_until_remove(self):
+        import threading
+
+        runtime, cos = self._make()
+        runtime.run(cos.insert(read(1)))
+        runtime.run(cos.insert(read(2)))
+        first = runtime.run(cos.get())
+        got = []
+
+        def getter():
+            got.append(runtime.run(cos.get()))
+
+        thread = threading.Thread(target=getter, daemon=True)
+        thread.start()
+        thread.join(timeout=0.1)
+        assert thread.is_alive()  # strict serialization
+        runtime.run(cos.remove(first))
+        thread.join(timeout=5)
+        assert got and got[0].cmd.args == (2,)
+
+    def test_invalid_max_size(self):
+        runtime = ThreadedRuntime()
+        with pytest.raises(ValueError):
+            SequentialCOS(runtime, max_size=0)
+
+
+class TestSimProcessRepr:
+    def test_states(self):
+        from repro.sim.process import SimProcess
+        proc = SimProcess(iter(()), "walker")
+        assert "running" in repr(proc)
+        proc.finish(42)
+        assert "done" in repr(proc)
+        assert proc.result == 42
+
+    def test_on_done_after_completion_fires_immediately(self):
+        from repro.sim.process import SimProcess
+        proc = SimProcess(iter(()), "p")
+        proc.finish("x")
+        seen = []
+        proc.on_done(lambda p: seen.append(p.result))
+        assert seen == ["x"]

@@ -1,0 +1,91 @@
+"""Tests for the threaded event-loop node and the timeout tracker."""
+
+import time
+
+import pytest
+
+from repro.broadcast import (
+    FaultPlan,
+    SequencerBroadcast,
+    ThreadedNode,
+    ThreadedTransport,
+    TimeoutTracker,
+)
+from repro.errors import ShutdownError
+
+
+class TestTimeoutTracker:
+    def test_first_check_never_suspects(self):
+        tracker = TimeoutTracker()
+        assert tracker.expired() is False
+
+    def test_quiet_period_suspects(self):
+        tracker = TimeoutTracker()
+        tracker.expired()
+        assert tracker.expired() is True
+
+    def test_activity_clears_suspicion(self):
+        tracker = TimeoutTracker()
+        tracker.expired()
+        tracker.record_activity()
+        assert tracker.expired() is False
+
+    def test_activity_consumed_per_period(self):
+        tracker = TimeoutTracker()
+        tracker.expired()
+        tracker.record_activity()
+        tracker.expired()
+        assert tracker.expired() is True  # no new activity since
+
+    def test_reset_restores_grace(self):
+        tracker = TimeoutTracker()
+        tracker.expired()
+        tracker.reset()
+        assert tracker.expired() is False
+
+
+class TestThreadedNode:
+    def _cluster(self, n=2):
+        transport = ThreadedTransport(n, FaultPlan(min_delay=0, max_delay=0))
+        delivered = [[] for _ in range(n)]
+        nodes = [
+            ThreadedNode(
+                i, SequencerBroadcast(i, n), transport,
+                lambda inst, payload, log=delivered[i]: log.append(payload),
+            )
+            for i in range(n)
+        ]
+        for node in nodes:
+            node.start()
+        return transport, nodes, delivered
+
+    def test_submit_round_trip(self):
+        transport, nodes, delivered = self._cluster()
+        try:
+            nodes[1].submit("hello")
+            deadline = time.time() + 5
+            while time.time() < deadline and len(delivered[1]) < 1:
+                time.sleep(0.01)
+            assert delivered[0] == ["hello"]
+            assert delivered[1] == ["hello"]
+        finally:
+            for node in nodes:
+                node.stop()
+            transport.close()
+
+    def test_stop_is_idempotent(self):
+        transport, nodes, _ = self._cluster()
+        nodes[0].stop()
+        nodes[0].stop()
+        nodes[0].join(timeout=5)
+        assert not nodes[0].running
+        nodes[1].stop()
+        transport.close()
+
+    def test_submit_after_stop_raises(self):
+        transport, nodes, _ = self._cluster()
+        nodes[0].stop()
+        with pytest.raises(ShutdownError):
+            nodes[0].submit("x")
+        nodes[1].stop()
+        transport.close()

@@ -1,0 +1,138 @@
+"""Additional Multi-Paxos edge cases: pipeline, batching, forwarding."""
+
+import pytest
+
+from repro.broadcast import (
+    Accept,
+    Accepted,
+    Decide,
+    Forward,
+    MultiPaxos,
+    Prepare,
+    Promise,
+    Send,
+)
+from repro.broadcast.paxos import LEADER_TIMER, NOOP
+
+
+def sends(actions, msg_type=None):
+    picked = [a for a in actions if isinstance(a, Send)]
+    if msg_type is not None:
+        picked = [a for a in picked if isinstance(a.msg, msg_type)]
+    return picked
+
+
+class TestPipeline:
+    def test_pipeline_limits_in_flight_instances(self):
+        leader = MultiPaxos(0, 3, batch_size=1, pipeline=2)
+        for index in range(5):
+            leader.submit(f"p{index}")
+        assert len(leader._in_flight) == 2
+        assert len(leader.pending) == 3
+
+    def test_decide_releases_pipeline_slot(self):
+        leader = MultiPaxos(0, 3, batch_size=1, pipeline=1)
+        leader.submit("a")
+        leader.submit("b")
+        assert leader.next_instance == 1
+        leader.on_message(1, Accepted((0, 0), 0))
+        assert leader.next_instance == 2  # b proposed after a decided
+
+    def test_batch_size_bounds_instance_value(self):
+        leader = MultiPaxos(0, 3, batch_size=2, pipeline=10)
+        actions = []
+        for index in range(5):
+            actions.extend(leader.submit(f"p{index}"))
+        values = [a.msg.value for a in sends(actions, Accept)
+                  if a.dst == 1]
+        assert all(len(value) <= 2 for value in values)
+        flattened = [item for value in values for item in value]
+        assert flattened == [f"p{i}" for i in range(5)]
+
+
+class TestForwarding:
+    def test_forward_to_self_hint_is_dropped(self):
+        # Node 1 believes node 0 leads; node 0 (not leader anymore after a
+        # higher ballot was seen) must not bounce the payload back forever.
+        node = MultiPaxos(0, 3)
+        node.on_message(1, Prepare((2, 1)))   # step down; hint = node 1
+        actions = node.on_message(2, Forward("p"))
+        forwards = sends(actions, Forward)
+        assert all(f.dst == 1 for f in forwards)  # towards the new hint
+        # And a forward ARRIVING from the hinted node is not ping-ponged.
+        actions = node.on_message(1, Forward("q"))
+        assert not sends(actions, Forward)
+
+    def test_drain_pending_forwards_noop_when_leading(self):
+        leader = MultiPaxos(0, 3, pipeline=1, batch_size=1)
+        leader.submit("a")
+        leader.submit("b")  # stuck in pending behind the pipeline
+        assert leader.drain_pending_forwards() == []
+
+    def test_drain_pending_after_step_down(self):
+        leader = MultiPaxos(0, 3, pipeline=1, batch_size=1)
+        leader.submit("a")
+        leader.submit("b")
+        leader.on_message(1, Prepare((5, 1)))  # deposed
+        actions = leader.drain_pending_forwards()
+        forwards = sends(actions, Forward)
+        assert [f.msg.payload for f in forwards] == ["b"]
+        assert not leader.pending
+
+
+class TestLearning:
+    def test_duplicate_decide_ignored(self):
+        node = MultiPaxos(1, 3)
+        first = node.on_message(0, Decide(0, ("v",)))
+        second = node.on_message(0, Decide(0, ("v",)))
+        assert first and not second
+
+    def test_out_of_order_decides_deliver_in_order(self):
+        node = MultiPaxos(1, 3)
+        collected = []
+        for instance in (2, 0, 1):
+            actions = node.on_message(0, Decide(instance, (f"v{instance}",)))
+            from repro.broadcast import Deliver
+            collected.extend(
+                (a.instance, a.payload) for a in actions
+                if isinstance(a, Deliver))
+        assert collected == [(0, ("v0",)), (1, ("v1",)), (2, ("v2",))]
+
+    def test_noop_gap_consumes_instance_number(self):
+        node = MultiPaxos(1, 3)
+        node.on_message(0, Decide(0, NOOP))
+        assert node.next_deliver == 1
+
+
+class TestCampaignEdgeCases:
+    def test_failed_campaign_retries_with_higher_round(self):
+        node = MultiPaxos(1, 3)
+        node.start()
+        node.on_timer(LEADER_TIMER)
+        node.on_timer(LEADER_TIMER)
+        first_ballot = node.preparing
+        # A rival with a higher ballot nacks our prepare.
+        from repro.broadcast import Nack
+        node.on_message(2, Nack(first_ballot, (9, 2)))
+        assert node.preparing is None
+        actions = node.on_timer(LEADER_TIMER)
+        actions = node.on_timer(LEADER_TIMER)
+        prepares = sends(actions, Prepare)
+        assert prepares and prepares[0].msg.ballot[0] > 9
+
+    def test_extra_promises_after_election_harmless(self):
+        node = MultiPaxos(1, 3)
+        node.start()
+        node.on_timer(LEADER_TIMER)
+        node.on_timer(LEADER_TIMER)
+        node.on_message(0, Promise((1, 1), {}))
+        assert node.is_leader
+        assert node.on_message(2, Promise((1, 1), {})) == []
+
+    def test_promise_for_stale_ballot_ignored(self):
+        node = MultiPaxos(1, 3)
+        node.start()
+        node.on_timer(LEADER_TIMER)
+        node.on_timer(LEADER_TIMER)
+        assert node.on_message(0, Promise((0, 9), {})) == []
+        assert not node.is_leader

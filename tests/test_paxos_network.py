@@ -1,0 +1,146 @@
+"""Integration tests: Multi-Paxos over the threaded transport.
+
+Covers the happy path, lossy/duplicating networks, and leader crash with
+re-election — the f = 1 crash tolerance the paper's deployment assumes.
+"""
+
+import time
+
+import pytest
+
+from repro.broadcast import FaultPlan, MultiPaxos, ThreadedNode, ThreadedTransport
+
+
+def build_cluster(n=3, plan=None, heartbeat=0.02, timeout=0.08):
+    transport = ThreadedTransport(n, plan or FaultPlan(min_delay=0, max_delay=0))
+    delivered = [[] for _ in range(n)]
+    nodes = []
+    for node_id in range(n):
+        def on_deliver(instance, payload, log=delivered[node_id]):
+            log.append((instance, payload))
+
+        protocol = MultiPaxos(
+            node_id, n,
+            heartbeat_interval=heartbeat,
+            leader_timeout=timeout * (1 + 0.4 * node_id),
+        )
+        nodes.append(ThreadedNode(node_id, protocol, transport, on_deliver))
+    for node in nodes:
+        node.start()
+    return transport, nodes, delivered
+
+
+def flatten(log):
+    return [item for _, batch in sorted(log) for item in batch]
+
+
+def shutdown(transport, nodes):
+    for node in nodes:
+        node.stop()
+    transport.close()
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestHappyPath:
+    def test_all_nodes_deliver_everything_in_order(self):
+        transport, nodes, delivered = build_cluster()
+        try:
+            for index in range(50):
+                nodes[index % 3].submit(("cmd", index))
+            assert wait_until(
+                lambda: all(len(flatten(log)) == 50 for log in delivered))
+            logs = [flatten(log) for log in delivered]
+            assert logs[0] == logs[1] == logs[2]
+            assert len(set(logs[0])) == 50
+        finally:
+            shutdown(transport, nodes)
+
+    def test_throughput_is_reasonable(self):
+        transport, nodes, delivered = build_cluster()
+        try:
+            started = time.time()
+            for index in range(200):
+                nodes[0].submit(index)
+            assert wait_until(
+                lambda: len(flatten(delivered[0])) == 200, timeout=10)
+            assert time.time() - started < 10
+        finally:
+            shutdown(transport, nodes)
+
+
+class TestFaultyNetwork:
+    def test_loss_and_duplication(self):
+        plan = FaultPlan(seed=7, min_delay=0, max_delay=0.002,
+                         loss=0.08, duplication=0.08)
+        transport, nodes, delivered = build_cluster(plan=plan)
+        try:
+            for index in range(60):
+                nodes[0].submit(("cmd", index))
+            # Losses may strand some commands (clients retry in real use);
+            # safety: logs must be prefix-compatible and duplicate-free at
+            # the instance level.  Poll instead of a fixed sleep: under a
+            # loaded test machine progress through a lossy network is slow.
+            assert wait_until(
+                lambda: min(len(flatten(log)) for log in delivered) > 0,
+                timeout=15)
+            time.sleep(0.5)  # let logs settle a little further
+            logs = [flatten(log) for log in delivered]
+            shortest = min(len(log) for log in logs)
+            assert shortest > 0
+            for log in logs:
+                assert log[:shortest] == logs[0][:shortest]
+            instances = [i for i, _ in sorted(delivered[0])]
+            assert instances == sorted(set(instances))
+        finally:
+            shutdown(transport, nodes)
+
+
+class TestLeaderCrash:
+    def test_reelection_and_progress(self):
+        transport, nodes, delivered = build_cluster()
+        try:
+            for index in range(10):
+                nodes[0].submit(("before", index))
+            assert wait_until(
+                lambda: len(flatten(delivered[1])) >= 10)
+            # Crash the initial leader.
+            transport.crash(0)
+            nodes[0].stop()
+            # Give the failure detector time to elect a new leader, then
+            # submit through the survivors.
+            assert wait_until(
+                lambda: any(n.protocol.is_leader for n in nodes[1:]),
+                timeout=10)
+            for index in range(10):
+                nodes[1].submit(("after", index))
+            assert wait_until(
+                lambda: sum(payload[0] == "after"
+                            for payload in flatten(delivered[1])) == 10,
+                timeout=10)
+            logs = [flatten(log) for log in delivered[1:]]
+            shortest = min(len(log) for log in logs)
+            assert logs[0][:shortest] == logs[1][:shortest]
+        finally:
+            shutdown(transport, nodes)
+
+    def test_minority_crash_does_not_block(self):
+        transport, nodes, delivered = build_cluster(n=5)
+        try:
+            transport.crash(3)
+            transport.crash(4)
+            nodes[3].stop()
+            nodes[4].stop()
+            for index in range(20):
+                nodes[0].submit(index)
+            assert wait_until(
+                lambda: len(flatten(delivered[1])) == 20, timeout=10)
+        finally:
+            shutdown(transport, nodes)

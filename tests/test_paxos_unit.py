@@ -1,0 +1,259 @@
+"""Unit tests of the Multi-Paxos state machine (no network)."""
+
+import pytest
+
+from repro.broadcast import (
+    Accept,
+    Accepted,
+    CatchupReply,
+    CatchupRequest,
+    Decide,
+    Deliver,
+    Forward,
+    Heartbeat,
+    MultiPaxos,
+    Nack,
+    Prepare,
+    Promise,
+    Send,
+    SetTimer,
+)
+from repro.broadcast.paxos import HEARTBEAT_TIMER, LEADER_TIMER, NOOP
+from repro.errors import ConfigurationError
+
+
+def sends(actions, msg_type=None):
+    picked = [a for a in actions if isinstance(a, Send)]
+    if msg_type is not None:
+        picked = [a for a in picked if isinstance(a.msg, msg_type)]
+    return picked
+
+
+def delivers(actions):
+    return [(a.instance, a.payload) for a in actions if isinstance(a, Deliver)]
+
+
+def timers(actions):
+    return [a.name for a in actions if isinstance(a, SetTimer)]
+
+
+def make_trio():
+    return [MultiPaxos(i, 3) for i in range(3)]
+
+
+class TestBasics:
+    def test_node_zero_starts_leader(self):
+        nodes = make_trio()
+        assert nodes[0].is_leader
+        assert not nodes[1].is_leader
+
+    def test_start_arms_timers(self):
+        nodes = make_trio()
+        assert set(timers(nodes[0].start())) == {LEADER_TIMER, HEARTBEAT_TIMER}
+        assert timers(nodes[1].start()) == [LEADER_TIMER]
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            MultiPaxos(0, 2)  # even n
+        with pytest.raises(ConfigurationError):
+            MultiPaxos(5, 3)  # id out of range
+        with pytest.raises(ConfigurationError):
+            MultiPaxos(0, 3, batch_size=0)
+
+    def test_single_node_decides_immediately(self):
+        node = MultiPaxos(0, 1)
+        actions = node.submit("v")
+        assert delivers(actions) == [(0, ("v",))]
+
+
+class TestNormalCase:
+    def test_leader_proposes_accept(self):
+        leader = make_trio()[0]
+        actions = leader.submit("payload")
+        accepts = sends(actions, Accept)
+        assert {a.dst for a in accepts} == {1, 2}
+        assert accepts[0].msg.value == ("payload",)
+        assert accepts[0].msg.instance == 0
+
+    def test_acceptor_accepts_and_replies(self):
+        follower = make_trio()[1]
+        actions = follower.on_message(0, Accept((0, 0), 0, ("v",)))
+        (reply,) = sends(actions, Accepted)
+        assert reply.dst == 0
+        assert reply.msg.instance == 0
+
+    def test_quorum_decides_and_delivers(self):
+        leader = make_trio()[0]
+        leader.submit("v")
+        actions = leader.on_message(1, Accepted((0, 0), 0))
+        assert delivers(actions) == [(0, ("v",))]
+        decides = sends(actions, Decide)
+        assert {d.dst for d in decides} == {1, 2}
+
+    def test_duplicate_accepted_ignored(self):
+        leader = make_trio()[0]
+        leader.submit("v")
+        leader.on_message(1, Accepted((0, 0), 0))
+        again = leader.on_message(2, Accepted((0, 0), 0))
+        assert delivers(again) == []
+
+    def test_follower_learns_from_decide(self):
+        follower = make_trio()[1]
+        actions = follower.on_message(0, Decide(0, ("v",)))
+        assert delivers(actions) == [(0, ("v",))]
+
+    def test_in_order_delivery_with_gap(self):
+        follower = make_trio()[1]
+        actions = follower.on_message(0, Decide(1, ("b",)))
+        assert delivers(actions) == []  # instance 0 missing
+        assert sends(actions, CatchupRequest)  # asks for the gap
+        actions = follower.on_message(0, Decide(0, ("a",)))
+        assert delivers(actions) == [(0, ("a",)), (1, ("b",))]
+
+    def test_batching(self):
+        leader = MultiPaxos(0, 3, batch_size=3, pipeline=1)
+        leader.submit("a")
+        # pipeline=1: b and c stay pending until instance 0 decides
+        leader.submit("b")
+        leader.submit("c")
+        actions = leader.on_message(1, Accepted((0, 0), 0))
+        accepts = sends(actions, Accept)
+        assert accepts and accepts[0].msg.value == ("b", "c")
+
+    def test_forward_reaches_leader(self):
+        leader, follower, _ = make_trio()
+        actions = follower.submit("v")
+        (fwd,) = sends(actions, Forward)
+        assert fwd.dst == 0
+        actions = leader.on_message(1, fwd.msg)
+        assert sends(actions, Accept)
+
+
+class TestLeaderChange:
+    def _campaign(self, node):
+        """Force a campaign via two quiet leader-timer periods."""
+        node.start()
+        node.on_timer(LEADER_TIMER)  # grace period
+        return node.on_timer(LEADER_TIMER)
+
+    def test_campaign_sends_prepare(self):
+        follower = make_trio()[1]
+        actions = self._campaign(follower)
+        prepares = sends(actions, Prepare)
+        assert {p.dst for p in prepares} == {0, 2}
+        assert follower.preparing == (1, 1)
+
+    def test_heartbeat_suppresses_campaign(self):
+        follower = make_trio()[1]
+        follower.start()
+        follower.on_timer(LEADER_TIMER)
+        follower.on_message(0, Heartbeat((0, 0)))
+        actions = follower.on_timer(LEADER_TIMER)
+        assert not sends(actions, Prepare)
+
+    def test_promise_quorum_elects(self):
+        follower = make_trio()[1]
+        self._campaign(follower)
+        actions = follower.on_message(0, Promise((1, 1), {}))
+        assert follower.is_leader
+        assert HEARTBEAT_TIMER in timers(actions)
+
+    def test_new_leader_reproposes_accepted_values(self):
+        nodes = make_trio()
+        # Old leader got instance 0 accepted at node 2 only.
+        nodes[2].on_message(0, Accept((0, 0), 0, ("old",)))
+        self._campaign(nodes[1])
+        promise_from_2 = sends(nodes[2].on_message(1, Prepare((1, 1))), Promise)
+        actions = nodes[1].on_message(2, promise_from_2[0].msg)
+        accepts = sends(actions, Accept)
+        assert any(a.msg.instance == 0 and a.msg.value == ("old",)
+                   for a in accepts)
+
+    def test_gap_filled_with_noop(self):
+        nodes = make_trio()
+        # Node 2 accepted instance 1 but nobody saw instance 0.
+        nodes[2].on_message(0, Accept((0, 0), 1, ("later",)))
+        self._campaign(nodes[1])
+        promise = sends(nodes[2].on_message(1, Prepare((1, 1))), Promise)[0].msg
+        actions = nodes[1].on_message(2, promise)
+        accepts = sends(actions, Accept)
+        noop_accepts = [a for a in accepts if a.msg.value == NOOP]
+        assert any(a.msg.instance == 0 for a in noop_accepts)
+
+    def test_noop_never_delivered(self):
+        follower = make_trio()[1]
+        actions = []
+        actions.extend(follower.on_message(0, Decide(0, NOOP)))
+        actions.extend(follower.on_message(0, Decide(1, ("real",))))
+        assert delivers(actions) == [(1, ("real",))]
+
+    def test_old_ballot_prepare_nacked(self):
+        follower = make_trio()[1]
+        follower.on_message(2, Prepare((5, 2)))
+        actions = follower.on_message(0, Prepare((1, 0)))
+        nacks = sends(actions, Nack)
+        assert nacks and nacks[0].msg.promised == (5, 2)
+
+    def test_nack_steps_leader_down(self):
+        leader = make_trio()[0]
+        leader.submit("v")
+        leader.on_message(1, Nack((0, 0), (3, 1)))
+        assert not leader.is_leader
+        assert leader.ballot == (3, 1)
+
+    def test_higher_accept_steps_down(self):
+        leader = make_trio()[0]
+        leader.on_message(1, Accept((2, 1), 0, ("x",)))
+        assert not leader.is_leader
+        assert leader.leader_hint() == 1
+
+    def test_stale_heartbeat_ignored(self):
+        follower = make_trio()[1]
+        follower.on_message(2, Prepare((5, 2)))  # promised (5, 2)
+        follower._leader_tracker.record_activity()
+        follower._leader_tracker.expired()  # reset window
+        follower.on_message(0, Heartbeat((0, 0)))
+        # Old leader's heartbeat must not count as activity for ballot (5,2).
+        assert follower._leader_tracker.expired()
+
+
+class TestCatchup:
+    def test_catchup_round_trip(self):
+        leader, follower, _ = make_trio()
+        leader.submit("a")
+        leader.on_message(1, Accepted((0, 0), 0))
+        request = CatchupRequest(0)
+        (reply,) = sends(leader.on_message(1, request), CatchupReply)
+        actions = follower.on_message(0, reply.msg)
+        assert delivers(actions) == [(0, ("a",))]
+
+    def test_catchup_with_nothing_known(self):
+        follower = make_trio()[1]
+        assert follower.on_message(2, CatchupRequest(5)) == []
+
+
+class TestRetransmission:
+    def test_heartbeat_retransmits_in_flight_accepts(self):
+        """Regression: a lost Accept must not wedge its instance — the
+        leader re-sends in-flight proposals with its heartbeats."""
+        leader = make_trio()[0]
+        leader.submit("v")  # instance 0 in flight, no Accepted yet
+        actions = leader.on_timer(HEARTBEAT_TIMER)
+        repeats = [a for a in sends(actions, Accept)]
+        assert {a.dst for a in repeats} == {1, 2}
+        assert all(a.msg.instance == 0 and a.msg.value == ("v",)
+                   for a in repeats)
+
+    def test_retransmit_skips_acked_peers(self):
+        leader = make_trio()[0]
+        leader.submit("v")
+        leader.on_message(1, Accepted((0, 0), 0))  # decided (quorum of 2)
+        actions = leader.on_timer(HEARTBEAT_TIMER)
+        assert not sends(actions, Accept)  # nothing left in flight
+
+    def test_acceptor_idempotent_on_repeat(self):
+        follower = make_trio()[1]
+        first = follower.on_message(0, Accept((0, 0), 0, ("v",)))
+        second = follower.on_message(0, Accept((0, 0), 0, ("v",)))
+        assert sends(first, Accepted) and sends(second, Accepted)
+        assert follower.accepted[0] == ((0, 0), ("v",))

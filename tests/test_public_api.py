@@ -1,0 +1,82 @@
+"""Public-API surface tests: exports resolve, errors form one hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SchedulerError,
+    ShutdownError,
+    SimulationError,
+)
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.sim",
+    "repro.broadcast",
+    "repro.smr",
+    "repro.apps",
+    "repro.workload",
+    "repro.bench",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_paper_algorithms_constructible(self):
+        from repro import (COS_ALGORITHMS, ReadWriteConflicts,
+                           ThreadedRuntime, make_cos)
+        runtime = ThreadedRuntime()
+        for name in COS_ALGORITHMS:
+            assert make_cos(name, runtime, ReadWriteConflicts()) is not None
+
+    def test_unknown_algorithm_rejected(self):
+        from repro import ReadWriteConflicts, ThreadedRuntime, make_cos
+        with pytest.raises(ValueError, match="unknown COS algorithm"):
+            make_cos("optimistic", ThreadedRuntime(), ReadWriteConflicts())
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("error_type", [
+        ConfigurationError, ProtocolError, SimulationError,
+        SchedulerError, ShutdownError,
+    ])
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+        assert issubclass(error_type, Exception)
+
+    def test_domain_errors_catchable_at_base(self):
+        from repro.smr.checkpoint import CheckpointError
+        from repro.core.history import HistoryViolation
+        from repro.smr.client import ClientTimeout
+        for error_type in (CheckpointError, HistoryViolation, ClientTimeout):
+            assert issubclass(error_type, ReproError)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_packages_documented(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_public_classes_documented(self):
+        from repro import (COS, CoarseGrainedCOS, FineGrainedCOS,
+                           LockFreeCOS, SequentialCOS)
+        for cls in (COS, CoarseGrainedCOS, FineGrainedCOS, LockFreeCOS,
+                    SequentialCOS):
+            assert cls.__doc__ and cls.__doc__.strip()

@@ -1,0 +1,180 @@
+"""Tests for the replica execution engines (parallel + sequential)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.apps import KVStoreService, LinkedListService
+from repro.core.command import Command
+from repro.smr.replica import ParallelReplica, SequentialReplica
+
+
+def read(key):
+    return Command("contains", (key,), writes=False)
+
+
+def write(key):
+    return Command("add", (key,), writes=True)
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+@pytest.fixture
+def responses():
+    collected = []
+    lock = threading.Lock()
+
+    def callback(command, response, replica_id):
+        with lock:
+            collected.append((command, response, replica_id))
+
+    callback.collected = collected
+    return callback
+
+
+class TestParallelReplica:
+    def test_delivers_and_executes(self, responses):
+        replica = ParallelReplica(
+            0, LinkedListService(initial_size=10), workers=3,
+            on_response=responses)
+        replica.start()
+        try:
+            replica.on_deliver(0, (read(3), write(50), read(50)))
+            assert wait_for(lambda: replica.executed == 3)
+            assert replica.executed == 3
+        finally:
+            replica.stop()
+
+    def test_nested_batches_flattened(self, responses):
+        replica = ParallelReplica(0, LinkedListService(initial_size=5),
+                                  workers=2, on_response=responses)
+        replica.start()
+        try:
+            replica.on_deliver(0, ((read(1), read(2)), (read(3),)))
+            assert wait_for(lambda: replica.executed == 3)
+        finally:
+            replica.stop()
+
+    def test_single_command_payload(self, responses):
+        replica = ParallelReplica(0, LinkedListService(initial_size=5),
+                                  workers=1, on_response=responses)
+        replica.start()
+        try:
+            replica.on_deliver(0, read(1))
+            assert wait_for(lambda: replica.executed == 1)
+        finally:
+            replica.stop()
+
+    def test_dedup_skips_duplicate_request(self, responses):
+        replica = ParallelReplica(0, LinkedListService(initial_size=5),
+                                  workers=2, on_response=responses)
+        replica.start()
+        try:
+            command = Command("add", (7,), client_id="c1", request_id=1,
+                              writes=True)
+            replica.on_deliver(0, (command,))
+            assert wait_for(lambda: replica.executed == 1)
+            replica.on_deliver(1, (command,))
+            time.sleep(0.1)
+            assert replica.executed == 1  # not re-executed
+            # But the cached response was resent.
+            resent = [r for c, r, _ in responses.collected
+                      if c.client_id == "c1"]
+            assert len(resent) == 2
+            assert resent[0] == resent[1] is True
+        finally:
+            replica.stop()
+
+    def test_dedup_is_per_client(self, responses):
+        replica = ParallelReplica(0, LinkedListService(initial_size=5),
+                                  workers=2, on_response=responses)
+        replica.start()
+        try:
+            a = Command("add", (1,), client_id="a", request_id=1, writes=True)
+            b = Command("add", (2,), client_id="b", request_id=1, writes=True)
+            replica.on_deliver(0, (a, b))
+            assert wait_for(lambda: replica.executed == 2)
+        finally:
+            replica.stop()
+
+    def test_cached_response_api(self, responses):
+        replica = ParallelReplica(0, LinkedListService(initial_size=5),
+                                  workers=1, on_response=responses)
+        replica.start()
+        try:
+            command = Command("contains", (1,), client_id="c", request_id=3,
+                              writes=False)
+            replica.on_deliver(0, (command,))
+            assert wait_for(
+                lambda: replica.cached_response("c") is not None)
+            assert replica.cached_response("c") == (3, True)
+            assert replica.cached_response("nobody") is None
+        finally:
+            replica.stop()
+
+    def test_stop_drains_workers(self):
+        replica = ParallelReplica(0, LinkedListService(initial_size=5),
+                                  workers=4)
+        replica.start()
+        replica.stop()
+        assert all(not t.is_alive() for t in replica._threads)
+
+    def test_stop_idempotent(self):
+        replica = ParallelReplica(0, LinkedListService(), workers=2)
+        replica.start()
+        replica.stop()
+        replica.stop()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelReplica(0, LinkedListService(), workers=0)
+
+    def test_keyed_service_parallel_consistency(self, responses):
+        replica = ParallelReplica(0, KVStoreService(), workers=4,
+                                  on_response=responses)
+        replica.start()
+        try:
+            commands = []
+            for index in range(200):
+                key = f"k{index % 5}"
+                commands.append(Command("put", (key, index), writes=True))
+            replica.on_deliver(0, tuple(commands))
+            assert wait_for(lambda: replica.executed == 200)
+            # Per-key writes are ordered, so the final value per key is the
+            # last delivered write for that key.
+            snapshot = replica.service.snapshot()
+            assert snapshot == {f"k{i}": 195 + i for i in range(5)}
+        finally:
+            replica.stop()
+
+
+class TestSequentialReplica:
+    def test_executes_in_delivery_order(self, responses):
+        replica = SequentialReplica(0, KVStoreService(),
+                                    on_response=responses)
+        replica.start()
+        try:
+            commands = tuple(
+                Command("put", ("k", index), writes=True)
+                for index in range(50)
+            )
+            replica.on_deliver(0, commands)
+            assert wait_for(lambda: replica.executed == 50)
+            assert replica.service.snapshot() == {"k": 49}
+            order = [response for _, response, _ in responses.collected]
+            # put returns the previous value: strict sequence 0..48.
+            assert order == [None] + list(range(49))
+        finally:
+            replica.stop()
+
+    def test_has_single_worker(self):
+        replica = SequentialReplica(0, KVStoreService())
+        assert replica.workers == 1

@@ -1,0 +1,73 @@
+"""Tests for sequencer-based total-order broadcast."""
+
+import pytest
+
+from repro.broadcast import Deliver, Send, SequencerBroadcast, SequencerStamp
+from repro.errors import ConfigurationError
+
+
+def delivered(actions):
+    return [(a.instance, a.payload) for a in actions if isinstance(a, Deliver)]
+
+
+def sent(actions):
+    return [(a.dst, a.msg) for a in actions if isinstance(a, Send)]
+
+
+class TestSequencer:
+    def test_sequencer_stamps_and_delivers(self):
+        node = SequencerBroadcast(0, 3)
+        actions = node.submit("a")
+        assert delivered(actions) == [(0, "a")]
+        stamps = [msg for _, msg in sent(actions)]
+        assert all(isinstance(m, SequencerStamp) and m.seq == 0 for m in stamps)
+        assert len(stamps) == 2  # to the two other nodes
+
+    def test_non_sequencer_forwards(self):
+        node = SequencerBroadcast(1, 3)
+        actions = node.submit("a")
+        assert sent(actions) == [(0, "a")]
+        assert delivered(actions) == []
+
+    def test_followers_deliver_in_stamp_order(self):
+        node = SequencerBroadcast(1, 3)
+        out_of_order = [SequencerStamp(1, "b"), SequencerStamp(0, "a"),
+                        SequencerStamp(2, "c")]
+        collected = []
+        for msg in out_of_order:
+            collected.extend(delivered(node.on_message(0, msg)))
+        assert collected == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_duplicate_stamps_ignored(self):
+        node = SequencerBroadcast(1, 3)
+        first = node.on_message(0, SequencerStamp(0, "a"))
+        second = node.on_message(0, SequencerStamp(0, "a"))
+        assert delivered(first) == [(0, "a")]
+        assert delivered(second) == []
+
+    def test_forwarded_payload_gets_stamped(self):
+        sequencer = SequencerBroadcast(0, 3)
+        actions = sequencer.on_message(1, "payload")
+        assert delivered(actions) == [(0, "payload")]
+
+    def test_sequence_numbers_increase(self):
+        node = SequencerBroadcast(0, 1)
+        outcomes = [delivered(node.submit(i)) for i in range(5)]
+        assert outcomes == [[(i, i)] for i in range(5)]
+
+    def test_unstamped_at_follower_raises(self):
+        node = SequencerBroadcast(1, 3)
+        with pytest.raises(ConfigurationError):
+            node.on_message(2, "raw payload")
+
+    def test_no_timers(self):
+        node = SequencerBroadcast(0, 3)
+        assert node.start() == []
+        with pytest.raises(ConfigurationError):
+            node.on_timer("anything")
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            SequencerBroadcast(3, 3)
+        with pytest.raises(ConfigurationError):
+            SequencerBroadcast(0, 0)

@@ -1,0 +1,93 @@
+"""Tests for the simulated SMR cluster (Figs. 4-6 environment)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import LIGHT, MODERATE
+from repro.smr.sim_cluster import SimClusterConfig, SimClusterResult, run_sim_cluster
+
+
+def quick(algorithm="lock-free", **overrides):
+    defaults = dict(
+        algorithm=algorithm,
+        workers=4,
+        profile=LIGHT,
+        n_clients=40,
+        warm_ops=200,
+        measure_ops=1_200,
+    )
+    defaults.update(overrides)
+    return SimClusterConfig(**defaults)
+
+
+class TestBasics:
+    def test_produces_throughput_and_latency(self):
+        result = run_sim_cluster(quick())
+        assert isinstance(result, SimClusterResult)
+        assert result.throughput > 0
+        assert 0 < result.latency_mean < 1.0
+        assert result.executed >= 1_200
+
+    def test_all_algorithms_run(self):
+        for algorithm in ("lock-free", "coarse-grained", "fine-grained",
+                          "sequential"):
+            result = run_sim_cluster(quick(algorithm=algorithm, workers=2))
+            assert result.throughput > 0, algorithm
+
+    def test_deterministic(self):
+        first = run_sim_cluster(quick(seed=9))
+        second = run_sim_cluster(quick(seed=9))
+        assert first.throughput == second.throughput
+        assert first.latency_mean == second.latency_mean
+        assert first.events == second.events
+
+    def test_seed_changes_results(self):
+        first = run_sim_cluster(quick(seed=1))
+        second = run_sim_cluster(quick(seed=2))
+        assert first.throughput != second.throughput
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            run_sim_cluster(quick(workers=0))
+        with pytest.raises(ConfigurationError):
+            run_sim_cluster(quick(execute_replicas=5))
+
+
+class TestPaperShapes:
+    def test_parallel_beats_sequential_read_only(self):
+        parallel = run_sim_cluster(quick(algorithm="lock-free", workers=8))
+        sequential = run_sim_cluster(quick(algorithm="sequential", workers=1))
+        assert parallel.throughput > sequential.throughput
+
+    def test_sequential_wins_write_heavy(self):
+        parallel = run_sim_cluster(
+            quick(algorithm="lock-free", workers=8, write_pct=100.0,
+                  profile=LIGHT))
+        sequential = run_sim_cluster(
+            quick(algorithm="sequential", workers=1, write_pct=100.0,
+                  profile=LIGHT))
+        assert sequential.throughput > parallel.throughput * 0.8
+
+    def test_more_clients_more_latency_at_saturation(self):
+        light_load = run_sim_cluster(quick(n_clients=5, profile=MODERATE,
+                                           workers=8))
+        heavy_load = run_sim_cluster(quick(n_clients=150, profile=MODERATE,
+                                           workers=8))
+        assert heavy_load.latency_mean > light_load.latency_mean
+
+    def test_workers_scale_lock_free(self):
+        one = run_sim_cluster(quick(workers=1, profile=MODERATE))
+        eight = run_sim_cluster(quick(workers=8, profile=MODERATE))
+        assert eight.throughput > one.throughput * 3
+
+    def test_smr_overhead_lowers_throughput_vs_standalone(self):
+        from repro.bench.harness import StandaloneConfig, run_standalone
+        standalone = run_standalone(StandaloneConfig(
+            algorithm="lock-free", workers=8, profile=LIGHT,
+            measure_ops=1500, warm_ops=150))
+        smr = run_sim_cluster(quick(workers=8, n_clients=200))
+        assert smr.throughput < standalone.throughput
+
+    def test_execute_replicas_all(self):
+        result = run_sim_cluster(quick(execute_replicas=3))
+        assert result.throughput > 0

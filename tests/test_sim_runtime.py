@@ -1,0 +1,343 @@
+"""Tests for the simulated runtime: processes, primitives, cost charging."""
+
+import pytest
+
+from repro.core.effects import (
+    Acquire,
+    Cas,
+    Down,
+    Load,
+    Release,
+    Signal,
+    Store,
+    Up,
+    Wait,
+    Work,
+)
+from repro.errors import SimulationError
+from repro.sim import SimRuntime, Simulator, SyncCosts
+
+ZERO = SyncCosts(lock_fast=0, lock_remote=0, handoff=0, park=0, wake=0,
+                 atomic_load=0, atomic_rmw=0, semaphore=0, signal=0)
+
+
+def make(costs=ZERO, **kwargs):
+    sim = Simulator()
+    return sim, SimRuntime(sim, costs=costs, **kwargs)
+
+
+class TestProcesses:
+    def test_process_runs_to_completion(self):
+        sim, runtime = make()
+
+        def proc():
+            yield Work(1.0)
+            yield Work(2.0)
+            return "done"
+
+        process = runtime.spawn(proc())
+        sim.run()
+        assert process.done
+        assert process.result == "done"
+        assert sim.now == 3.0
+
+    def test_work_advances_virtual_time(self):
+        sim, runtime = make()
+        stamps = []
+
+        def proc():
+            yield Work(0.5)
+            stamps.append(sim.now)
+            yield Work(0.25)
+            stamps.append(sim.now)
+
+        runtime.spawn(proc())
+        sim.run()
+        assert stamps == [0.5, 0.75]
+
+    def test_processes_overlap_in_virtual_time(self):
+        sim, runtime = make()
+
+        def proc():
+            yield Work(10.0)
+
+        for _ in range(8):
+            runtime.spawn(proc())
+        sim.run()
+        assert sim.now == 10.0  # 8 x 10s of work in 10 virtual seconds
+
+    def test_on_done_callback(self):
+        sim, runtime = make()
+        seen = []
+
+        def proc():
+            yield Work(1.0)
+            return 5
+
+        process = runtime.spawn(proc())
+        process.on_done(lambda p: seen.append(p.result))
+        sim.run()
+        assert seen == [5]
+
+    def test_exception_propagates(self):
+        sim, runtime = make()
+
+        def proc():
+            yield Work(1.0)
+            raise RuntimeError("algorithm bug")
+
+        process = runtime.spawn(proc())
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert isinstance(process.error, RuntimeError)
+
+    def test_livelock_detection(self):
+        sim, runtime = make()
+
+        def spinner():
+            while True:
+                yield Load(runtime.atomic(0))
+
+        runtime.spawn(spinner())
+        with pytest.raises(SimulationError, match="livelock"):
+            sim.run()
+
+
+class TestMutex:
+    def test_mutual_exclusion_in_virtual_time(self):
+        costs = SyncCosts(lock_fast=0, lock_remote=0, handoff=0, park=0,
+                          wake=0, atomic_load=0, atomic_rmw=0, semaphore=0,
+                          signal=0)
+        sim, runtime = make(costs)
+        mutex = runtime.mutex()
+        intervals = []
+
+        def proc():
+            yield Acquire(mutex)
+            start = sim.now
+            yield Work(1.0)
+            intervals.append((start, sim.now))
+            yield Release(mutex)
+
+        for _ in range(3):
+            runtime.spawn(proc())
+        sim.run()
+        assert len(intervals) == 3
+        ordered = sorted(intervals)
+        for (_, end), (start, _) in zip(ordered, ordered[1:]):
+            assert start >= end  # critical sections never overlap
+
+    def test_handoff_cost_charged(self):
+        costs = SyncCosts(lock_fast=0, lock_remote=0, handoff=5.0, park=0,
+                          wake=0, atomic_load=0, atomic_rmw=0, semaphore=0,
+                          signal=0)
+        sim, runtime = make(costs)
+        mutex = runtime.mutex()
+
+        def proc():
+            yield Acquire(mutex)
+            yield Work(1.0)
+            yield Release(mutex)
+
+        runtime.spawn(proc())
+        runtime.spawn(proc())
+        sim.run()
+        # Second process waits for first (1.0) then pays the 5.0 hand-off.
+        assert sim.now == pytest.approx(7.0)
+
+    def test_remote_acquire_cost(self):
+        costs = SyncCosts(lock_fast=1.0, lock_remote=10.0, handoff=0, park=0,
+                          wake=0, atomic_load=0, atomic_rmw=0, semaphore=0,
+                          signal=0)
+        sim, runtime = make(costs)
+        mutex = runtime.mutex()
+
+        def reacquire():
+            yield Acquire(mutex)   # first touch: remote (10)
+            yield Release(mutex)   # release: fast (1)
+            yield Acquire(mutex)   # same holder: fast (1)
+            yield Release(mutex)   # (1)
+
+        runtime.spawn(reacquire())
+        sim.run()
+        assert sim.now == pytest.approx(13.0)
+
+    def test_fifo_fairness(self):
+        sim, runtime = make()
+        mutex = runtime.mutex()
+        order = []
+
+        def proc(tag, delay):
+            yield Work(delay)
+            yield Acquire(mutex)
+            order.append(tag)
+            yield Work(10.0)
+            yield Release(mutex)
+
+        for tag, delay in (("a", 0.0), ("b", 1.0), ("c", 2.0)):
+            runtime.spawn(proc(tag, delay))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestSemaphore:
+    def test_down_blocks_until_up(self):
+        sim, runtime = make()
+        sem = runtime.semaphore(0)
+        stamps = []
+
+        def consumer():
+            yield Down(sem)
+            stamps.append(sim.now)
+
+        def producer():
+            yield Work(4.0)
+            yield Up(sem)
+
+        runtime.spawn(consumer())
+        runtime.spawn(producer())
+        sim.run()
+        assert stamps == [4.0]
+
+    def test_initial_value_consumed_without_blocking(self):
+        sim, runtime = make()
+        sem = runtime.semaphore(2)
+        count = []
+
+        def consumer():
+            yield Down(sem)
+            count.append(sim.now)
+
+        runtime.spawn(consumer())
+        runtime.spawn(consumer())
+        sim.run()
+        assert count == [0.0, 0.0]
+
+    def test_bulk_up_wakes_many(self):
+        sim, runtime = make()
+        sem = runtime.semaphore(0)
+        woken = []
+
+        def consumer(tag):
+            yield Down(sem)
+            woken.append(tag)
+
+        for tag in range(3):
+            runtime.spawn(consumer(tag))
+
+        def producer():
+            yield Work(1.0)
+            yield Up(sem, 3)
+
+        runtime.spawn(producer())
+        sim.run()
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_wake_cost_charged_to_caller(self):
+        costs = SyncCosts(lock_fast=0, lock_remote=0, handoff=0, park=0,
+                          wake=7.0, atomic_load=0, atomic_rmw=0, semaphore=0,
+                          signal=0)
+        sim, runtime = make(costs)
+        sem = runtime.semaphore(0)
+        producer_done = []
+
+        def consumer():
+            yield Down(sem)
+
+        def producer():
+            yield Up(sem)      # wakes the parked consumer: pays 7
+            yield Work(1.0)
+            producer_done.append(sim.now)
+
+        runtime.spawn(consumer())
+        runtime.spawn(producer())
+        sim.run()
+        assert producer_done == [pytest.approx(8.0)]
+
+
+class TestCondition:
+    def test_wait_signal_cycle(self):
+        sim, runtime = make()
+        mutex = runtime.mutex()
+        cond = runtime.condition(mutex)
+        state = {"ready": False}
+        observed = []
+
+        def waiter():
+            yield Acquire(mutex)
+            while not state["ready"]:
+                yield Wait(cond)
+            observed.append(sim.now)
+            yield Release(mutex)
+
+        def signaller():
+            yield Work(3.0)
+            yield Acquire(mutex)
+            state["ready"] = True
+            yield Signal(cond)
+            yield Release(mutex)
+
+        runtime.spawn(waiter())
+        runtime.spawn(signaller())
+        sim.run()
+        assert observed == [3.0]
+
+    def test_signal_without_mutex_raises(self):
+        sim, runtime = make()
+        mutex = runtime.mutex()
+        cond = runtime.condition(mutex)
+
+        def bad():
+            yield Signal(cond)
+
+        runtime.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestAtomics:
+    def test_load_store_cas(self):
+        sim, runtime = make()
+        cell = runtime.atomic(5)
+        results = []
+
+        def proc():
+            results.append((yield Load(cell)))
+            yield Store(cell, 6)
+            results.append((yield Cas(cell, 6, 7)))
+            results.append((yield Cas(cell, 6, 8)))
+            results.append((yield Load(cell)))
+
+        runtime.spawn(proc())
+        sim.run()
+        assert results == [5, True, False, 7]
+
+
+class TestPreemptionModes:
+    def test_effect_mode_interleaves_finer(self):
+        """In effect mode two counters interleave; in quantum mode one
+        process's whole loop runs within a slice."""
+        for mode, expect_interleaved in (("effect", True), ("quantum", False)):
+            sim = Simulator()
+            runtime = SimRuntime(sim, costs=ZERO, preemption=mode)
+            cell = runtime.atomic(None)
+            trace = []
+
+            def proc(tag):
+                for _ in range(5):
+                    yield Store(cell, tag)
+                    trace.append(tag)
+
+            runtime.spawn(proc("a"))
+            runtime.spawn(proc("b"))
+            sim.run()
+            interleaved = trace != sorted(trace)
+            assert interleaved == expect_interleaved, (mode, trace)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            SimRuntime(Simulator(), preemption="bogus")
+
+    def test_quantum_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            SimRuntime(Simulator(), quantum=0)

@@ -1,0 +1,115 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: None))
+        assert sim.run() == 5.0
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 5:
+                sim.schedule(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == list(range(6))
+        assert sim.now == 5.0
+
+
+class TestRunControl:
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_stop_when_checked_periodically(self):
+        sim = Simulator()
+        count = {"fired": 0}
+
+        def tick():
+            count["fired"] += 1
+            sim.schedule(1e-6, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run(stop_when=lambda: count["fired"] >= 1000)
+        # Checked every _STOP_CHECK_INTERVAL events, so slightly over.
+        assert 1000 <= count["fired"] <= 1000 + Simulator._STOP_CHECK_INTERVAL
+
+    def test_step_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+
+        def evil():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(0.0, evil)
+        sim.run()
+
+    def test_empty_run_advances_to_until(self):
+        sim = Simulator()
+        assert sim.run(until=7.0) == 7.0
+        assert sim.now == 7.0
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

@@ -1,0 +1,201 @@
+"""Tests for the threaded runtime: primitives and the effect trampoline."""
+
+import threading
+
+import pytest
+
+from repro.core import ThreadedRuntime
+from repro.core.effects import (
+    Acquire,
+    Cas,
+    Down,
+    Load,
+    Release,
+    Signal,
+    Store,
+    Up,
+    Wait,
+    Work,
+)
+
+
+@pytest.fixture
+def runtime():
+    return ThreadedRuntime()
+
+
+class TestTrampoline:
+    def test_returns_generator_value(self, runtime):
+        def gen():
+            yield Work(0.0)
+            return 42
+
+        assert runtime.run(gen()) == 42
+
+    def test_sends_effect_results_back(self, runtime):
+        cell = runtime.atomic(7)
+
+        def gen():
+            value = yield Load(cell)
+            yield Store(cell, value + 1)
+            return (yield Load(cell))
+
+        assert runtime.run(gen()) == 8
+
+    def test_yield_from_composition(self, runtime):
+        cell = runtime.atomic(0)
+
+        def inner():
+            yield Store(cell, 1)
+            return 10
+
+        def outer():
+            value = yield from inner()
+            return value + (yield Load(cell))
+
+        assert runtime.run(outer()) == 11
+
+    def test_work_is_noop(self, runtime):
+        def gen():
+            yield Work(1e9)  # would be 30 years if it actually slept
+            return "done"
+
+        assert runtime.run(gen()) == "done"
+
+
+class TestAtomic:
+    def test_cas_success(self, runtime):
+        cell = runtime.atomic("a")
+
+        def gen():
+            return (yield Cas(cell, "a", "b"))
+
+        assert runtime.run(gen()) is True
+        assert cell.value == "b"
+
+    def test_cas_failure_leaves_value(self, runtime):
+        cell = runtime.atomic("a")
+
+        def gen():
+            return (yield Cas(cell, "x", "b"))
+
+        assert runtime.run(gen()) is False
+        assert cell.value == "a"
+
+    def test_cas_compares_by_equality(self, runtime):
+        cell = runtime.atomic((1, 2))
+
+        def gen():
+            return (yield Cas(cell, (1, 2), (3,)))
+
+        assert runtime.run(gen()) is True
+
+    def test_cas_is_atomic_under_contention(self, runtime):
+        cell = runtime.atomic(0)
+        winners = []
+
+        def contender(tag):
+            def gen():
+                return (yield Cas(cell, 0, tag))
+
+            if runtime.run(gen()):
+                winners.append(tag)
+
+        threads = [threading.Thread(target=contender, args=(i,))
+                   for i in range(1, 17)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(winners) == 1
+        assert cell.value == winners[0]
+
+
+class TestMutexAndSemaphore:
+    def test_mutex_mutual_exclusion(self, runtime):
+        mutex = runtime.mutex()
+        counter = {"value": 0}
+
+        def gen():
+            for _ in range(500):
+                yield Acquire(mutex)
+                current = counter["value"]
+                counter["value"] = current + 1
+                yield Release(mutex)
+
+        threads = [threading.Thread(target=lambda: runtime.run(gen()))
+                   for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter["value"] == 2000
+
+    def test_semaphore_counts(self, runtime):
+        sem = runtime.semaphore(0)
+        results = []
+
+        def consumer():
+            def gen():
+                yield Down(sem)
+                return True
+
+            results.append(runtime.run(gen()))
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        thread.join(timeout=0.1)
+        assert thread.is_alive()  # blocked at zero
+
+        def producer():
+            yield Up(sem, 1)
+
+        runtime.run(producer())
+        thread.join(timeout=5)
+        assert results == [True]
+
+    def test_semaphore_bulk_up(self, runtime):
+        sem = runtime.semaphore(0)
+
+        def produce():
+            yield Up(sem, 3)
+
+        runtime.run(produce())
+        for _ in range(3):
+            def consume():
+                yield Down(sem)
+
+            runtime.run(consume())  # must not block
+        assert not sem.sem.acquire(blocking=False)
+
+
+class TestConditionVariable:
+    def test_wait_signal(self, runtime):
+        mutex = runtime.mutex()
+        cond = runtime.condition(mutex)
+        state = {"ready": False, "observed": False}
+
+        def waiter():
+            def gen():
+                yield Acquire(mutex)
+                while not state["ready"]:
+                    yield Wait(cond)
+                state["observed"] = True
+                yield Release(mutex)
+
+            runtime.run(gen())
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        thread.join(timeout=0.1)
+        assert thread.is_alive()
+
+        def signaller():
+            yield Acquire(mutex)
+            state["ready"] = True
+            yield Signal(cond)
+            yield Release(mutex)
+
+        runtime.run(signaller())
+        thread.join(timeout=5)
+        assert state["observed"]

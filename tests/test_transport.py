@@ -1,0 +1,114 @@
+"""Tests for the in-memory transport and fault plan."""
+
+import pytest
+
+from repro.broadcast import FaultPlan, ThreadedTransport
+from repro.errors import ConfigurationError, ShutdownError
+
+
+class TestFaultPlan:
+    def test_default_delivers_once(self):
+        plan = FaultPlan(seed=1, min_delay=0, max_delay=0)
+        fate = plan.fate(0, 1)
+        assert fate.copies == 1
+        assert fate.delays == (0.0,)
+
+    def test_loss_drops_messages(self):
+        plan = FaultPlan(seed=1, min_delay=0, max_delay=0, loss=0.5)
+        outcomes = [plan.fate(0, 1).copies for _ in range(500)]
+        assert 100 < outcomes.count(0) < 400
+
+    def test_duplication(self):
+        plan = FaultPlan(seed=1, min_delay=0, max_delay=0, duplication=0.5)
+        outcomes = [plan.fate(0, 1).copies for _ in range(500)]
+        assert outcomes.count(2) > 100
+
+    def test_delays_within_bounds(self):
+        plan = FaultPlan(seed=1, min_delay=0.01, max_delay=0.02)
+        for _ in range(100):
+            for delay in plan.fate(0, 1).delays:
+                assert 0.01 <= delay <= 0.02
+
+    def test_partition_blocks_both_directions(self):
+        plan = FaultPlan(seed=1)
+        plan.partition(0, 2)
+        assert plan.fate(0, 2).copies == 0
+        assert plan.fate(2, 0).copies == 0
+        assert plan.fate(0, 1).copies == 1
+
+    def test_heal(self):
+        plan = FaultPlan(seed=1, min_delay=0, max_delay=0)
+        plan.partition(0, 1)
+        plan.heal(0, 1)
+        assert plan.fate(0, 1).copies == 1
+
+    def test_heal_all(self):
+        plan = FaultPlan(seed=1, min_delay=0, max_delay=0)
+        plan.partition(0, 1)
+        plan.partition(1, 2)
+        plan.heal_all()
+        assert plan.fate(0, 1).copies == 1
+        assert plan.fate(1, 2).copies == 1
+
+    def test_seeded_reproducibility(self):
+        a = FaultPlan(seed=42, loss=0.3, duplication=0.2)
+        b = FaultPlan(seed=42, loss=0.3, duplication=0.2)
+        fates_a = [a.fate(0, 1) for _ in range(100)]
+        fates_b = [b.fate(0, 1) for _ in range(100)]
+        assert fates_a == fates_b
+
+    @pytest.mark.parametrize("kwargs", [
+        {"loss": 1.0},
+        {"loss": -0.1},
+        {"duplication": 1.5},
+        {"min_delay": -1.0},
+        {"min_delay": 2.0, "max_delay": 1.0},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**kwargs)
+
+
+class TestThreadedTransport:
+    def _zero_plan(self):
+        return FaultPlan(min_delay=0, max_delay=0)
+
+    def test_immediate_delivery(self):
+        transport = ThreadedTransport(2, self._zero_plan())
+        transport.send(0, 1, "hello")
+        assert transport.inbox(1).get(timeout=1) == (0, "hello")
+
+    def test_crashed_node_sends_nothing(self):
+        transport = ThreadedTransport(2, self._zero_plan())
+        transport.crash(0)
+        transport.send(0, 1, "x")
+        assert transport.inbox(1).empty()
+
+    def test_crashed_node_receives_nothing(self):
+        transport = ThreadedTransport(2, self._zero_plan())
+        transport.crash(1)
+        transport.send(0, 1, "x")
+        assert transport.inbox(1).empty()
+
+    def test_recover(self):
+        transport = ThreadedTransport(2, self._zero_plan())
+        transport.crash(1)
+        transport.recover(1)
+        transport.send(0, 1, "x")
+        assert transport.inbox(1).get(timeout=1) == (0, "x")
+
+    def test_delayed_delivery(self):
+        plan = FaultPlan(min_delay=0.01, max_delay=0.02)
+        transport = ThreadedTransport(2, plan)
+        transport.send(0, 1, "later")
+        assert transport.inbox(1).get(timeout=2) == (0, "later")
+
+    def test_closed_transport_rejects_send(self):
+        transport = ThreadedTransport(2, self._zero_plan())
+        transport.close()
+        with pytest.raises(ShutdownError):
+            transport.send(0, 1, "x")
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            ThreadedTransport(0)

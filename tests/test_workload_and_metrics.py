@@ -1,0 +1,113 @@
+"""Tests for workload generation and simulation metrics."""
+
+import pytest
+
+from repro.sim import Metrics, Simulator
+from repro.workload import READ_OP, WRITE_OP, WorkloadGenerator
+
+
+class TestWorkloadGenerator:
+    def test_write_percentage_respected(self):
+        generator = WorkloadGenerator(25.0, seed=3)
+        commands = generator.commands(4000)
+        writes = sum(command.writes for command in commands)
+        assert 0.20 < writes / len(commands) < 0.30
+
+    def test_zero_writes(self):
+        generator = WorkloadGenerator(0.0, seed=1)
+        assert not any(c.writes for c in generator.commands(500))
+
+    def test_all_writes(self):
+        generator = WorkloadGenerator(100.0, seed=1)
+        assert all(c.writes for c in generator.commands(500))
+
+    def test_ops_match_write_flag(self):
+        for command in WorkloadGenerator(50.0, seed=2).commands(200):
+            assert command.op == (WRITE_OP if command.writes else READ_OP)
+
+    def test_keys_in_range(self):
+        generator = WorkloadGenerator(50.0, key_space=10, seed=2)
+        assert all(0 <= c.args[0] < 10 for c in generator.commands(300))
+
+    def test_seed_reproducibility(self):
+        a = WorkloadGenerator(30.0, seed=9).commands(100)
+        b = WorkloadGenerator(30.0, seed=9).commands(100)
+        assert [(c.op, c.args) for c in a] == [(c.op, c.args) for c in b]
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(30.0, seed=1).commands(100)
+        b = WorkloadGenerator(30.0, seed=2).commands(100)
+        assert [(c.op, c.args) for c in a] != [(c.op, c.args) for c in b]
+
+    def test_client_id_stamped(self):
+        generator = WorkloadGenerator(10.0, seed=1, client_id="c9")
+        command = generator.next_command()
+        assert command.client_id == "c9"
+        assert command.request_id == 1
+
+    def test_request_ids_increment(self):
+        generator = WorkloadGenerator(10.0, seed=1)
+        ids = [generator.next_command().request_id for _ in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+        assert generator.issued == 5
+
+    def test_iterator_protocol(self):
+        generator = WorkloadGenerator(10.0, seed=1)
+        stream = iter(generator)
+        assert next(stream).uid != next(stream).uid
+
+    @pytest.mark.parametrize("bad", [-1.0, 101.0])
+    def test_invalid_write_pct(self, bad):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(bad)
+
+    def test_invalid_key_space(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(10.0, key_space=0)
+
+
+class TestMetrics:
+    def test_counts(self):
+        metrics = Metrics(Simulator())
+        metrics.incr("x")
+        metrics.incr("x", 2)
+        assert metrics.count("x") == 3
+        assert metrics.count("missing") == 0
+
+    def test_warm_counts_exclude_warmup(self):
+        sim = Simulator()
+        metrics = Metrics(sim)
+        metrics.incr("x", 10)
+        sim.schedule(1.0, metrics.mark_warm)
+        sim.run()
+        metrics.incr("x", 5)
+        assert metrics.warm_count("x") == 5
+        assert metrics.count("x") == 15
+
+    def test_throughput(self):
+        sim = Simulator()
+        metrics = Metrics(sim)
+        sim.schedule(1.0, metrics.mark_warm)
+        sim.schedule(3.0, lambda: metrics.incr("x", 100))
+        sim.run()
+        assert metrics.throughput("x") == pytest.approx(50.0)
+
+    def test_throughput_before_warm_is_zero(self):
+        metrics = Metrics(Simulator())
+        metrics.incr("x")
+        assert metrics.throughput("x") == 0.0
+        assert metrics.warm_count("x") == 0
+
+    def test_latencies_recorded_only_after_warm(self):
+        metrics = Metrics(Simulator())
+        metrics.record_latency(9.0)  # dropped: warm-up
+        metrics.mark_warm()
+        metrics.record_latency(1.0)
+        metrics.record_latency(3.0)
+        mean, median, p99 = metrics.latency_stats()
+        assert mean == pytest.approx(2.0)
+        assert median == 3.0
+        assert p99 == 3.0
+
+    def test_empty_latency_stats(self):
+        assert Metrics(Simulator()).latency_stats() == (0.0, 0.0, 0.0)
