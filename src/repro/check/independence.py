@@ -1,0 +1,46 @@
+"""Effect independence relation for schedule-space pruning.
+
+Two pending effects of *different* processes are **independent** when firing
+them in either order reaches the same state — in which case the explorer does
+not need to try both orders (sleep-set pruning, Godefroid 1996).  The relation
+here is syntactic and sound:
+
+- ``Work`` is independent with everything (it only advances local state).
+- Effects whose primitive-handle target sets (see
+  :func:`repro.core.effects.effect_targets`) are disjoint are independent:
+  an ``Acquire``/``Release`` pair on different mutexes, ``Load``/``Store``/
+  ``Cas`` on different atomic cells, ``Down``/``Up`` on different semaphores.
+- Two ``Load`` effects commute even on the same cell (both only read).
+- Anything else sharing a handle is conservatively dependent.
+
+Soundness matters more than precision: declaring dependent effects
+independent would prune real interleavings and could miss bugs; the reverse
+only costs exploration time.
+"""
+
+from __future__ import annotations
+
+from repro.core.effects import Effect, effect_is_read, effect_targets
+
+__all__ = ["independent"]
+
+
+def independent(first: Effect, second: Effect) -> bool:
+    """True when the two effects commute (may skip exploring both orders)."""
+    targets_first = effect_targets(first)
+    if not targets_first:
+        return True
+    targets_second = effect_targets(second)
+    if not targets_second:
+        return True
+    shared = False
+    for handle in targets_first:
+        for other in targets_second:
+            if handle is other:
+                shared = True
+                break
+        if shared:
+            break
+    if not shared:
+        return True
+    return effect_is_read(first) and effect_is_read(second)

@@ -1,0 +1,140 @@
+"""Executable COS sequential specification (paper §3.3) as a schedule oracle.
+
+The checker harness reports every COS operation it completes to a
+:class:`SpecOracle`, which validates the observed history against the
+sequential specification:
+
+- ``get`` returns a command at most once (**double-get**);
+- ``get`` returns ``c`` only when every conflicting command delivered before
+  ``c`` has left the structure, i.e. its ``remove`` has begun — the worker
+  has finished executing it (**conflict-order**; this subsumes FIFO order
+  within conflict classes, because commands of one class pairwise conflict);
+- the live population — inserts completed minus removes completed — never
+  exceeds the structure's capacity (**bounded-size**);
+- for the lazy lock-free graph, the arrival list immediately after an
+  ``insert`` completes holds at most ``max_size`` nodes: the single-writer
+  traversal must have unlinked every logically removed node it passed
+  (**graph-leak**, the ``chain_stats_unsafe`` bound);
+- at the end of a schedule every delivered command was returned by ``get``
+  and removed exactly once (**lost-command**).
+
+Violations are raised as :class:`~repro.errors.CheckViolation` the moment
+they are observed, so the explorer can stop the schedule at the exact
+offending step — which also gives the shrinker a tight truncation point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.command import Command, ConflictRelation
+from repro.errors import CheckViolation
+
+__all__ = ["SpecOracle", "Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One specification violation found in an explored schedule.
+
+    Attributes:
+        kind: Machine-readable class, matching
+            :class:`~repro.errors.CheckViolation` kinds.
+        message: Human-readable description with the offending commands.
+        step: Index into the decision sequence at which the violation was
+            observed, or ``None`` for end-of-schedule checks.
+    """
+
+    kind: str
+    message: str
+    step: Optional[int] = None
+
+    def describe(self) -> str:
+        at = "" if self.step is None else f" at step {self.step}"
+        return f"[{self.kind}]{at}: {self.message}"
+
+
+class SpecOracle:
+    """Checks one controlled execution against the COS specification."""
+
+    def __init__(self, commands: Sequence[Command],
+                 conflicts: ConflictRelation, max_size: int):
+        self._conflicts = conflicts
+        self._max_size = max_size
+        # Delivery order is the scheduler's (sequential) insert order.
+        self._delivery: Dict[int, int] = {
+            cmd.uid: index for index, cmd in enumerate(commands)}
+        self._commands: List[Command] = list(commands)
+        self._inserted_done: Dict[int, bool] = {}
+        self._got: Dict[int, bool] = {}
+        self._removed_started: Dict[int, bool] = {}
+        self._removed_done: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------- op hooks
+
+    def after_insert(self, cmd: Command) -> None:
+        self._inserted_done[cmd.uid] = True
+        live = len(self._inserted_done) - len(self._removed_done)
+        if live > self._max_size:
+            raise CheckViolation(
+                "bounded-size",
+                f"{live} commands resident after inserting {cmd!r}, but "
+                f"max_size={self._max_size}")
+
+    def check_chain(self, cmd: Command, live: int, removed: int) -> None:
+        """Lock-free lazy-removal bound, checked right after an insert:
+        the traversal just unlinked every node it saw logically removed, so
+        the whole arrival list fits in the capacity."""
+        if live + removed > self._max_size:
+            raise CheckViolation(
+                "graph-leak",
+                f"arrival list holds {live} live + {removed} logically "
+                f"removed nodes after inserting {cmd!r}, but "
+                f"max_size={self._max_size}: helped removal is not "
+                f"unlinking garbage")
+
+    def on_get(self, cmd: Command) -> None:
+        if cmd.uid in self._got:
+            raise CheckViolation(
+                "double-get", f"get() returned {cmd!r} twice")
+        if cmd.uid not in self._delivery:
+            raise CheckViolation(
+                "double-get", f"get() returned unknown command {cmd!r}")
+        my_index = self._delivery[cmd.uid]
+        for other in self._commands[:my_index]:
+            if not self._conflicts.conflicts(other, cmd):
+                continue
+            if other.uid not in self._removed_started:
+                raise CheckViolation(
+                    "conflict-order",
+                    f"get() returned {cmd!r} while conflicting predecessor "
+                    f"{other!r} (delivered earlier) is still in the "
+                    f"structure")
+        self._got[cmd.uid] = True
+
+    def before_remove(self, cmd: Command) -> None:
+        if cmd.uid not in self._got:
+            raise CheckViolation(
+                "invalid-remove", f"remove() of never-returned {cmd!r}")
+        if cmd.uid in self._removed_started:
+            raise CheckViolation(
+                "invalid-remove", f"remove() of already-removed {cmd!r}")
+        self._removed_started[cmd.uid] = True
+
+    def after_remove(self, cmd: Command) -> None:
+        self._removed_done[cmd.uid] = True
+
+    # --------------------------------------------------------- final checks
+
+    def final_check(self) -> Optional[Violation]:
+        """End-of-schedule completeness: everything executed exactly once."""
+        for cmd in self._commands:
+            if cmd.uid not in self._got:
+                return Violation(
+                    "lost-command",
+                    f"{cmd!r} was delivered but never returned by get()")
+            if cmd.uid not in self._removed_done:
+                return Violation(
+                    "lost-command", f"{cmd!r} was executed but never removed")
+        return None

@@ -1,0 +1,82 @@
+"""Deterministic counterexample replay files.
+
+A replay file is a small JSON document freezing everything a violation
+needs to reproduce: the program configuration (the workload is derived
+deterministically from it) and the exact decision sequence.  Replays are
+*strict*: a decision naming a non-runnable process is an error, never a
+silent divergence — if the file replays, it replays the recorded schedule
+bit-for-bit.
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "config": {"algorithm": "lock-free", "workers": 3, ...},
+      "decisions": ["scheduler", "scheduler", "worker-0", ...],
+      "violation": {"kind": "double-get", "message": "...", "step": 41}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.check.harness import CheckConfig, run_with_decisions
+from repro.check.oracle import Violation
+from repro.errors import SimulationError
+
+__all__ = ["save_replay", "load_replay", "replay"]
+
+_VERSION = 1
+
+
+def save_replay(path: str, config: CheckConfig, decisions: List[str],
+                violation: Violation) -> None:
+    """Write a counterexample replay file."""
+    document = {
+        "version": _VERSION,
+        "config": config.as_dict(),
+        "decisions": list(decisions),
+        "violation": {
+            "kind": violation.kind,
+            "message": violation.message,
+            "step": violation.step,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def load_replay(path: str) -> Tuple[CheckConfig, List[str], Violation]:
+    """Read a replay file back into (config, decisions, recorded violation)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document: Dict[str, Any] = json.load(handle)
+    if document.get("version") != _VERSION:
+        raise SimulationError(
+            f"unsupported replay file version {document.get('version')!r}")
+    config = CheckConfig.from_dict(document["config"])
+    recorded = document["violation"]
+    violation = Violation(recorded["kind"], recorded["message"],
+                          recorded.get("step"))
+    return config, list(document["decisions"]), violation
+
+
+def replay(path: str, *, max_steps: int = 50_000) -> Optional[Violation]:
+    """Strictly re-execute a replay file; returns the violation observed.
+
+    Returns ``None`` if the recorded schedule no longer violates the
+    specification (e.g. the bug was fixed), and raises
+    :class:`~repro.errors.SimulationError` if the recorded decisions no
+    longer apply to the program (the implementation's effect sequence
+    changed).
+    """
+    config, decisions, _recorded = load_replay(path)
+    exe = run_with_decisions(config, decisions, strict=True,
+                             max_steps=max_steps)
+    if exe.violation is not None:
+        return exe.violation
+    if not exe.runnable():
+        return exe.terminal_violation()
+    return None

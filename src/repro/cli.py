@@ -9,6 +9,9 @@ Subcommands:
 - ``smr --algorithm A --workers N [...]`` — one simulated SMR run
   (paper §7.4), printing throughput and latency.
 - ``ablations [--full]`` — run the ablation sweeps.
+- ``check --algorithm A --workers N --commands M [...]`` — systematically
+  model-check the algorithm's schedule space against the COS sequential
+  specification (see ``docs/model_checking.md``).
 """
 
 from __future__ import annotations
@@ -79,6 +82,36 @@ def _build_parser() -> argparse.ArgumentParser:
 
     ablations = sub.add_parser("ablations", help="run ablation sweeps")
     ablations.add_argument("--full", action="store_true")
+
+    check = sub.add_parser(
+        "check",
+        help="systematic schedule-space model check against the COS spec")
+    check.add_argument("--algorithm", default="lock-free",
+                       help="COS algorithm (underscores accepted, e.g. "
+                            "lock_free)")
+    check.add_argument("--workers", type=int, default=3)
+    check.add_argument("--commands", type=int, default=5)
+    check.add_argument("--max-size", type=int, default=4,
+                       help="graph capacity under check")
+    check.add_argument("--write-every", type=int, default=2,
+                       help="every Nth command writes (0 = all reads)")
+    check.add_argument("--max-schedules", type=int, default=300,
+                       help="exploration budget (schedules)")
+    check.add_argument("--max-steps", type=int, default=20000,
+                       help="depth bound per schedule (effects)")
+    check.add_argument("--no-dpor", action="store_true",
+                       help="disable sleep-set pruning (naive DFS)")
+    check.add_argument("--seed", type=int, default=0,
+                       help="seed for the random-walk exploration stage")
+    check.add_argument("--mutant", default=None,
+                       help="check a seeded-bug variant (see repro.check."
+                            "mutants) instead of the real implementation")
+    check.add_argument("--replay", metavar="FILE",
+                       help="re-run a recorded counterexample file instead "
+                            "of exploring")
+    check.add_argument("--replay-out", metavar="FILE",
+                       default="repro-check-counterexample.json",
+                       help="where to write a found counterexample")
     return parser
 
 
@@ -142,6 +175,63 @@ def _cmd_smr(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import CheckConfig, run_check
+    from repro.check.replay import replay as replay_file
+    from repro.check.replay import save_replay
+
+    if args.replay:
+        try:
+            violation = replay_file(args.replay, max_steps=args.max_steps)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot replay {args.replay}: {error}",
+                  file=sys.stderr)
+            return 2
+        if violation is None:
+            print(f"replay {args.replay}: no violation (schedule now passes)")
+            return 0
+        print(f"replay {args.replay}: reproduced {violation.describe()}")
+        return 1
+
+    config = CheckConfig(
+        algorithm=args.algorithm.replace("_", "-"),
+        workers=args.workers,
+        commands=args.commands,
+        max_size=args.max_size,
+        write_every=args.write_every,
+        mutant=args.mutant,
+    )
+    try:
+        report = run_check(
+            config,
+            max_schedules=args.max_schedules,
+            max_steps=args.max_steps,
+            use_sleep_sets=not args.no_dpor,
+            seed=args.seed,
+        )
+    except ValueError as error:  # unknown algorithm / unknown mutant
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    mutant = f" mutant={config.mutant}" if config.mutant else ""
+    print(f"check algorithm={config.algorithm}{mutant} "
+          f"workers={config.workers} commands={config.commands} "
+          f"max_size={config.max_size}")
+    print(report.result.describe())
+    if report.ok:
+        return 0
+    if report.shrunk is not None:
+        shrunk = report.shrunk
+        print(f"shrunk counterexample: {len(shrunk.decisions)} decisions, "
+              f"{shrunk.context_switches} context switches "
+              f"({shrunk.candidates_tried} candidates tried)")
+        save_replay(args.replay_out, config, shrunk.decisions,
+                    shrunk.violation)
+        print(f"replay file written to {args.replay_out} "
+              f"(re-run with: python -m repro check --replay "
+              f"{args.replay_out})")
+    return 1
+
+
 def _cmd_ablations(args: argparse.Namespace) -> int:
     quick = not args.full
     for runner in (ablation_graph_size, ablation_batch_size,
@@ -158,6 +248,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "standalone": _cmd_standalone,
         "smr": _cmd_smr,
         "ablations": _cmd_ablations,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

@@ -22,7 +22,7 @@ dominates the simulator's inner loop.  Treat instances as immutable.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Tuple
 
 __all__ = [
     "Effect",
@@ -37,6 +37,8 @@ __all__ = [
     "Store",
     "Cas",
     "Work",
+    "effect_targets",
+    "effect_is_read",
 ]
 
 
@@ -196,3 +198,34 @@ class Work(Effect):
 
     def __repr__(self) -> str:
         return f"Work({self.cost!r})"
+
+
+def effect_targets(effect: Effect) -> Tuple[Any, ...]:
+    """The primitive handles an effect touches, for independence analysis.
+
+    Two effects performed by different processes *commute* (their order does
+    not matter) unless their target sets intersect.  ``Work`` touches nothing;
+    condition-variable effects touch both the condition and its mutex, because
+    ``Wait`` releases the mutex and ``Signal``/``SignalAll`` requeue waiters
+    onto it.
+    """
+    cls = type(effect)
+    if cls is Work:
+        return ()
+    if cls is Load or cls is Store or cls is Cas:
+        return (effect.cell,)
+    if cls is Acquire or cls is Release:
+        return (effect.mutex,)
+    if cls is Down or cls is Up:
+        return (effect.semaphore,)
+    if cls is Wait or cls is Signal or cls is SignalAll:
+        condition = effect.condition
+        mutex = getattr(condition, "mutex", None)
+        return (condition,) if mutex is None else (condition, mutex)
+    raise TypeError(f"unknown effect {effect!r}")
+
+
+def effect_is_read(effect: Effect) -> bool:
+    """True for effects that only observe state (``Load``): two reads of the
+    same handle commute, everything else on a shared handle does not."""
+    return type(effect) is Load

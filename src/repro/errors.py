@@ -27,5 +27,21 @@ class SchedulerError(ReproError):
     """A COS scheduler invariant was violated."""
 
 
+class CheckViolation(ReproError):
+    """The schedule-space model checker observed a COS specification
+    violation (see :mod:`repro.check`).
+
+    Attributes:
+        kind: Machine-readable violation class (``"double-get"``,
+            ``"conflict-order"``, ``"bounded-size"``, ``"graph-leak"``,
+            ``"deadlock"``, ``"lost-command"``, ``"invalid-remove"``,
+            ``"crash"``).
+    """
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+
+
 class ShutdownError(ReproError):
     """An operation was attempted on a component that has been shut down."""

@@ -5,7 +5,7 @@ drives on OS threads are interpreted here as simulated processes.  Each
 effect charges its cost from the :class:`~repro.sim.costs.SyncCosts` model;
 blocking effects suspend the process until a simulated peer wakes it.
 
-Two preemption modes:
+Four preemption modes:
 
 - ``"quantum"`` (default): a process runs synchronously until it blocks or
   accumulates ``quantum`` seconds of charged cost, then reschedules itself.
@@ -16,20 +16,29 @@ Two preemption modes:
   shake out algorithm races that quantum mode would hide.
 - ``"fuzz"``: like ``"effect"``, but every effect also gets a small random
   delay from a seeded RNG, so different seeds explore *different* (still
-  reproducible) interleavings.  A loop over seeds is a cheap systematic
+  reproducible) interleavings.  A loop over seeds is a cheap randomized
   schedule explorer for the lock-free algorithms.
+- ``"controlled"``: no clock and no RNG — every scheduling decision (which
+  runnable process fires its next effect) is taken by an external driver
+  through :meth:`SimRuntime.runnable_processes` /
+  :meth:`SimRuntime.controlled_step`.  Each runnable process exposes the
+  exact effect it will perform next (:meth:`SimRuntime.pending_effect`),
+  which is what the systematic schedule-space explorer in
+  :mod:`repro.check` needs for independence-based pruning.  Virtual time
+  does not advance; ``Work`` effects are no-ops.
 """
 
 from __future__ import annotations
 
 import random
 from functools import partial
-from typing import Any, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.effects import (
     Acquire,
     Cas,
     Down,
+    Effect,
     Load,
     Release,
     Signal,
@@ -53,6 +62,9 @@ __all__ = ["SimRuntime"]
 #: the simulation at a single virtual instant).
 _LIVELOCK_LIMIT = 1_000_000
 
+#: Accepted ``preemption`` constructor arguments, in documentation order.
+_PREEMPTION_MODES = ("quantum", "effect", "fuzz", "controlled")
+
 
 class SimRuntime(Runtime):
     """Runtime executing effect generators as simulated processes."""
@@ -66,18 +78,26 @@ class SimRuntime(Runtime):
         fuzz_seed: int = 0,
         fuzz_jitter: float = 2e-7,
     ):
-        if preemption not in ("quantum", "effect", "fuzz"):
-            raise SimulationError(f"unknown preemption mode {preemption!r}")
+        if preemption not in _PREEMPTION_MODES:
+            raise SimulationError(
+                f"unknown preemption mode {preemption!r}; valid modes: "
+                + ", ".join(repr(mode) for mode in _PREEMPTION_MODES))
         if quantum <= 0:
             raise SimulationError(f"quantum must be positive, got {quantum}")
         self._sim = simulator
         self._costs = costs
         self._quantum = quantum
         self._per_effect = preemption in ("effect", "fuzz")
+        self._controlled = preemption == "controlled"
         self._fuzz: Optional[random.Random] = (
             random.Random(fuzz_seed) if preemption == "fuzz" else None)
         self._fuzz_jitter = fuzz_jitter
         self._spawned = 0
+        # Controlled-mode state: processes in spawn order, the next effect of
+        # each runnable process, and what each blocked process waits on.
+        self._procs: List[SimProcess] = []
+        self._pending: Dict[SimProcess, Effect] = {}
+        self._blocked_on: Dict[SimProcess, Effect] = {}
 
     # ------------------------------------------------------------ factories
 
@@ -104,7 +124,11 @@ class SimRuntime(Runtime):
         """Start interpreting ``gen`` as a new simulated process."""
         self._spawned += 1
         proc = SimProcess(gen, name or f"proc-{self._spawned}")
-        self._sim.schedule(0.0, partial(self._interpret, proc, None))
+        if self._controlled:
+            self._procs.append(proc)
+            self._poll(proc, None)
+        else:
+            self._sim.schedule(0.0, partial(self._interpret, proc, None))
         return proc
 
     @property
@@ -114,11 +138,104 @@ class SimRuntime(Runtime):
     # ---------------------------------------------------------- interpreter
 
     def _schedule_resume(self, proc: SimProcess, value: Any, delay: float) -> None:
+        if self._controlled:
+            # A peer unblocked this process: it becomes runnable again and
+            # its next effect is exposed to the external scheduler.
+            self._blocked_on.pop(proc, None)
+            self._poll(proc, value)
+            return
         if self._fuzz is not None:
             # Seeded jitter on every resume path (including blocking
             # wakeups) so each seed explores a distinct interleaving.
             delay += self._fuzz.random() * self._fuzz_jitter
         self._sim.schedule(delay, partial(self._interpret, proc, value))
+
+    # ------------------------------------------------------ controlled mode
+
+    def _poll(self, proc: SimProcess, value: Any) -> None:
+        """Advance ``proc`` to its next ``yield`` and expose that effect."""
+        try:
+            effect = proc.gen.send(value)
+        except StopIteration as stop:
+            proc.finish(stop.value)
+            return
+        except Exception as error:  # algorithm bug: crash loudly
+            proc.finish(None, error=error)
+            raise
+        self._pending[proc] = effect
+
+    def runnable_processes(self) -> List[SimProcess]:
+        """Processes that can fire an effect right now, in spawn order.
+
+        Controlled mode only.  Spawn order makes decision indices stable
+        across re-executions of the same program, which the explorer's
+        prefix replay relies on.
+        """
+        return [proc for proc in self._procs if proc in self._pending]
+
+    def pending_effect(self, proc: SimProcess) -> Effect:
+        """The effect ``proc`` will perform on its next controlled step."""
+        return self._pending[proc]
+
+    def blocked_processes(self) -> List[SimProcess]:
+        """Live processes waiting on a primitive, in spawn order."""
+        return [proc for proc in self._procs if proc in self._blocked_on]
+
+    def blocking_effect(self, proc: SimProcess) -> Effect:
+        """The effect a blocked process is parked on (for diagnostics)."""
+        return self._blocked_on[proc]
+
+    def controlled_step(self, proc: SimProcess) -> None:
+        """Perform ``proc``'s pending effect (controlled mode only).
+
+        Non-blocking effects immediately re-poll the process, so it either
+        becomes runnable again with a new pending effect or finishes.  A
+        blocking effect parks the process on its primitive; the peer that
+        later releases/ups/signals makes it runnable again.  Costs are not
+        charged and virtual time does not advance: controlled mode explores
+        *orderings*, not timings.
+        """
+        if not self._controlled:
+            raise SimulationError(
+                "controlled_step() requires preemption='controlled'")
+        try:
+            effect = self._pending.pop(proc)
+        except KeyError:
+            raise SimulationError(
+                f"{proc.name} is not runnable (done or blocked)") from None
+        cls = type(effect)
+        value: Any = None
+        if cls is Work:
+            pass
+        elif cls is Load:
+            value = effect.cell.value
+        elif cls is Cas:
+            value = effect.cell.compare_and_set(effect.expected, effect.new)
+        elif cls is Store:
+            effect.cell.value = effect.value
+        elif cls is Acquire:
+            if not effect.mutex.acquire(proc):
+                self._blocked_on[proc] = effect
+                return  # blocked; release() will re-poll us
+        elif cls is Release:
+            effect.mutex.release(proc)
+        elif cls is Down:
+            if not effect.semaphore.down(proc):
+                self._blocked_on[proc] = effect
+                return  # blocked; up() will re-poll us
+        elif cls is Up:
+            effect.semaphore.up(effect.amount)
+        elif cls is Wait:
+            effect.condition.wait(proc)
+            self._blocked_on[proc] = effect
+            return  # blocked; signal + mutex hand-off will re-poll us
+        elif cls is Signal:
+            effect.condition.signal(proc)
+        elif cls is SignalAll:
+            effect.condition.signal_all(proc)
+        else:
+            raise SimulationError(f"unknown effect {effect!r}")
+        self._poll(proc, value)
 
     def _interpret(self, proc: SimProcess, value: Any) -> None:
         """Advance ``proc`` until it blocks, exhausts its quantum, or ends."""

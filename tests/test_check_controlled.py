@@ -1,0 +1,141 @@
+"""Unit tests for ``SimRuntime``'s ``"controlled"`` preemption mode.
+
+Controlled mode is the model checker's substrate: every runnable process
+holds exactly one pending effect, and nothing happens until the driver
+fires it with ``controlled_step``.  These tests pin the mode's contract —
+spawn-order enumeration, effect visibility, blocking/retry semantics, and
+full determinism — independently of the explorer built on top of it.
+"""
+
+import pytest
+
+from repro.core.effects import Acquire, Down, Load, Release, Store, Up, Work
+from repro.errors import SimulationError
+from repro.sim import SimRuntime, Simulator
+
+
+def controlled_runtime() -> SimRuntime:
+    return SimRuntime(Simulator(), preemption="controlled")
+
+
+def test_unknown_mode_error_lists_valid_modes():
+    with pytest.raises(SimulationError) as err:
+        SimRuntime(Simulator(), preemption="chaos")
+    message = str(err.value)
+    for mode in ("quantum", "effect", "fuzz", "controlled"):
+        assert mode in message, f"error should name mode {mode!r}"
+
+
+def test_runnable_processes_in_spawn_order():
+    runtime = controlled_runtime()
+
+    def proc():
+        yield Work(0)
+
+    for name in ("c", "a", "b"):
+        runtime.spawn(proc(), name)
+    assert [p.name for p in runtime.runnable_processes()] == ["c", "a", "b"]
+
+
+def test_pending_effect_is_visible_and_steps_fire_it():
+    runtime = controlled_runtime()
+    cell = runtime.atomic(0)
+    seen = {}
+
+    def proc():
+        yield Store(cell, 41)
+        seen["load"] = yield Load(cell)
+        return "done"
+
+    process = runtime.spawn(proc(), "p")
+    assert isinstance(runtime.pending_effect(process), Store)
+    assert cell.value == 0, "spawning must not execute anything"
+    runtime.controlled_step(process)
+    assert cell.value == 41
+    assert isinstance(runtime.pending_effect(process), Load)
+    # The step that fires the last effect also observes StopIteration: the
+    # process finishes immediately, with no separate "return" step.
+    runtime.controlled_step(process)
+    assert seen["load"] == 41
+    assert process.done and process.result == "done"
+    assert runtime.runnable_processes() == []
+
+
+def test_acquire_blocks_until_release():
+    runtime = controlled_runtime()
+    mutex = runtime.mutex()
+    order = []
+
+    def holder():
+        yield Acquire(mutex)
+        order.append("holder-in")
+        yield Work(0)
+        yield Release(mutex)
+
+    def waiter():
+        yield Acquire(mutex)
+        order.append("waiter-in")
+        yield Release(mutex)
+
+    a = runtime.spawn(holder(), "holder")
+    b = runtime.spawn(waiter(), "waiter")
+    runtime.controlled_step(a)                       # holder takes the lock
+    runtime.controlled_step(b)                       # waiter parks
+    assert b in runtime.blocked_processes()
+    assert isinstance(runtime.blocking_effect(b), Acquire)
+    assert [p.name for p in runtime.runnable_processes()] == ["holder"]
+    runtime.controlled_step(a)                       # Work
+    runtime.controlled_step(a)                       # Release -> waiter wakes
+    assert b in runtime.runnable_processes()
+    while runtime.runnable_processes():
+        runtime.controlled_step(runtime.runnable_processes()[0])
+    assert order == ["holder-in", "waiter-in"]
+
+
+def test_semaphore_down_blocks_until_up():
+    runtime = controlled_runtime()
+    sem = runtime.semaphore(0)
+
+    def consumer():
+        yield Down(sem)
+
+    def producer():
+        yield Up(sem)
+
+    c = runtime.spawn(consumer(), "consumer")
+    p = runtime.spawn(producer(), "producer")
+    runtime.controlled_step(c)
+    assert c in runtime.blocked_processes()
+    runtime.controlled_step(p)
+    # Down was the consumer's last effect: waking re-polls it and it ends.
+    assert c.done
+
+
+def test_controlled_mode_replays_deterministically():
+    def build():
+        runtime = controlled_runtime()
+        cell = runtime.atomic(0)
+
+        def writer(value):
+            current = yield Load(cell)
+            yield Store(cell, current + value)
+
+        runtime.spawn(writer(1), "w1")
+        runtime.spawn(writer(2), "w2")
+        return runtime, cell
+
+    def drive(decisions):
+        runtime, cell = build()
+        for name in decisions:
+            by_name = {p.name: p for p in runtime.runnable_processes()}
+            runtime.controlled_step(by_name[name])
+        return cell.value
+
+    # The lost-update race: both interleavings are reachable and chosen
+    # purely by the decision sequence, never by runtime-internal state.
+    sequential = ["w1", "w1", "w2", "w2"]
+    assert drive(sequential) == drive(sequential) == 3
+    racy = ["w1", "w2", "w1", "w2"]
+    assert drive(racy) == drive(racy)
+    assert drive(sequential) != drive(racy), (
+        "interleaving choice must be observable (lost update)")

@@ -1,0 +1,212 @@
+"""Explorer unit tests on small synthetic programs plus the real COS.
+
+The synthetic programs have schedule spaces small enough to count by hand,
+so these tests pin the explorer's core claims: exhaustive coverage, sound
+sleep-set pruning (fewer schedules, no missed interleaving or deadlock),
+CHESS-style preemption bounding, and seeded-random reproducibility.
+"""
+
+from math import comb
+
+import pytest
+
+from repro.check.explorer import explore, explore_random
+from repro.check.harness import CheckConfig, CheckExecution
+from repro.check.oracle import Violation
+from repro.core.effects import Acquire, Load, Release, Store
+from repro.errors import CheckViolation
+from repro.sim import SimRuntime, Simulator
+
+
+class SyntheticExecution:
+    """Minimal CheckExecution-alike over an arbitrary controlled program.
+
+    ``build(runtime)`` spawns the processes; the explorer only needs the
+    driving surface below (runnable/step/pending_effect/terminal verdict).
+    """
+
+    def __init__(self, build):
+        self.runtime = SimRuntime(Simulator(), preemption="controlled")
+        self.trace = []
+        self.violation = None
+        self.state = build(self.runtime)
+
+    def runnable(self):
+        if self.violation is not None:
+            return []
+        return self.runtime.runnable_processes()
+
+    def pending_effect(self, proc):
+        return self.runtime.pending_effect(proc)
+
+    def step(self, proc):
+        step_index = len(self.trace)
+        self.trace.append(proc.name)
+        try:
+            self.runtime.controlled_step(proc)
+        except CheckViolation as violation:
+            self.violation = Violation(violation.kind, str(violation),
+                                       step=step_index)
+
+    def step_by_name(self, name):
+        for proc in self.runnable():
+            if proc.name == name:
+                self.step(proc)
+                return True
+        return False
+
+    def terminal_violation(self):
+        if self.violation is not None:
+            return self.violation
+        blocked = self.runtime.blocked_processes()
+        if blocked:
+            names = ", ".join(proc.name for proc in blocked)
+            return Violation("deadlock", f"blocked: {names}",
+                             step=len(self.trace))
+        return None
+
+
+def independent_writers(runtime):
+    """Two processes, each two Stores to its own cell: all steps commute."""
+
+    def writer(cell):
+        yield Store(cell, 1)
+        yield Store(cell, 2)
+
+    for name in ("p", "q"):
+        runtime.spawn(writer(runtime.atomic(0)), name)
+
+
+def racing_writers(runtime):
+    """Two read-modify-write processes on one shared cell."""
+    cell = runtime.atomic(0)
+
+    def writer(increment):
+        current = yield Load(cell)
+        yield Store(cell, current + increment)
+
+    runtime.spawn(writer(1), "p")
+    runtime.spawn(writer(2), "q")
+    return cell
+
+
+def ab_ba_deadlock(runtime):
+    """The classic lock-order inversion: p takes A then B, q takes B then A."""
+    lock_a, lock_b = runtime.mutex(), runtime.mutex()
+
+    def locker(first, second, name_unused):
+        yield Acquire(first)
+        yield Acquire(second)
+        yield Release(second)
+        yield Release(first)
+
+    runtime.spawn(locker(lock_a, lock_b, "p"), "p")
+    runtime.spawn(locker(lock_b, lock_a, "q"), "q")
+
+
+def test_naive_dfs_is_exhaustive_on_independent_writers():
+    result = explore(lambda: SyntheticExecution(independent_writers),
+                     max_schedules=100, use_sleep_sets=False)
+    assert result.exhausted
+    assert result.violation is None
+    # Two processes of two steps each: C(4, 2) = 6 interleavings.
+    assert result.schedules_explored == comb(4, 2)
+
+
+def test_sleep_sets_collapse_commuting_interleavings():
+    naive = explore(lambda: SyntheticExecution(independent_writers),
+                    max_schedules=100, use_sleep_sets=False)
+    pruned = explore(lambda: SyntheticExecution(independent_writers),
+                     max_schedules=100, use_sleep_sets=True)
+    assert pruned.exhausted and pruned.violation is None
+    # Every interleaving commutes, so only one representative runs to the
+    # end; sleep sets (without persistent sets) still *enter* a couple of
+    # redundant branches but put them fully to sleep within a step or two.
+    assert pruned.schedules_explored < naive.schedules_explored
+    assert pruned.transitions < naive.transitions
+    assert pruned.schedules_pruned > 0
+
+
+def test_sleep_sets_keep_conflicting_interleavings():
+    finals = set()
+
+    def run_and_record(use_sleep_sets):
+        outcomes = set()
+
+        def make():
+            return SyntheticExecution(racing_writers)
+
+        # Walk the space manually via explore's own frames by sampling all
+        # schedules: exhaustively explore and record each terminal state
+        # through a tiny wrapper that captures the cell value.
+        class Recording(SyntheticExecution):
+            def terminal_violation(self):
+                if not self.runnable() and self.violation is None:
+                    outcomes.add(self.state.value)
+                return super().terminal_violation()
+
+        result = explore(lambda: Recording(racing_writers),
+                         max_schedules=200,
+                         use_sleep_sets=use_sleep_sets)
+        assert result.exhausted
+        return outcomes
+
+    naive_outcomes = run_and_record(False)
+    dpor_outcomes = run_and_record(True)
+    # The lost-update final values (1, 2) and the sequential one (3) are all
+    # reachable, and pruning must not lose any of them.
+    assert naive_outcomes == {1, 2, 3}
+    assert dpor_outcomes == naive_outcomes
+
+
+@pytest.mark.parametrize("use_sleep_sets", [False, True])
+def test_ab_ba_deadlock_is_found_and_replays(use_sleep_sets):
+    result = explore(lambda: SyntheticExecution(ab_ba_deadlock),
+                     max_schedules=200, use_sleep_sets=use_sleep_sets)
+    assert result.violation is not None
+    assert result.violation.kind == "deadlock"
+    # The counterexample replays to the same verdict on a fresh execution.
+    replayed = SyntheticExecution(ab_ba_deadlock)
+    for name in result.counterexample:
+        assert replayed.step_by_name(name)
+    verdict = replayed.terminal_violation()
+    assert verdict is not None and verdict.kind == "deadlock"
+
+
+def test_preemption_bound_zero_runs_processes_to_completion():
+    result = explore(lambda: SyntheticExecution(independent_writers),
+                     max_schedules=100, use_sleep_sets=False,
+                     preemption_bound=0)
+    assert result.exhausted
+    # No voluntary preemptions: only "p to completion, then q" and the
+    # reverse — the two orders of picking the first process.
+    assert result.schedules_explored == 2
+
+
+def test_dpor_reduces_schedules_on_the_real_cos():
+    """Acceptance criterion: on the same bounded schedule space of the real
+    lock-free COS program, sleep-set pruning explores strictly fewer
+    schedules than naive DFS while still covering the space."""
+    config = CheckConfig(algorithm="lock-free", workers=1, commands=1,
+                         max_size=2, write_every=1)
+    naive = explore(lambda: CheckExecution(config), max_schedules=20_000,
+                    max_steps=5_000, use_sleep_sets=False, preemption_bound=1)
+    pruned = explore(lambda: CheckExecution(config), max_schedules=20_000,
+                     max_steps=5_000, use_sleep_sets=True, preemption_bound=1)
+    assert naive.exhausted and pruned.exhausted
+    assert naive.violation is None and pruned.violation is None
+    assert pruned.schedules_explored < naive.schedules_explored
+    assert pruned.schedules_pruned > 0
+
+
+def test_explore_random_is_reproducible():
+    first = explore_random(lambda: SyntheticExecution(ab_ba_deadlock),
+                           max_schedules=500, seed=3)
+    second = explore_random(lambda: SyntheticExecution(ab_ba_deadlock),
+                            max_schedules=500, seed=3)
+    assert first.schedules_explored == second.schedules_explored
+    assert first.transitions == second.transitions
+    assert (first.violation is None) == (second.violation is None)
+    if first.violation is not None:
+        assert first.counterexample == second.counterexample
+        assert first.violation.kind == second.violation.kind

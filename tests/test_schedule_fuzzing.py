@@ -9,18 +9,23 @@ import pytest
 
 from conftest import GRAPH_ALGORITHMS, make_mixed_commands
 from repro.core import ReadWriteConflicts, make_cos
+from repro.core.class_based import ClassBasedCOS, read_write_classes
 from repro.core.effects import Work
 from repro.errors import SimulationError
 from repro.sim import SimRuntime, Simulator, structure_costs
 
 
-def run_fuzzed(algorithm, commands, n_workers, seed):
+def run_fuzzed(algorithm, commands, n_workers, seed, max_size=8,
+               make_structure=None):
     sim = Simulator()
     # Jitter above the inter-command spacing so schedules genuinely permute.
     runtime = SimRuntime(sim, preemption="fuzz", fuzz_seed=seed,
                          fuzz_jitter=3e-6)
-    cos = make_cos(algorithm, runtime, ReadWriteConflicts(), max_size=8,
-                   costs=structure_costs())
+    if make_structure is not None:
+        cos = make_structure(runtime)
+    else:
+        cos = make_cos(algorithm, runtime, ReadWriteConflicts(),
+                       max_size=max_size, costs=structure_costs())
     start, finish, order = {}, {}, []
     remaining = {"count": len(commands)}
 
@@ -46,16 +51,20 @@ def run_fuzzed(algorithm, commands, n_workers, seed):
     for index in range(n_workers):
         runtime.spawn(worker(index), f"worker-{index}")
     sim.run(until=60.0)
-    return start, finish, order
+    metrics = (sim.now, sim.events_processed)
+    return start, finish, order, metrics
 
 
+@pytest.mark.parametrize("n_workers,max_size", [(2, 2), (3, 8), (5, 2),
+                                                (5, 8)])
 @pytest.mark.parametrize("algorithm", GRAPH_ALGORITHMS)
-def test_invariants_across_schedules(algorithm):
+def test_invariants_across_schedules(algorithm, n_workers, max_size):
     commands = make_mixed_commands(40, write_every=4)
     conflicts = ReadWriteConflicts()
     schedules = set()
-    for seed in range(12):
-        start, finish, order = run_fuzzed(algorithm, commands, 4, seed)
+    for seed in range(6):
+        start, finish, order, _ = run_fuzzed(
+            algorithm, commands, n_workers, seed, max_size=max_size)
         assert len(order) == len(commands), f"seed {seed}: lost commands"
         assert len(set(order)) == len(order), f"seed {seed}: double execution"
         for i, first in enumerate(commands):
@@ -66,7 +75,42 @@ def test_invariants_across_schedules(algorithm):
         completion = tuple(sorted(finish, key=finish.get))
         schedules.add(completion)
     # The fuzzer must actually explore: several distinct interleavings.
-    assert len(schedules) > 1, "fuzzing produced a single schedule"
+    # A capacity-2 structure leaves no room to permute — at most two
+    # commands are in flight and conflicts serialize them — so only the
+    # roomy configurations are required to diversify.
+    if max_size >= 8:
+        assert len(schedules) > 1, "fuzzing produced a single schedule"
+
+
+@pytest.mark.parametrize("n_workers", [2, 3, 5])
+@pytest.mark.parametrize("max_size", [2, 8])
+def test_class_based_per_class_fifo(n_workers, max_size):
+    """Class scheduling's defining invariant survives fuzzed schedules:
+    commands of one conflict class start execution in delivery order, even
+    when different classes interleave freely."""
+    classes_of = read_write_classes(shards=2)
+    commands = make_mixed_commands(40, write_every=5)
+
+    def make_structure(runtime):
+        return ClassBasedCOS(runtime, classes_of, max_size=max_size,
+                             costs=structure_costs())
+
+    for seed in range(6):
+        start, finish, order, _ = run_fuzzed(
+            "class-based", commands, n_workers, seed, max_size=max_size,
+            make_structure=make_structure)
+        assert len(order) == len(commands), f"seed {seed}: lost commands"
+        assert len(set(order)) == len(order), f"seed {seed}: double execution"
+        by_uid = {cmd.uid: cmd for cmd in commands}
+        delivered = {cmd.uid: pos for pos, cmd in enumerate(commands)}
+        classes = {cls for cmd in commands for cls in classes_of(cmd)}
+        for cls in classes:
+            members = [uid for uid in order
+                       if cls in classes_of(by_uid[uid])]
+            started = sorted(members, key=start.get)
+            in_delivery_order = sorted(members, key=delivered.get)
+            assert started == in_delivery_order, (
+                f"seed {seed}: class {cls!r} broke FIFO")
 
 
 def test_same_seed_same_schedule():
