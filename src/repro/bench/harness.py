@@ -32,7 +32,8 @@ from repro.sim import (
 )
 from repro.workload import WorkloadGenerator
 
-__all__ = ["StandaloneConfig", "StandaloneResult", "run_standalone"]
+__all__ = ["StandaloneConfig", "StandaloneResult", "run_standalone",
+           "run_benchmark", "BENCH_BACKENDS"]
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,30 @@ class StandaloneResult:
     def kops(self) -> float:
         """Throughput in kops/sec, the paper's unit."""
         return self.throughput / 1e3
+
+
+#: Benchmark backends: simulator (the paper's figures) and the real TCP
+#: process deployment (repro.net.bench).  Names are what ``run_benchmark``
+#: dispatches on; callables are imported lazily to keep sim-only runs light.
+BENCH_BACKENDS = ("sim", "tcp")
+
+
+def run_benchmark(backend: str, config):
+    """Dispatch one benchmark run to a named backend.
+
+    ``"sim"`` takes a :class:`StandaloneConfig` and runs on the
+    discrete-event simulator; ``"tcp"`` takes a
+    :class:`repro.net.bench.NetBenchConfig` and measures a real loopback
+    multi-process cluster.
+    """
+    if backend == "sim":
+        return run_standalone(config)
+    if backend == "tcp":
+        from repro.net.bench import run_net_bench
+
+        return run_net_bench(config)
+    raise ValueError(
+        f"unknown benchmark backend {backend!r}; choose from {BENCH_BACKENDS}")
 
 
 def run_standalone(config: StandaloneConfig) -> StandaloneResult:

@@ -56,6 +56,7 @@ class FaultPlan:
                 f"need 0 <= min_delay <= max_delay, got [{min_delay}, {max_delay}]"
             )
         self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
         self.min_delay = min_delay
         self.max_delay = max_delay
         self.loss = loss
@@ -81,18 +82,29 @@ class FaultPlan:
     # ---------------------------------------------------------------- policy
 
     def fate(self, src: int, dst: int) -> LinkFate:
-        """Decide the fate of one message from ``src`` to ``dst``."""
+        """Decide the fate of one message from ``src`` to ``dst``.
+
+        Thread-safe: concurrent senders draw whole fates atomically, so the
+        RNG stream is consumed in fate-sized chunks and the multiset of
+        fates produced equals a serial run with the same seed.  The
+        *assignment* of fates to links still depends on cross-thread call
+        order, so exact replay of a threaded run is not guaranteed — use
+        the simulated cluster (:mod:`repro.smr.sim_cluster`) when a
+        bit-exact failure replay is needed.
+        """
         if self.is_partitioned(src, dst):
             return LinkFate(0, ())
-        rng = self._rng
-        if self.loss and rng.random() < self.loss:
-            return LinkFate(0, ())
-        copies = 1
-        if self.duplication and rng.random() < self.duplication:
-            copies = 2
-        delays = tuple(
-            rng.uniform(self.min_delay, self.max_delay) for _ in range(copies)
-        )
+        with self._rng_lock:
+            rng = self._rng
+            if self.loss and rng.random() < self.loss:
+                return LinkFate(0, ())
+            copies = 1
+            if self.duplication and rng.random() < self.duplication:
+                copies = 2
+            delays = tuple(
+                rng.uniform(self.min_delay, self.max_delay)
+                for _ in range(copies)
+            )
         return LinkFate(copies, delays)
 
 
@@ -148,15 +160,27 @@ class ThreadedTransport:
             if delay <= 0:
                 self._inboxes[dst].put((src, msg))
                 continue
-            timer = threading.Timer(
-                delay, self._deliver_late, args=(src, dst, msg)
-            )
-            timer.daemon = True
-            with self._lock:
-                self._timers.append(timer)
-            timer.start()
+            self._schedule_late(delay, src, dst, msg)
 
-    def _deliver_late(self, src: int, dst: int, msg: Any) -> None:
+    def _schedule_late(self, delay: float, src: int, dst: int,
+                       msg: Any) -> None:
+        timer = threading.Timer(
+            delay, lambda: self._deliver_late(timer, src, dst, msg)
+        )
+        timer.daemon = True
+        with self._lock:
+            self._timers.append(timer)
+        timer.start()
+
+    def _deliver_late(self, timer: threading.Timer, src: int, dst: int,
+                      msg: Any) -> None:
+        # Prune the fired timer immediately; keeping every timer until
+        # close() grows without bound in long-running clusters.
+        with self._lock:
+            try:
+                self._timers.remove(timer)
+            except ValueError:
+                pass  # close() raced us and already reaped it
         if self._closed or dst in self._crashed or src in self._crashed:
             return
         self._inboxes[dst].put((src, msg))

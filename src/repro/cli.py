@@ -12,6 +12,9 @@ Subcommands:
 - ``check --algorithm A --workers N --commands M [...]`` — systematically
   model-check the algorithm's schedule space against the COS sequential
   specification (see ``docs/model_checking.md``).
+- ``net replica|supervise|client|bench [...]`` — the TCP multi-process
+  deployment: replica/client processes, a local cluster supervisor, and a
+  loopback benchmark (see ``docs/deployment.md``).
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from repro.bench import (
 )
 from repro.bench.harness import StandaloneConfig
 from repro.core import COS_ALGORITHMS
+from repro.net.cli import add_net_parser, run_net
 from repro.sim import PROFILES
 from repro.smr.sim_cluster import SimClusterConfig, run_sim_cluster
 
@@ -112,6 +116,8 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--replay-out", metavar="FILE",
                        default="repro-check-counterexample.json",
                        help="where to write a found counterexample")
+
+    add_net_parser(sub)
     return parser
 
 
@@ -249,6 +255,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "smr": _cmd_smr,
         "ablations": _cmd_ablations,
         "check": _cmd_check,
+        "net": run_net,
     }
     return handlers[args.command](args)
 

@@ -70,8 +70,11 @@ class _ThreadedAtomic(AtomicCell):
         self._cas_lock = cas_lock
 
     def compare_and_set(self, expected: Any, new: Any) -> bool:
+        # Reference CAS (Java AtomicReference semantics): the paper's
+        # lock-free graph CASes object identities, and ``==`` would let a
+        # CAS succeed against a distinct-but-equal object.
         with self._cas_lock:
-            if self.value == expected:
+            if self.value is expected:
                 self.value = new
                 return True
             return False

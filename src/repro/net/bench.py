@@ -1,0 +1,166 @@
+"""Loopback TCP benchmark: throughput/latency over a real process cluster.
+
+``python -m repro net bench`` spawns ``n`` replica processes through the
+:class:`~repro.net.supervisor.Supervisor`, drives them with closed-loop TCP
+clients (one thread per client, batched commands — the paper's §7.1 client
+model), optionally crash-stops and restarts one replica mid-run, and writes
+a JSON artifact with throughput and latency percentiles.
+
+This is a *deployment smoke benchmark*: localhost sockets and a handful of
+clients, not the paper's 1 Gbps LAN.  The figures that reproduce the paper
+stay on the simulator (``python -m repro figures``); this artifact tracks
+the real-deployment path end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.command import Command
+from repro.net.client import NetClient
+from repro.net.config import NetConfig, loopback_config
+from repro.net.supervisor import Supervisor
+from repro.smr.client import ClientTimeout
+from repro.workload import WorkloadGenerator
+
+__all__ = ["NetBenchConfig", "NetBenchResult", "run_net_bench"]
+
+
+@dataclass(frozen=True)
+class NetBenchConfig:
+    """Parameters of one loopback bench run."""
+
+    n_replicas: int = 3
+    n_clients: int = 4
+    batch: int = 8
+    ops: int = 400                  # total commands across all clients
+    write_pct: float = 30.0
+    service: str = "linked-list"
+    cos_algorithm: str = "lock-free"
+    workers: int = 4
+    seed: int = 1
+    crash_replica: Optional[int] = None   # crash-stop this replica mid-run
+    recover: bool = True                  # ...and restart it afterwards
+    client_timeout: float = 3.0
+
+
+@dataclass(frozen=True)
+class NetBenchResult:
+    """Measured outcome (all times in seconds, wall clock)."""
+
+    config: NetBenchConfig
+    executed: int
+    errors: int
+    duration: float
+    throughput: float               # commands per second
+    latency_mean: float             # per-batch round trip
+    latency_p50: float
+    latency_p99: float
+    crash_injected: bool
+    recovered: bool
+
+    def to_json(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["config"] = asdict(self.config)
+        return data
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def run_net_bench(config: NetBenchConfig,
+                  out_path: Optional[str] = None) -> NetBenchResult:
+    """Run one loopback bench; optionally write the JSON artifact."""
+    net = loopback_config(
+        n_replicas=config.n_replicas,
+        service=config.service,
+        cos_algorithm=config.cos_algorithm,
+        workers=config.workers,
+        client_timeout=config.client_timeout,
+    )
+    batches_per_client = max(
+        1, config.ops // (config.n_clients * config.batch))
+    latencies: List[float] = []
+    latency_lock = threading.Lock()
+    executed = 0
+    errors = 0
+    counters_lock = threading.Lock()
+
+    def client_loop(index: int) -> None:
+        nonlocal executed, errors
+        workload = WorkloadGenerator(
+            config.write_pct, key_space=500,
+            seed=config.seed * 1_000 + index)
+        client = NetClient(
+            f"bench-{index}", net,
+            contact=index % config.n_replicas,
+            timeout=config.client_timeout,
+        )
+        try:
+            for _ in range(batches_per_client):
+                commands = workload.commands(config.batch)
+                started = time.monotonic()
+                try:
+                    client.execute_batch(commands)
+                except ClientTimeout:
+                    with counters_lock:
+                        errors += len(commands)
+                    continue
+                elapsed = time.monotonic() - started
+                with latency_lock:
+                    latencies.append(elapsed)
+                with counters_lock:
+                    executed += len(commands)
+        finally:
+            client.close()
+
+    crash_injected = False
+    recovered = False
+    with Supervisor(net) as supervisor:
+        supervisor.wait_ready()
+        threads = [
+            threading.Thread(target=client_loop, args=(index,), daemon=True)
+            for index in range(config.n_clients)
+        ]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        if config.crash_replica is not None:
+            # Let the run warm up, then crash-stop one replica under load.
+            time.sleep(0.5)
+            supervisor.kill(config.crash_replica)
+            crash_injected = True
+            if config.recover:
+                time.sleep(0.5)
+                supervisor.restart(config.crash_replica)
+                recovered = True
+        for thread in threads:
+            thread.join()
+        duration = time.monotonic() - started
+
+    result = NetBenchResult(
+        config=config,
+        executed=executed,
+        errors=errors,
+        duration=duration,
+        throughput=executed / duration if duration > 0 else 0.0,
+        latency_mean=statistics.fmean(latencies) if latencies else 0.0,
+        latency_p50=_percentile(latencies, 0.50),
+        latency_p99=_percentile(latencies, 0.99),
+        crash_injected=crash_injected,
+        recovered=recovered,
+    )
+    if out_path is not None:
+        with open(out_path, "w") as handle:
+            json.dump(result.to_json(), handle, indent=2)
+    return result

@@ -1,0 +1,197 @@
+"""``python -m repro net <replica|client|bench|supervise>``.
+
+Subcommands:
+
+- ``replica --id I --config FILE`` — run one replica process (the unit the
+  supervisor spawns); blocks until SIGTERM/SIGINT.
+- ``supervise --replicas N [...]`` — spawn a local process-per-replica
+  cluster and keep it up until interrupted; prints the config file path so
+  clients can join.
+- ``client --config FILE --ops N [...]`` — run a closed-loop client batch
+  workload against a running cluster and print throughput.
+- ``bench [...] --out FILE`` — full loopback benchmark: spawn processes,
+  drive clients, optionally crash/recover one replica, write the JSON
+  artifact (see :mod:`repro.net.bench`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+import time
+from typing import List, Optional
+
+from repro.core import COS_ALGORITHMS
+from repro.net.bench import NetBenchConfig, run_net_bench
+from repro.net.client import NetClient
+from repro.net.config import SERVICES, NetConfig, loopback_config
+from repro.net.replica import ReplicaServer
+from repro.net.supervisor import Supervisor
+from repro.smr.client import ClientTimeout
+from repro.workload import WorkloadGenerator
+
+__all__ = ["add_net_parser", "run_net"]
+
+
+def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--service", default="linked-list", choices=SERVICES)
+    parser.add_argument("--protocol", default="paxos",
+                        choices=("paxos", "sequencer"))
+    parser.add_argument("--algorithm", default="lock-free",
+                        choices=COS_ALGORITHMS)
+    parser.add_argument("--workers", type=int, default=4)
+
+
+def add_net_parser(sub: argparse._SubParsersAction) -> None:
+    net = sub.add_parser(
+        "net", help="TCP deployment: replica/client processes, supervisor, "
+                    "loopback bench (docs/deployment.md)")
+    net_sub = net.add_subparsers(dest="net_command", required=True)
+
+    replica = net_sub.add_parser("replica", help="run one replica process")
+    replica.add_argument("--id", type=int, required=True, dest="replica_id")
+    replica.add_argument("--config", required=True,
+                         help="deployment JSON written by the supervisor")
+
+    supervise = net_sub.add_parser(
+        "supervise", help="spawn a local process-per-replica cluster")
+    _add_cluster_options(supervise)
+    supervise.add_argument("--config-out", default="repro-net-cluster.json",
+                           help="where to write the deployment JSON")
+
+    client = net_sub.add_parser(
+        "client", help="closed-loop client against a running cluster")
+    client.add_argument("--config", required=True)
+    client.add_argument("--ops", type=int, default=200)
+    client.add_argument("--batch", type=int, default=8)
+    client.add_argument("--write-pct", type=float, default=30.0)
+    client.add_argument("--contact", type=int, default=0)
+    client.add_argument("--seed", type=int, default=1)
+
+    bench = net_sub.add_parser(
+        "bench", help="loopback throughput/latency benchmark -> JSON")
+    _add_cluster_options(bench)
+    bench.add_argument("--clients", type=int, default=4)
+    bench.add_argument("--ops", type=int, default=400)
+    bench.add_argument("--batch", type=int, default=8)
+    bench.add_argument("--write-pct", type=float, default=30.0)
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--crash", action="store_true",
+                       help="crash-stop replica n-1 mid-run and recover it")
+    bench.add_argument("--out", default="repro-net-bench.json",
+                       help="JSON artifact path")
+
+
+def _wait_for_signal() -> None:
+    stop = threading.Event()
+
+    def _handler(signum, frame):  # noqa: ANN001 - signal signature
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _handler)
+    signal.signal(signal.SIGINT, _handler)
+    while not stop.is_set():
+        stop.wait(0.5)
+
+
+def _cmd_replica(args: argparse.Namespace) -> int:
+    with open(args.config) as handle:
+        config = NetConfig.from_json(handle.read())
+    server = ReplicaServer(args.replica_id, config)
+    server.start()
+    host, port = config.addresses[args.replica_id]
+    print(f"replica {args.replica_id} listening on {host}:{port}", flush=True)
+    try:
+        _wait_for_signal()
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    config = loopback_config(
+        n_replicas=args.replicas,
+        service=args.service,
+        protocol=args.protocol,
+        cos_algorithm=args.algorithm,
+        workers=args.workers,
+    )
+    with open(args.config_out, "w") as handle:
+        handle.write(config.to_json())
+    with Supervisor(config) as supervisor:
+        supervisor.wait_ready()
+        print(f"{args.replicas} replica processes up; deployment config at "
+              f"{args.config_out}", flush=True)
+        print("run a workload with: python -m repro net client "
+              f"--config {args.config_out}", flush=True)
+        _wait_for_signal()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    with open(args.config) as handle:
+        config = NetConfig.from_json(handle.read())
+    workload = WorkloadGenerator(args.write_pct, key_space=500,
+                                 seed=args.seed)
+    client = NetClient("cli-client", config, contact=args.contact)
+    executed = 0
+    errors = 0
+    started = time.monotonic()
+    try:
+        while executed < args.ops:
+            commands = workload.commands(min(args.batch,
+                                             args.ops - executed))
+            try:
+                client.execute_batch(commands)
+                executed += len(commands)
+            except ClientTimeout:
+                errors += len(commands)
+    finally:
+        client.close()
+    elapsed = time.monotonic() - started
+    rate = executed / elapsed if elapsed > 0 else 0.0
+    print(f"executed {executed} commands in {elapsed:.2f}s "
+          f"({rate:.0f} cmds/s), {errors} timed out")
+    return 0 if errors == 0 else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    config = NetBenchConfig(
+        n_replicas=args.replicas,
+        n_clients=args.clients,
+        batch=args.batch,
+        ops=args.ops,
+        write_pct=args.write_pct,
+        service=args.service,
+        cos_algorithm=args.algorithm,
+        workers=args.workers,
+        seed=args.seed,
+        crash_replica=args.replicas - 1 if args.crash else None,
+    )
+    result = run_net_bench(config, out_path=args.out)
+    print(f"replicas={args.replicas} clients={args.clients} "
+          f"algorithm={args.algorithm} service={args.service}")
+    print(f"throughput: {result.throughput:.0f} cmds/s over "
+          f"{result.duration:.2f}s ({result.executed} executed, "
+          f"{result.errors} timed out)")
+    print(f"batch latency: mean {result.latency_mean * 1e3:.1f} ms / "
+          f"p50 {result.latency_p50 * 1e3:.1f} ms / "
+          f"p99 {result.latency_p99 * 1e3:.1f} ms")
+    if result.crash_injected:
+        print(f"crash injected: replica {config.crash_replica} "
+              f"({'recovered' if result.recovered else 'not recovered'})")
+    print(f"artifact written to {args.out}")
+    return 0
+
+
+def run_net(args: argparse.Namespace) -> int:
+    handlers = {
+        "replica": _cmd_replica,
+        "supervise": _cmd_supervise,
+        "client": _cmd_client,
+        "bench": _cmd_bench,
+    }
+    return handlers[args.net_command](args)

@@ -1,0 +1,94 @@
+"""Shared deployment description for the TCP cluster.
+
+One :class:`NetConfig` describes a whole deployment — replica endpoints and
+the service/protocol/scheduler parameters every replica process needs.  It
+round-trips through JSON so the supervisor can hand it to replica
+subprocesses as a file.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from repro.core.cos import DEFAULT_MAX_SIZE
+from repro.errors import ConfigurationError
+
+__all__ = ["NetConfig", "free_port", "loopback_config"]
+
+#: Service registry for process deployments (name -> zero-arg factory).
+SERVICES = ("linked-list", "kv", "bank")
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Bind-and-release an ephemeral port; races are possible but rare."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Parameters of one TCP cluster deployment."""
+
+    #: ``addresses[i]`` is replica ``i``'s (host, port) listen endpoint.
+    addresses: Tuple[Tuple[str, int], ...]
+    service: str = "linked-list"
+    protocol: str = "paxos"            # "paxos" | "sequencer"
+    cos_algorithm: str = "lock-free"   # any COS algorithm, or "sequential"
+    workers: int = 4
+    max_graph_size: int = DEFAULT_MAX_SIZE
+    batch_size: int = 64
+    heartbeat_interval: float = 0.05
+    leader_timeout: float = 0.25
+    client_timeout: float = 2.0
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.addresses)
+
+    def validate(self) -> None:
+        if self.protocol not in ("paxos", "sequencer"):
+            raise ConfigurationError(f"unknown protocol {self.protocol!r}")
+        if self.protocol == "paxos" and self.n_replicas % 2 == 0:
+            raise ConfigurationError(
+                f"paxos needs an odd replica count, got {self.n_replicas}")
+        if self.n_replicas < 1:
+            raise ConfigurationError("need at least one replica")
+        if self.service not in SERVICES:
+            raise ConfigurationError(
+                f"unknown service {self.service!r}; choose from {SERVICES}")
+
+    # ------------------------------------------------------------- JSON I/O
+
+    def to_json(self) -> str:
+        data = asdict(self)
+        data["addresses"] = [list(addr) for addr in self.addresses]
+        return json.dumps(data, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NetConfig":
+        data = json.loads(text)
+        data["addresses"] = tuple(
+            (str(host), int(port)) for host, port in data["addresses"])
+        return cls(**data)
+
+    def address_map(self) -> Dict[int, Tuple[str, int]]:
+        return dict(enumerate(self.addresses))
+
+    def with_address(self, replica_id: int,
+                     address: Tuple[str, int]) -> "NetConfig":
+        addresses: List[Tuple[str, int]] = list(self.addresses)
+        addresses[replica_id] = address
+        return replace(self, addresses=tuple(addresses))
+
+
+def loopback_config(n_replicas: int = 3, **overrides) -> NetConfig:
+    """A localhost deployment on freshly allocated ephemeral ports."""
+    addresses = tuple(("127.0.0.1", free_port()) for _ in range(n_replicas))
+    config = NetConfig(addresses=addresses, **overrides)
+    config.validate()
+    return config

@@ -1,0 +1,44 @@
+"""Wire-only messages for the TCP deployment.
+
+The broadcast protocols never see these: the replica's transport layer
+intercepts :class:`ClientRequest` before the protocol node's inbox (turning
+it into a ``submit``), and :class:`ClientResponse` travels straight from a
+replica to the issuing client's transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.core.command import Command
+
+__all__ = ["ClientRequest", "ClientResponse"]
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """A client batch submitted to a contact replica over TCP.
+
+    Attributes:
+        payload: The stamped command batch (tuple of :class:`Command`).
+        reply_to: The client's transport node id.
+        reply_host / reply_port: Where the client listens for responses;
+            the replica registers this endpoint as a dynamic peer.
+        client_id: The submitting client's identifier (response routing).
+    """
+
+    payload: Tuple[Command, ...]
+    reply_to: int
+    reply_host: str
+    reply_port: int
+    client_id: str
+
+
+@dataclass(frozen=True)
+class ClientResponse:
+    """One executed command's response, sent replica -> client."""
+
+    command: Command
+    response: Any
+    replica_id: int

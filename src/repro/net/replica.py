@@ -1,0 +1,184 @@
+"""One replica bound to a TCP endpoint.
+
+:class:`ReplicaServer` assembles exactly the pieces
+:class:`~repro.smr.cluster.ThreadedCluster` wires per replica — a broadcast
+protocol state machine, a :class:`~repro.broadcast.node.ThreadedNode` event
+loop, and a :class:`~repro.smr.replica.ParallelReplica` execution engine —
+but over a :class:`~repro.net.transport.TcpTransport`.  The protocol and
+replica code run unchanged; only the driver differs.
+
+Client traffic: the transport interceptor turns an incoming
+:class:`~repro.net.messages.ClientRequest` into a protocol ``submit`` and
+records where that client listens; the replica's response callback sends a
+:class:`~repro.net.messages.ClientResponse` back to that endpoint.  Every
+replica answers every command it executes (first response wins at the
+client), matching the paper's crash-model deployment.
+
+Run one as a process with ``python -m repro net replica`` (see
+:mod:`repro.net.cli`), or in-process via :class:`repro.net.cluster.TcpCluster`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from repro.apps import BankService, KVStoreService, LinkedListService
+from repro.broadcast import MultiPaxos, SequencerBroadcast, ThreadedNode
+from repro.core.command import Command
+from repro.errors import ConfigurationError, ShutdownError
+from repro.net.config import NetConfig
+from repro.net.messages import ClientRequest, ClientResponse
+from repro.net.transport import TcpTransport
+from repro.smr.checkpoint import Checkpoint
+from repro.smr.replica import ParallelReplica, SequentialReplica
+from repro.smr.service import Service
+
+__all__ = ["ReplicaServer", "build_service"]
+
+_SERVICE_FACTORIES: Dict[str, Callable[[], Service]] = {
+    "linked-list": lambda: LinkedListService(initial_size=50),
+    "kv": KVStoreService,
+    "bank": BankService,
+}
+
+
+def build_service(name: str) -> Service:
+    try:
+        factory = _SERVICE_FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown service {name!r}; choose from "
+            f"{sorted(_SERVICE_FACTORIES)}") from None
+    return factory()
+
+
+class ReplicaServer:
+    """A protocol node + execution engine listening on a TCP endpoint."""
+
+    def __init__(self, replica_id: int, config: NetConfig,
+                 checkpoint: Optional[Checkpoint] = None):
+        config.validate()
+        if not 0 <= replica_id < config.n_replicas:
+            raise ConfigurationError(
+                f"replica_id {replica_id} out of range for "
+                f"{config.n_replicas} replicas")
+        self.replica_id = replica_id
+        self.config = config
+        self.service = build_service(config.service)
+        self.replica = self._build_replica()
+        if checkpoint is not None:
+            self.replica.install_checkpoint(checkpoint)
+        first_instance = (0 if checkpoint is None
+                          else checkpoint.instance + 1)
+        self.transport = TcpTransport(
+            replica_id,
+            config.address_map(),
+            interceptor=self._intercept,
+            seed=replica_id,
+        )
+        self.node = ThreadedNode(
+            replica_id,
+            self._build_protocol(first_instance),
+            self.transport,
+            self.replica.on_deliver,
+            name=f"net-node-{replica_id}",
+        )
+        # client_id -> transport node id of the client's response endpoint.
+        self._reply_to: Dict[str, int] = {}
+        self._reply_lock = threading.Lock()
+        self._started = False
+
+    # --------------------------------------------------------------- builders
+
+    def _build_replica(self) -> ParallelReplica:
+        if self.config.cos_algorithm == "sequential":
+            return SequentialReplica(
+                self.replica_id,
+                self.service,
+                max_queue_size=self.config.max_graph_size,
+                on_response=self._respond,
+            )
+        return ParallelReplica(
+            self.replica_id,
+            self.service,
+            cos_algorithm=self.config.cos_algorithm,
+            workers=self.config.workers,
+            max_graph_size=self.config.max_graph_size,
+            on_response=self._respond,
+        )
+
+    def _build_protocol(self, first_instance: int) -> Any:
+        if self.config.protocol == "sequencer":
+            return SequencerBroadcast(self.replica_id, self.config.n_replicas)
+        # Same leader-timeout staggering as ThreadedCluster: campaigns
+        # rarely collide because followers time out at different moments.
+        return MultiPaxos(
+            self.replica_id,
+            self.config.n_replicas,
+            batch_size=self.config.batch_size,
+            heartbeat_interval=self.config.heartbeat_interval,
+            leader_timeout=self.config.leader_timeout
+            * (1 + 0.35 * self.replica_id),
+            first_instance=first_instance,
+        )
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> "ReplicaServer":
+        if self._started:
+            raise ShutdownError("replica server already started")
+        self._started = True
+        self.transport.start()
+        self.replica.start()
+        self.node.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful teardown: event loop, sockets, then workers."""
+        self.node.stop()
+        self.transport.close()
+        self.replica.stop(timeout=2.0)
+
+    def __enter__(self) -> "ReplicaServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._started and self.node.running
+
+    # ------------------------------------------------------------ client path
+
+    def _intercept(self, src: int, msg: Any) -> bool:
+        """Transport hook: consume client envelopes before the inbox."""
+        if not isinstance(msg, ClientRequest):
+            return False
+        self.transport.add_peer(msg.reply_to, msg.reply_host, msg.reply_port)
+        with self._reply_lock:
+            self._reply_to[msg.client_id] = msg.reply_to
+        try:
+            self.node.submit(msg.payload)
+        except ShutdownError:
+            pass  # stopping; the client will retry elsewhere
+        return True
+
+    def _respond(self, command: Command, response: Any,
+                 replica_id: int) -> None:
+        if command.client_id is None:
+            return
+        with self._reply_lock:
+            reply_to = self._reply_to.get(command.client_id)
+        if reply_to is None:
+            # This replica never saw the client directly (it submitted via
+            # another contact); it cannot route the answer.  The contact
+            # replica — which has the mapping — answers instead.
+            return
+        try:
+            self.transport.send(
+                self.replica_id, reply_to,
+                ClientResponse(command, response, self.replica_id))
+        except ShutdownError:
+            pass

@@ -1,0 +1,177 @@
+"""Multi-process cluster launcher.
+
+:class:`Supervisor` spawns one OS process per replica (``python -m repro
+net replica --id I --config FILE``), waits until every replica's TCP
+endpoint accepts connections, and tears the fleet down cleanly.  Each
+replica process has its own interpreter — under CPython this is the only
+way replicas stop sharing one GIL (DESIGN.md §2), which is why the
+ROADMAP's production path runs process-per-replica.
+
+Crash/recovery: :meth:`kill` delivers SIGKILL (crash-stop, nothing flushed)
+and :meth:`restart` re-spawns the same replica id on the same endpoint.  A
+restarted replica boots with empty learner state and catches up through the
+protocol's anti-entropy (heartbeat frontier + catch-up requests), re-executing
+the decided prefix to rebuild its service state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError, ShutdownError
+from repro.net.config import NetConfig
+
+__all__ = ["Supervisor"]
+
+
+def _repro_pythonpath() -> str:
+    """PYTHONPATH entry that makes ``import repro`` work in children."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parents[1])
+
+
+def _port_open(host: str, port: int, timeout: float = 0.25) -> bool:
+    try:
+        with socket.create_connection((host, port), timeout=timeout):
+            return True
+    except OSError:
+        return False
+
+
+class Supervisor:
+    """Spawns and manages one replica subprocess per cluster member."""
+
+    def __init__(self, config: NetConfig, python: Optional[str] = None,
+                 log_dir: Optional[str] = None):
+        config.validate()
+        self.config = config
+        self._python = python or sys.executable
+        self._procs: Dict[int, subprocess.Popen] = {}
+        self._config_path: Optional[str] = None
+        self._log_dir = log_dir
+        self._logs: List[Any] = []
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> "Supervisor":
+        if self._procs:
+            raise ShutdownError("supervisor already started")
+        fd, self._config_path = tempfile.mkstemp(
+            prefix="repro-net-", suffix=".json")
+        with os.fdopen(fd, "w") as handle:
+            handle.write(self.config.to_json())
+        for replica_id in range(self.config.n_replicas):
+            self._spawn(replica_id)
+        return self
+
+    def _spawn(self, replica_id: int) -> None:
+        env = dict(os.environ)
+        src_root = _repro_pythonpath()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (src_root if not existing
+                             else src_root + os.pathsep + existing)
+        stdout: Any = subprocess.DEVNULL
+        if self._log_dir is not None:
+            log = open(Path(self._log_dir) / f"replica-{replica_id}.log", "ab")
+            self._logs.append(log)
+            stdout = log
+        self._procs[replica_id] = subprocess.Popen(
+            [self._python, "-m", "repro", "net", "replica",
+             "--id", str(replica_id), "--config", self._config_path],
+            env=env,
+            stdout=stdout,
+            stderr=subprocess.STDOUT,
+        )
+
+    def wait_ready(self, timeout: float = 15.0) -> None:
+        """Block until every live replica's endpoint accepts connections."""
+        deadline = time.monotonic() + timeout
+        pending = set(self._procs)
+        while pending and time.monotonic() < deadline:
+            for replica_id in sorted(pending):
+                proc = self._procs[replica_id]
+                if proc.poll() is not None:
+                    raise ConfigurationError(
+                        f"replica {replica_id} exited with "
+                        f"{proc.returncode} during startup")
+                host, port = self.config.addresses[replica_id]
+                if _port_open(host, port):
+                    pending.discard(replica_id)
+            if pending:
+                time.sleep(0.05)
+        if pending:
+            raise ConfigurationError(
+                f"replicas {sorted(pending)} not ready within {timeout}s")
+
+    def stop(self) -> None:
+        """Terminate every replica process and clean up.  Idempotent."""
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 5
+        for proc in self._procs.values():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+        self._procs.clear()
+        for log in self._logs:
+            log.close()
+        self._logs.clear()
+        if self._config_path is not None:
+            try:
+                os.unlink(self._config_path)
+            except OSError:
+                pass
+            self._config_path = None
+
+    def __enter__(self) -> "Supervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ faults
+
+    def kill(self, replica_id: int) -> None:
+        """Crash-stop a replica process (SIGKILL; nothing gets flushed)."""
+        proc = self._procs.get(replica_id)
+        if proc is None:
+            raise ConfigurationError(f"unknown replica {replica_id}")
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=5)
+
+    def restart(self, replica_id: int, timeout: float = 15.0) -> None:
+        """Re-spawn a crashed replica on its original endpoint."""
+        proc = self._procs.get(replica_id)
+        if proc is not None and proc.poll() is None:
+            raise ConfigurationError(
+                f"replica {replica_id} is still running; kill it first")
+        self._spawn(replica_id)
+        host, port = self.config.addresses[replica_id]
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if _port_open(host, port):
+                return
+            if self._procs[replica_id].poll() is not None:
+                break
+            time.sleep(0.05)
+        raise ConfigurationError(
+            f"replica {replica_id} did not come back within {timeout}s")
+
+    def alive(self) -> List[int]:
+        return [replica_id for replica_id, proc in self._procs.items()
+                if proc.poll() is None]

@@ -1,0 +1,301 @@
+"""Asyncio TCP transport with the ``ThreadedTransport`` send/inbox contract.
+
+One :class:`TcpTransport` serves one node (a replica or a client process).
+It runs a private asyncio event loop on a daemon thread:
+
+- a TCP **server** listens on the node's endpoint; every received frame is
+  decoded and either intercepted (client envelopes) or enqueued into the
+  node's inbox queue — the same ``queue.Queue[(src, msg)]`` that
+  :class:`~repro.broadcast.node.ThreadedNode` consumes;
+- each known peer gets a lazily started **pump task** draining a bounded
+  per-peer outbound queue over one connection, reconnecting with
+  exponential backoff plus jitter when the peer is down;
+- :meth:`close` cancels the pumps, closes connections and the server, and
+  stops the loop (graceful: a best-effort flush happens first).
+
+Loss semantics: TCP gives per-connection FIFO, but a peer crash drops the
+frames buffered for it beyond the queue bound, and reconnection loses
+whatever was in flight — exactly the fair-lossy link model the broadcast
+protocols already tolerate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import random
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError, ShutdownError
+from repro.net.codec import CodecError, MAX_FRAME, decode_frame, encode_frame
+
+__all__ = ["TcpTransport"]
+
+#: Outbound frames buffered per peer while it is unreachable.
+DEFAULT_QUEUE_LIMIT = 1024
+
+#: (src, msg) -> True if consumed before the inbox (client envelopes).
+Interceptor = Callable[[int, Any], bool]
+
+
+class TcpTransport:
+    """TCP driver for one protocol node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        addresses: Dict[int, Tuple[str, int]],
+        interceptor: Optional[Interceptor] = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        seed: Optional[int] = None,
+    ):
+        if node_id not in addresses:
+            raise ConfigurationError(
+                f"addresses must contain node {node_id}'s own endpoint")
+        if queue_limit < 1:
+            raise ConfigurationError("queue_limit must be >= 1")
+        self.node_id = node_id
+        self._addresses = dict(addresses)
+        self._interceptor = interceptor
+        self._queue_limit = queue_limit
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._jitter = random.Random(seed)
+        self._inbox: "queue.Queue[Tuple[int, Any]]" = queue.Queue()
+        self._closed = False
+        self._loop = asyncio.new_event_loop()
+        self._outboxes: Dict[int, asyncio.Queue] = {}   # loop thread only
+        self._pumps: Dict[int, asyncio.Task] = {}       # loop thread only
+        self._connections: set = set()                  # loop thread only
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._loop_main, name=f"tcp-{node_id}", daemon=True)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "TcpTransport":
+        """Bind the server and start the loop thread; returns self."""
+        self._thread.start()
+        self._ready.wait(timeout=10)
+        if self._startup_error is not None:
+            raise ConfigurationError(
+                f"node {self.node_id} failed to bind "
+                f"{self._addresses[self.node_id]}: {self._startup_error}")
+        if not self._ready.is_set():
+            raise ConfigurationError(
+                f"node {self.node_id} transport did not start")
+        return self
+
+    def _loop_main(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.set_exception_handler(self._on_loop_exception)
+        try:
+            self._loop.run_until_complete(self._bind())
+        except OSError as error:
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            # Drain cancellations scheduled by close() so the loop's tasks
+            # finish cleanly before the thread exits.
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            self._loop.close()
+
+    @staticmethod
+    def _on_loop_exception(loop, context: Dict[str, Any]) -> None:
+        # Cancelling stream-handler tasks at shutdown makes asyncio.streams'
+        # connection_made done-callback re-raise CancelledError into the
+        # loop's exception handler; that is expected teardown, not an error.
+        if isinstance(context.get("exception"), asyncio.CancelledError):
+            return
+        loop.default_exception_handler(context)
+
+    async def _bind(self) -> None:
+        host, port = self._addresses[self.node_id]
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port)
+
+    def close(self) -> None:
+        """Stop serving and sending; idempotent and graceful."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._thread.is_alive():
+            self._loop.close()
+            return
+
+        async def _shutdown() -> None:
+            if self._server is not None:
+                self._server.close()
+            # Closing the accepted connections first lets handler tasks end
+            # through EOF instead of cancellation.
+            for writer in list(self._connections):
+                writer.close()
+            pumps = list(self._pumps.values())
+            for task in pumps:
+                task.cancel()
+            await asyncio.gather(*pumps, return_exceptions=True)
+            await asyncio.sleep(0.02)  # one tick for handlers to see EOF
+            self._loop.stop()
+
+        self._loop.call_soon_threadsafe(
+            lambda: self._loop.create_task(_shutdown()))
+        self._thread.join(timeout=5)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ----------------------------------------------------- transport contract
+
+    def inbox(self, node_id: int) -> "queue.Queue[Tuple[int, Any]]":
+        if node_id != self.node_id:
+            raise ConfigurationError(
+                f"transport of node {self.node_id} has no inbox for "
+                f"node {node_id}; each process owns exactly one node")
+        return self._inbox
+
+    def send(self, src: int, dst: int, msg: Any) -> None:
+        """Frame and enqueue ``msg`` for peer ``dst`` (thread-safe)."""
+        if self._closed:
+            raise ShutdownError("transport is closed")
+        if dst == self.node_id:
+            # Loopback without the sockets (leader proposing to itself
+            # never pays a network round trip).
+            self._dispatch(src, msg)
+            return
+        if dst not in self._addresses:
+            raise ConfigurationError(f"unknown peer {dst}")
+        frame = encode_frame(src, msg)  # codec errors surface to the sender
+        try:
+            self._loop.call_soon_threadsafe(self._enqueue, dst, frame)
+        except RuntimeError as error:  # loop already closed
+            raise ShutdownError("transport is closed") from error
+
+    def add_peer(self, node_id: int, host: str, port: int) -> None:
+        """Register (or re-register) a dynamic peer endpoint (thread-safe).
+
+        Used for clients, which are not part of the static replica map.
+        Re-registering with a changed endpoint reroutes future frames.
+        """
+        if self._closed:
+            raise ShutdownError("transport is closed")
+        if node_id == self.node_id:
+            return
+        previous = self._addresses.get(node_id)
+        self._addresses[node_id] = (host, port)
+        if previous is not None and previous != (host, port):
+            try:
+                self._loop.call_soon_threadsafe(self._drop_pump, node_id)
+            except RuntimeError as error:
+                raise ShutdownError("transport is closed") from error
+
+    def peers(self) -> Dict[int, Tuple[str, int]]:
+        return dict(self._addresses)
+
+    # ------------------------------------------------------------ inbound path
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                length = int.from_bytes(header, "big")
+                if length > MAX_FRAME:
+                    break  # corrupt prefix: drop the connection
+                body = await reader.readexactly(length)
+                try:
+                    src, msg = decode_frame(body)
+                except CodecError:
+                    break  # corrupt peer: drop the connection
+                self._dispatch(src, msg)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    def _dispatch(self, src: int, msg: Any) -> None:
+        if self._closed:
+            return
+        if self._interceptor is not None and self._interceptor(src, msg):
+            return
+        self._inbox.put((src, msg))
+
+    # ----------------------------------------------------------- outbound path
+
+    def _enqueue(self, dst: int, frame: bytes) -> None:
+        """Loop thread: queue a frame and make sure the pump runs."""
+        if self._closed:
+            return
+        outbox = self._outboxes.get(dst)
+        if outbox is None:
+            outbox = asyncio.Queue()
+            self._outboxes[dst] = outbox
+        if outbox.qsize() >= self._queue_limit:
+            outbox.get_nowait()  # drop-oldest: fair-lossy link, not a log
+        outbox.put_nowait(frame)
+        pump = self._pumps.get(dst)
+        if pump is None or pump.done():
+            self._pumps[dst] = self._loop.create_task(self._pump(dst))
+
+    def _drop_pump(self, dst: int) -> None:
+        """Loop thread: kill a peer's pump so it redials the new address."""
+        pump = self._pumps.pop(dst, None)
+        if pump is not None:
+            pump.cancel()
+
+    async def _pump(self, dst: int) -> None:
+        """Drain one peer's outbox over a (re)connecting stream."""
+        outbox = self._outboxes[dst]
+        writer: Optional[asyncio.StreamWriter] = None
+        failures = 0
+        try:
+            while not self._closed:
+                frame = await outbox.get()
+                while not self._closed:
+                    if writer is None:
+                        host, port = self._addresses[dst]
+                        try:
+                            _, writer = await asyncio.open_connection(
+                                host, port)
+                            failures = 0
+                        except OSError:
+                            writer = None
+                            failures += 1
+                            await asyncio.sleep(self._backoff(failures))
+                            continue
+                    try:
+                        writer.write(frame)
+                        await writer.drain()
+                        break
+                    except (ConnectionError, OSError):
+                        writer.close()
+                        writer = None
+                        failures += 1
+                        await asyncio.sleep(self._backoff(failures))
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if writer is not None:
+                writer.close()
+
+    def _backoff(self, failures: int) -> float:
+        """Exponential backoff with jitter in [0.5, 1.5] of the nominal."""
+        nominal = min(self._backoff_max,
+                      self._backoff_base * (2 ** min(failures - 1, 16)))
+        return nominal * (0.5 + self._jitter.random())

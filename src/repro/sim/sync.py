@@ -146,7 +146,9 @@ class SimAtomic(AtomicCell):
         self.value = initial
 
     def compare_and_set(self, expected: Any, new: Any) -> bool:
-        if self.value == expected:
+        # Reference CAS, matching _ThreadedAtomic: identity comparison so a
+        # distinct-but-equal object can never satisfy the expectation.
+        if self.value is expected:
             self.value = new
             return True
         return False

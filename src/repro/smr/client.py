@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 import queue
 import threading
+import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.command import Command
@@ -100,10 +101,16 @@ class Client:
                 # and try the next replica.
                 contact = (contact + 1) % self._n_replicas
                 continue
-            deadline = self._timeout
+            # One deadline per attempt: every ``get`` below is budgeted the
+            # *remaining* time, so a batch of k commands cannot stretch the
+            # attempt to k * timeout while a slow replica drips responses.
+            deadline = time.monotonic() + self._timeout
             try:
                 while wanted - responses.keys():
-                    request_id, response = self._responses.get(timeout=deadline)
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise queue.Empty
+                    request_id, response = self._responses.get(timeout=remaining)
                     if request_id in wanted:
                         # Keep the first response per request; replicas all
                         # answer, later ones are redundant in crash mode.

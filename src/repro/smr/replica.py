@@ -222,13 +222,15 @@ class ParallelReplica:
         :attr:`last_instance`.
         """
         with self._deliver_lock:
-            deadline = time.time() + timeout
+            # monotonic, not wall clock: an NTP step while quiescing must
+            # not fire the deadline early (or postpone it forever).
+            deadline = time.monotonic() + timeout
             while True:
                 with self._state_lock:
                     drained = self._executed >= self._scheduled
                 if drained:
                     break
-                if time.time() > deadline:
+                if time.monotonic() > deadline:
                     raise CheckpointError(
                         f"replica {self.replica_id} did not quiesce within "
                         f"{timeout}s")

@@ -3,9 +3,11 @@
 import pytest
 
 from repro.bench import (
+    BENCH_BACKENDS,
     FigureData,
     StandaloneConfig,
     format_figure,
+    run_benchmark,
     run_standalone,
 )
 from repro.sim import LIGHT
@@ -21,6 +23,19 @@ def tiny(**overrides):
     )
     defaults.update(overrides)
     return StandaloneConfig(**defaults)
+
+
+class TestBackendDispatch:
+    def test_backends_registered(self):
+        assert BENCH_BACKENDS == ("sim", "tcp")
+
+    def test_sim_backend_dispatches_to_standalone(self):
+        result = run_benchmark("sim", tiny())
+        assert result.throughput > 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark backend"):
+            run_benchmark("carrier-pigeon", tiny())
 
 
 class TestStandaloneHarness:
