@@ -22,6 +22,7 @@ from repro.core.command import ConflictRelation, ReadWriteConflicts
 from repro.core.cos import DEFAULT_MAX_SIZE
 from repro.core.effects import Work
 from repro.core.runtime import EffectGen
+from repro.obs.registry import MetricsRegistry
 from repro.sim import (
     ExecutionProfile,
     Metrics,
@@ -95,13 +96,24 @@ def run_benchmark(backend: str, config):
         f"unknown benchmark backend {backend!r}; choose from {BENCH_BACKENDS}")
 
 
-def run_standalone(config: StandaloneConfig) -> StandaloneResult:
-    """Simulate one configuration and return its measured throughput."""
+def run_standalone(config: StandaloneConfig,
+                   registry: Optional[MetricsRegistry] = None,
+                   ) -> StandaloneResult:
+    """Simulate one configuration and return its measured throughput.
+
+    ``registry`` optionally records the run through the unified
+    observability layer (docs/observability.md): its clock is bound to the
+    virtual clock and the COS structure emits occupancy/wait/restart
+    metrics into it.  Instrumentation adds no simulation events, so
+    results are identical with or without it.
+    """
     if config.workers < 1:
         raise ValueError(f"workers must be >= 1, got {config.workers}")
     sim = Simulator()
+    if registry is not None:
+        registry.bind_clock(lambda: sim.now)
     runtime = SimRuntime(sim, costs=config.sync_costs)
-    metrics = Metrics(sim)
+    metrics = Metrics(sim, registry=registry)
     conflicts = config.conflicts or ReadWriteConflicts()
     classes_of = None
     if config.algorithm == "class-based":
@@ -115,6 +127,7 @@ def run_standalone(config: StandaloneConfig) -> StandaloneResult:
         max_size=config.max_size,
         costs=structure_costs(),
         classes_of=classes_of,
+        obs=registry,
     )
     workload = WorkloadGenerator(config.write_pct, seed=config.seed)
     total_target = config.warm_ops + config.measure_ops

@@ -56,6 +56,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--write-pct", type=float, default=0.0)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--measure-ops", type=int, default=5000)
+    parser.add_argument("--obs", action="store_true",
+                        help="record the run through the observability "
+                             "registry and print its snapshot "
+                             "(docs/observability.md)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -143,7 +147,19 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_obs(registry) -> None:
+    from repro.obs import render_text
+
+    print("--- observability snapshot (virtual clock) ---")
+    print(render_text(registry), end="")
+
+
 def _cmd_standalone(args: argparse.Namespace) -> int:
+    registry = None
+    if args.obs:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     result = run_standalone(StandaloneConfig(
         algorithm=args.algorithm,
         workers=args.workers,
@@ -152,16 +168,23 @@ def _cmd_standalone(args: argparse.Namespace) -> int:
         seed=args.seed,
         measure_ops=args.measure_ops,
         warm_ops=max(args.measure_ops // 10, 50),
-    ))
+    ), registry=registry)
     print(f"algorithm={args.algorithm} workers={args.workers} "
           f"profile={args.profile} writes={args.write_pct}%")
     print(f"throughput: {result.kops:.1f} kops/s "
           f"({result.executed} cmds in {result.virtual_time * 1e3:.1f} "
           f"virtual ms, {result.events} events)")
+    if registry is not None:
+        _print_obs(registry)
     return 0
 
 
 def _cmd_smr(args: argparse.Namespace) -> int:
+    registry = None
+    if args.obs:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     result = run_sim_cluster(SimClusterConfig(
         algorithm=args.algorithm,
         workers=args.workers,
@@ -171,13 +194,15 @@ def _cmd_smr(args: argparse.Namespace) -> int:
         seed=args.seed,
         measure_ops=args.measure_ops,
         warm_ops=max(args.measure_ops // 10, 50),
-    ))
+    ), registry=registry)
     print(f"algorithm={args.algorithm} workers={args.workers} "
           f"profile={args.profile} writes={args.write_pct}% "
           f"clients={args.clients}")
     print(f"throughput: {result.kops:.1f} kops/s   "
           f"latency: mean {result.latency_ms:.2f} ms / "
           f"p99 {result.latency_p99 * 1e3:.2f} ms")
+    if registry is not None:
+        _print_obs(registry)
     return 0
 
 

@@ -65,7 +65,7 @@ COS_ALGORITHMS = ("coarse-grained", "fine-grained", "lock-free", "sequential",
 
 
 def make_cos(name, runtime, conflicts, max_size=DEFAULT_MAX_SIZE,
-             costs=StructureCosts.zero(), classes_of=None):
+             costs=StructureCosts.zero(), classes_of=None, obs=None):
     """Construct a COS implementation by its paper name.
 
     Args:
@@ -79,13 +79,16 @@ def make_cos(name, runtime, conflicts, max_size=DEFAULT_MAX_SIZE,
         classes_of: For ``"class-based"`` only — maps a command to its
             conflict classes; defaults to the single-class readers/writers
             model (:func:`read_write_classes`).
+        obs: Optional :class:`repro.obs.MetricsRegistry` the three graph
+            structures record into (occupancy, blocked-time, restarts, CAS
+            retries — see docs/observability.md).  ``None`` disables.
     """
     if name == "coarse-grained":
-        return CoarseGrainedCOS(runtime, conflicts, max_size, costs)
+        return CoarseGrainedCOS(runtime, conflicts, max_size, costs, obs=obs)
     if name == "fine-grained":
-        return FineGrainedCOS(runtime, conflicts, max_size, costs)
+        return FineGrainedCOS(runtime, conflicts, max_size, costs, obs=obs)
     if name == "lock-free":
-        return LockFreeCOS(runtime, conflicts, max_size, costs)
+        return LockFreeCOS(runtime, conflicts, max_size, costs, obs=obs)
     if name == "sequential":
         return SequentialCOS(runtime, max_size, costs)
     if name == "class-based":

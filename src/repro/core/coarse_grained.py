@@ -31,6 +31,7 @@ from repro.core.cos import COS, DEFAULT_MAX_SIZE, StructureCosts
 from repro.core.effects import Acquire, Release, Signal, Wait, Work
 from repro.core.node import EXECUTING, WAITING, CoarseNode
 from repro.core.runtime import EffectGen, Runtime
+from repro.obs.registry import NULL_REGISTRY
 
 __all__ = ["CoarseGrainedCOS"]
 
@@ -44,6 +45,7 @@ class CoarseGrainedCOS(COS):
         conflicts: ConflictRelation,
         max_size: int = DEFAULT_MAX_SIZE,
         costs: StructureCosts = StructureCosts.zero(),
+        obs=None,
     ):
         if max_size < 1:
             raise ValueError(f"max_size must be >= 1, got {max_size}")
@@ -55,15 +57,33 @@ class CoarseGrainedCOS(COS):
         self._has_ready = runtime.condition(self._mutex)
         self._nodes: Dict[int, CoarseNode] = {}  # seq -> node, delivery order
         self._next_seq = 0
+        # Instrumentation (docs/observability.md).  Pure Python bookkeeping
+        # only — it must never add or reorder yielded effects, so simulated
+        # schedules are identical with observability on or off.
+        obs = obs if obs is not None else NULL_REGISTRY
+        self._obs = obs
+        self._obs_on = obs.enabled
+        self._m_occupancy = obs.gauge("cos_graph_size")
+        self._m_inserts = obs.counter("cos_inserts_total")
+        self._m_gets = obs.counter("cos_gets_total")
+        self._m_removes = obs.counter("cos_removes_total")
+        self._m_restarts = obs.counter("cos_traversal_restarts_total")
+        self._m_space_wait = obs.histogram("cos_space_wait_seconds")
+        self._m_ready_wait = obs.histogram("cos_ready_wait_seconds")
 
     # ------------------------------------------------------------------ API
 
     def insert(self, cmd: Command) -> EffectGen:
         node = CoarseNode(cmd, self._next_seq)
         self._next_seq += 1
+        obs_on = self._obs_on
+        entered = self._obs.clock() if obs_on else 0.0
         yield Acquire(self._mutex)
         while len(self._nodes) >= self._max_size:
             yield Wait(self._not_full)
+        if obs_on:
+            # Time from invocation until lock + capacity were both held.
+            self._m_space_wait.observe(self._obs.clock() - entered)
         visit = self._costs.insert_visit
         edge = self._costs.edge
         conflicts = self._conflicts.conflicts
@@ -76,11 +96,18 @@ class CoarseGrainedCOS(COS):
                 other.deps_out[node] = None
                 node.deps_in.add(other)
         self._nodes[node.seq] = node
+        if obs_on:
+            self._m_inserts.inc()
+            self._m_occupancy.set(len(self._nodes))
         if not node.deps_in:
+            if obs_on:
+                self._obs.span(cmd.uid, "ready")
             yield Signal(self._has_ready)
         yield Release(self._mutex)
 
     def get(self) -> EffectGen:
+        obs_on = self._obs_on
+        entered = self._obs.clock() if obs_on else 0.0
         yield Acquire(self._mutex)
         visit = self._costs.get_visit
         while True:
@@ -93,11 +120,17 @@ class CoarseGrainedCOS(COS):
                     break
             if found is not None:
                 found.status = EXECUTING
+                if obs_on:
+                    self._m_gets.inc()
+                    self._m_ready_wait.observe(self._obs.clock() - entered)
                 yield Release(self._mutex)
                 return found
+            if obs_on:
+                self._m_restarts.inc()  # scan found nothing: wait and rescan
             yield Wait(self._has_ready)
 
     def remove(self, handle: CoarseNode) -> EffectGen:
+        obs_on = self._obs_on
         yield Acquire(self._mutex)
         edge = self._costs.edge
         for dependent in handle.deps_out:
@@ -105,9 +138,14 @@ class CoarseGrainedCOS(COS):
                 yield Work(edge)
             dependent.deps_in.discard(handle)
             if not dependent.deps_in and dependent.status == WAITING:
+                if obs_on:
+                    self._obs.span(dependent.cmd.uid, "ready")
                 yield Signal(self._has_ready)
         handle.deps_out.clear()
         del self._nodes[handle.seq]
+        if obs_on:
+            self._m_removes.inc()
+            self._m_occupancy.set(len(self._nodes))
         yield Signal(self._not_full)
         yield Release(self._mutex)
 

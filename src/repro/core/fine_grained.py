@@ -34,6 +34,7 @@ from repro.core.cos import COS, DEFAULT_MAX_SIZE, StructureCosts
 from repro.core.effects import Acquire, Down, Release, Up, Work
 from repro.core.node import EXECUTING, WAITING, FineNode
 from repro.core.runtime import EffectGen, Runtime
+from repro.obs.registry import NULL_REGISTRY
 
 __all__ = ["FineGrainedCOS"]
 
@@ -50,6 +51,7 @@ class FineGrainedCOS(COS):
         conflicts: ConflictRelation,
         max_size: int = DEFAULT_MAX_SIZE,
         costs: StructureCosts = StructureCosts.zero(),
+        obs=None,
     ):
         if max_size < 1:
             raise ValueError(f"max_size must be >= 1, got {max_size}")
@@ -63,11 +65,27 @@ class FineGrainedCOS(COS):
         self._tail = FineNode(None, _TAIL_SEQ, runtime, sentinel=True)
         self._head.nxt = self._tail
         self._next_seq = 0
+        # Instrumentation (docs/observability.md); pure Python only — no
+        # effects are added, so simulated schedules do not change.
+        obs = obs if obs is not None else NULL_REGISTRY
+        self._obs = obs
+        self._obs_on = obs.enabled
+        self._m_occupancy = obs.gauge("cos_graph_size")
+        self._m_inserts = obs.counter("cos_inserts_total")
+        self._m_gets = obs.counter("cos_gets_total")
+        self._m_removes = obs.counter("cos_removes_total")
+        self._m_restarts = obs.counter("cos_traversal_restarts_total")
+        self._m_space_wait = obs.histogram("cos_space_wait_seconds")
+        self._m_ready_wait = obs.histogram("cos_ready_wait_seconds")
 
     # ------------------------------------------------------------------ API
 
     def insert(self, cmd: Command) -> EffectGen:
+        obs_on = self._obs_on
+        entered = self._obs.clock() if obs_on else 0.0
         yield Down(self._space)
+        if obs_on:
+            self._m_space_wait.observe(self._obs.clock() - entered)
         node = FineNode(cmd, self._next_seq, self._runtime)
         self._next_seq += 1
         yield Acquire(node.mutex)
@@ -95,13 +113,22 @@ class FineGrainedCOS(COS):
         prev.nxt = node
         yield Release(self._tail.mutex)
         is_ready = not node.deps_in
+        if obs_on:
+            self._m_inserts.inc()
+            self._m_occupancy.inc()
+            if is_ready:
+                self._obs.span(cmd.uid, "ready")
         yield Release(prev.mutex)
         yield Release(node.mutex)
         if is_ready:
             yield Up(self._ready)
 
     def get(self) -> EffectGen:
+        obs_on = self._obs_on
+        entered = self._obs.clock() if obs_on else 0.0
         yield Down(self._ready)
+        if obs_on:
+            self._m_ready_wait.observe(self._obs.clock() - entered)
         visit = self._costs.get_visit
         while True:
             yield Acquire(self._head.mutex)
@@ -114,12 +141,16 @@ class FineGrainedCOS(COS):
                     yield Work(visit)
                 if cur.status == WAITING and not cur.deps_in:
                     cur.status = EXECUTING
+                    if obs_on:
+                        self._m_gets.inc()
                     yield Release(cur.mutex)
                     return cur
                 prev = cur
                 cur = cur.nxt
             yield Release(prev.mutex)
             # The ready node slipped behind the walk; restart from the head.
+            if obs_on:
+                self._m_restarts.inc()
             if self._costs.retry_backoff:
                 yield Work(self._costs.retry_backoff)
 
@@ -162,12 +193,17 @@ class FineGrainedCOS(COS):
                 cur.deps_in.discard(handle)
                 if not cur.deps_in and cur.status == WAITING:
                     freed += 1
+                    if self._obs_on:
+                        self._obs.span(cur.cmd.uid, "ready")
             nxt = cur.nxt
             if nxt is not self._tail:
                 yield Acquire(nxt.mutex)
             yield Release(cur.mutex)
             cur = nxt
         yield Release(handle.mutex)
+        if self._obs_on:
+            self._m_removes.inc()
+            self._m_occupancy.dec()
         if freed:
             yield Up(self._ready, freed)
         yield Up(self._space)

@@ -47,6 +47,7 @@ from repro.core.cos import COS, DEFAULT_MAX_SIZE, StructureCosts
 from repro.core.effects import Cas, Down, Load, Store, Up, Work
 from repro.core.node import EXECUTING, READY, REMOVED, WAITING, LockFreeNode
 from repro.core.runtime import EffectGen, Runtime
+from repro.obs.registry import NULL_REGISTRY
 
 __all__ = ["LockFreeCOS"]
 
@@ -60,6 +61,7 @@ class LockFreeCOS(COS):
         conflicts: ConflictRelation,
         max_size: int = DEFAULT_MAX_SIZE,
         costs: StructureCosts = StructureCosts.zero(),
+        obs=None,
     ):
         if max_size < 1:
             raise ValueError(f"max_size must be >= 1, got {max_size}")
@@ -70,25 +72,54 @@ class LockFreeCOS(COS):
         self._ready = runtime.semaphore(0)          # Alg. 5 l. 3
         self._head = runtime.atomic(None)           # Alg. 6 l. 11 (N)
         self._next_seq = 0
+        # Instrumentation (docs/observability.md); pure Python only — no
+        # effects are added, so simulated schedules do not change.
+        obs = obs if obs is not None else NULL_REGISTRY
+        self._obs = obs
+        self._obs_on = obs.enabled
+        self._m_occupancy = obs.gauge("cos_graph_size")
+        self._m_inserts = obs.counter("cos_inserts_total")
+        self._m_gets = obs.counter("cos_gets_total")
+        self._m_removes = obs.counter("cos_removes_total")
+        self._m_restarts = obs.counter("cos_traversal_restarts_total")
+        self._m_cas_retries = obs.counter("cos_cas_retries_total")
+        self._m_space_wait = obs.histogram("cos_space_wait_seconds")
+        self._m_ready_wait = obs.histogram("cos_ready_wait_seconds")
 
     # --------------------------------------------------- blocking layer API
 
     def insert(self, cmd: Command) -> EffectGen:
         """Alg. 5 ``insert``: wait for space, lfInsert, publish readiness."""
+        obs_on = self._obs_on
+        entered = self._obs.clock() if obs_on else 0.0
         yield Down(self._space)
+        if obs_on:
+            self._m_space_wait.observe(self._obs.clock() - entered)
         ready = yield from self._lf_insert(cmd)
+        if obs_on:
+            self._m_inserts.inc()
+            self._m_occupancy.inc()
         if ready:
             yield Up(self._ready, ready)
 
     def get(self) -> EffectGen:
         """Alg. 5 ``get``: wait for a ready node, then lfGet."""
+        obs_on = self._obs_on
+        entered = self._obs.clock() if obs_on else 0.0
         yield Down(self._ready)
+        if obs_on:
+            self._m_ready_wait.observe(self._obs.clock() - entered)
         node = yield from self._lf_get()
+        if obs_on:
+            self._m_gets.inc()
         return node
 
     def remove(self, handle: LockFreeNode) -> EffectGen:
         """Alg. 5 ``remove``: lfRemove, then publish freed nodes and space."""
         ready = yield from self._lf_remove(handle)
+        if self._obs_on:
+            self._m_removes.inc()
+            self._m_occupancy.dec()
         if ready:
             yield Up(self._ready, ready)
         yield Up(self._space)
@@ -110,6 +141,12 @@ class LockFreeCOS(COS):
             if dep_st != REMOVED:
                 return 0
         ok = yield Cas(node.st, WAITING, READY)
+        if self._obs_on:
+            if ok:
+                self._obs.span(node.cmd.uid, "ready")
+            else:
+                # Lost the wtg->rdy race to a concurrent remover/inserter.
+                self._m_cas_retries.inc()
         return 1 if ok else 0
 
     def _helped_remove(self, prev: Optional[LockFreeNode],
@@ -190,6 +227,9 @@ class LockFreeCOS(COS):
                 if ok:
                     return cur
                 cur = yield Load(cur.nxt)
+            # The ready node slipped behind the walk; restart from the head.
+            if self._obs_on:
+                self._m_restarts.inc()
             if self._costs.retry_backoff:
                 yield Work(self._costs.retry_backoff)
 

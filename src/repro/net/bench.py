@@ -25,6 +25,8 @@ from repro.core.command import Command
 from repro.net.client import NetClient
 from repro.net.config import NetConfig, loopback_config
 from repro.net.supervisor import Supervisor
+from repro.obs import MetricsRegistry
+from repro.obs.stats import quantile
 from repro.smr.client import ClientTimeout
 from repro.workload import WorkloadGenerator
 
@@ -47,6 +49,10 @@ class NetBenchConfig:
     crash_replica: Optional[int] = None   # crash-stop this replica mid-run
     recover: bool = True                  # ...and restart it afterwards
     client_timeout: float = 3.0
+    #: Record client-side per-command spans and write them to trace_path
+    #: (JSONL, one event per line — see docs/observability.md).
+    trace: bool = False
+    trace_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,12 @@ class NetBenchResult:
     latency_p99: float
     crash_injected: bool
     recovered: bool
+    #: One (throughput kops/s, latency ms) coordinate — the shape of one
+    #: paper Fig. 6 point, measured on the real deployment.
+    fig6_point: Dict[str, float] = field(default_factory=dict)
+    #: Client-side latency histogram snapshot (fixed log-spaced buckets).
+    latency_histogram: Dict[str, Any] = field(default_factory=dict)
+    trace_events: int = 0
 
     def to_json(self) -> Dict[str, Any]:
         data = asdict(self)
@@ -73,9 +85,7 @@ class NetBenchResult:
 def _percentile(samples: List[float], fraction: float) -> float:
     if not samples:
         return 0.0
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, int(fraction * len(ordered)))
-    return ordered[index]
+    return quantile(sorted(samples), fraction)
 
 
 def run_net_bench(config: NetBenchConfig,
@@ -95,6 +105,9 @@ def run_net_bench(config: NetBenchConfig,
     executed = 0
     errors = 0
     counters_lock = threading.Lock()
+    # Client-side registry: latency histogram always, spans when tracing.
+    registry = MetricsRegistry(trace=config.trace)
+    latency_hist = registry.histogram("client_batch_latency_seconds")
 
     def client_loop(index: int) -> None:
         nonlocal executed, errors
@@ -106,17 +119,26 @@ def run_net_bench(config: NetBenchConfig,
             contact=index % config.n_replicas,
             timeout=config.client_timeout,
         )
+        trace = config.trace
         try:
             for _ in range(batches_per_client):
                 commands = workload.commands(config.batch)
                 started = time.monotonic()
+                if trace:
+                    for command in commands:
+                        registry.span(command.uid, "submitted", at=started)
                 try:
                     client.execute_batch(commands)
                 except ClientTimeout:
                     with counters_lock:
                         errors += len(commands)
                     continue
-                elapsed = time.monotonic() - started
+                finished = time.monotonic()
+                elapsed = finished - started
+                if trace:
+                    for command in commands:
+                        registry.span(command.uid, "responded", at=finished)
+                latency_hist.observe(elapsed)
                 with latency_lock:
                     latencies.append(elapsed)
                 with counters_lock:
@@ -148,17 +170,28 @@ def run_net_bench(config: NetBenchConfig,
             thread.join()
         duration = time.monotonic() - started
 
+    trace_events = len(registry.spans.events())
+    if config.trace and config.trace_path:
+        registry.spans.write_jsonl(config.trace_path)
+    throughput = executed / duration if duration > 0 else 0.0
+    latency_mean = statistics.fmean(latencies) if latencies else 0.0
     result = NetBenchResult(
         config=config,
         executed=executed,
         errors=errors,
         duration=duration,
-        throughput=executed / duration if duration > 0 else 0.0,
-        latency_mean=statistics.fmean(latencies) if latencies else 0.0,
+        throughput=throughput,
+        latency_mean=latency_mean,
         latency_p50=_percentile(latencies, 0.50),
         latency_p99=_percentile(latencies, 0.99),
         crash_injected=crash_injected,
         recovered=recovered,
+        fig6_point={
+            "throughput_kops": throughput / 1e3,
+            "latency_ms": latency_mean * 1e3,
+        },
+        latency_histogram=latency_hist.snapshot(),
+        trace_events=trace_events,
     )
     if out_path is not None:
         with open(out_path, "w") as handle:

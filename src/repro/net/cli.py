@@ -61,6 +61,9 @@ def add_net_parser(sub: argparse._SubParsersAction) -> None:
     _add_cluster_options(supervise)
     supervise.add_argument("--config-out", default="repro-net-cluster.json",
                            help="where to write the deployment JSON")
+    supervise.add_argument("--metrics", action="store_true",
+                           help="serve /metrics from every replica "
+                                "(docs/observability.md)")
 
     client = net_sub.add_parser(
         "client", help="closed-loop client against a running cluster")
@@ -83,6 +86,11 @@ def add_net_parser(sub: argparse._SubParsersAction) -> None:
                        help="crash-stop replica n-1 mid-run and recover it")
     bench.add_argument("--out", default="repro-net-bench.json",
                        help="JSON artifact path")
+    bench.add_argument("--trace", action="store_true",
+                       help="record client-side per-command spans "
+                            "(docs/observability.md)")
+    bench.add_argument("--trace-out", default="repro-net-trace.jsonl",
+                       help="span log path (JSONL) when --trace is on")
 
 
 def _wait_for_signal() -> None:
@@ -114,6 +122,7 @@ def _cmd_replica(args: argparse.Namespace) -> int:
 def _cmd_supervise(args: argparse.Namespace) -> int:
     config = loopback_config(
         n_replicas=args.replicas,
+        metrics=args.metrics,
         service=args.service,
         protocol=args.protocol,
         cos_algorithm=args.algorithm,
@@ -125,6 +134,11 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
         supervisor.wait_ready()
         print(f"{args.replicas} replica processes up; deployment config at "
               f"{args.config_out}", flush=True)
+        if config.metrics_addresses:
+            for replica_id, (host, port) in enumerate(
+                    config.metrics_addresses):
+                print(f"replica {replica_id} metrics at "
+                      f"http://{host}:{port}/metrics", flush=True)
         print("run a workload with: python -m repro net client "
               f"--config {args.config_out}", flush=True)
         _wait_for_signal()
@@ -170,6 +184,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         seed=args.seed,
         crash_replica=args.replicas - 1 if args.crash else None,
+        trace=args.trace,
+        trace_path=args.trace_out if args.trace else None,
     )
     result = run_net_bench(config, out_path=args.out)
     print(f"replicas={args.replicas} clients={args.clients} "
@@ -180,9 +196,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"batch latency: mean {result.latency_mean * 1e3:.1f} ms / "
           f"p50 {result.latency_p50 * 1e3:.1f} ms / "
           f"p99 {result.latency_p99 * 1e3:.1f} ms")
+    print(f"fig6 point: {result.fig6_point['throughput_kops']:.2f} kops/s "
+          f"at {result.fig6_point['latency_ms']:.1f} ms")
     if result.crash_injected:
         print(f"crash injected: replica {config.crash_replica} "
               f"({'recovered' if result.recovered else 'not recovered'})")
+    if config.trace:
+        print(f"{result.trace_events} span events written to "
+              f"{config.trace_path}")
     print(f"artifact written to {args.out}")
     return 0
 

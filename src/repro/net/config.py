@@ -45,6 +45,12 @@ class NetConfig:
     heartbeat_interval: float = 0.05
     leader_timeout: float = 0.25
     client_timeout: float = 2.0
+    #: ``metrics_addresses[i]`` is replica ``i``'s /metrics HTTP endpoint
+    #: (see docs/observability.md); empty disables the endpoint.
+    metrics_addresses: Tuple[Tuple[str, int], ...] = ()
+    #: Directory for periodic JSON metric snapshots ("" disables).
+    metrics_snapshot_dir: str = ""
+    metrics_snapshot_interval: float = 1.0
 
     @property
     def n_replicas(self) -> int:
@@ -61,12 +67,23 @@ class NetConfig:
         if self.service not in SERVICES:
             raise ConfigurationError(
                 f"unknown service {self.service!r}; choose from {SERVICES}")
+        if self.metrics_addresses and (
+                len(self.metrics_addresses) != self.n_replicas):
+            raise ConfigurationError(
+                f"metrics_addresses must be empty or list one endpoint per "
+                f"replica; got {len(self.metrics_addresses)} for "
+                f"{self.n_replicas} replicas")
+        if self.metrics_snapshot_interval <= 0:
+            raise ConfigurationError(
+                "metrics_snapshot_interval must be > 0")
 
     # ------------------------------------------------------------- JSON I/O
 
     def to_json(self) -> str:
         data = asdict(self)
         data["addresses"] = [list(addr) for addr in self.addresses]
+        data["metrics_addresses"] = [
+            list(addr) for addr in self.metrics_addresses]
         return json.dumps(data, indent=2)
 
     @classmethod
@@ -74,6 +91,10 @@ class NetConfig:
         data = json.loads(text)
         data["addresses"] = tuple(
             (str(host), int(port)) for host, port in data["addresses"])
+        # Older config files predate the observability fields.
+        data["metrics_addresses"] = tuple(
+            (str(host), int(port))
+            for host, port in data.get("metrics_addresses", ()))
         return cls(**data)
 
     def address_map(self) -> Dict[int, Tuple[str, int]]:
@@ -86,9 +107,17 @@ class NetConfig:
         return replace(self, addresses=tuple(addresses))
 
 
-def loopback_config(n_replicas: int = 3, **overrides) -> NetConfig:
-    """A localhost deployment on freshly allocated ephemeral ports."""
+def loopback_config(n_replicas: int = 3, metrics: bool = False,
+                    **overrides) -> NetConfig:
+    """A localhost deployment on freshly allocated ephemeral ports.
+
+    With ``metrics=True`` each replica also gets a ``/metrics`` HTTP
+    endpoint on its own ephemeral port (docs/observability.md).
+    """
     addresses = tuple(("127.0.0.1", free_port()) for _ in range(n_replicas))
+    if metrics and "metrics_addresses" not in overrides:
+        overrides["metrics_addresses"] = tuple(
+            ("127.0.0.1", free_port()) for _ in range(n_replicas))
     config = NetConfig(addresses=addresses, **overrides)
     config.validate()
     return config

@@ -20,6 +20,7 @@ Run one as a process with ``python -m repro net replica`` (see
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any, Callable, Dict, Optional
 
@@ -30,6 +31,7 @@ from repro.errors import ConfigurationError, ShutdownError
 from repro.net.config import NetConfig
 from repro.net.messages import ClientRequest, ClientResponse
 from repro.net.transport import TcpTransport
+from repro.obs import MetricsHTTPServer, MetricsRegistry, SnapshotWriter
 from repro.smr.checkpoint import Checkpoint
 from repro.smr.replica import ParallelReplica, SequentialReplica
 from repro.smr.service import Service
@@ -66,6 +68,11 @@ class ReplicaServer:
         self.replica_id = replica_id
         self.config = config
         self.service = build_service(config.service)
+        # One registry per replica process records the whole stack — COS,
+        # replica engine, and transport (docs/observability.md).
+        self.registry = MetricsRegistry()
+        self._metrics_server: Optional[MetricsHTTPServer] = None
+        self._snapshot_writer: Optional[SnapshotWriter] = None
         self.replica = self._build_replica()
         if checkpoint is not None:
             self.replica.install_checkpoint(checkpoint)
@@ -76,6 +83,7 @@ class ReplicaServer:
             config.address_map(),
             interceptor=self._intercept,
             seed=replica_id,
+            registry=self.registry,
         )
         self.node = ThreadedNode(
             replica_id,
@@ -98,6 +106,7 @@ class ReplicaServer:
                 self.service,
                 max_queue_size=self.config.max_graph_size,
                 on_response=self._respond,
+                registry=self.registry,
             )
         return ParallelReplica(
             self.replica_id,
@@ -106,6 +115,7 @@ class ReplicaServer:
             workers=self.config.workers,
             max_graph_size=self.config.max_graph_size,
             on_response=self._respond,
+            registry=self.registry,
         )
 
     def _build_protocol(self, first_instance: int) -> Any:
@@ -130,6 +140,17 @@ class ReplicaServer:
             raise ShutdownError("replica server already started")
         self._started = True
         self.transport.start()
+        if self.config.metrics_addresses:
+            host, port = self.config.metrics_addresses[self.replica_id]
+            self._metrics_server = MetricsHTTPServer(
+                self.registry, host=host, port=port).start()
+        if self.config.metrics_snapshot_dir:
+            path = os.path.join(
+                self.config.metrics_snapshot_dir,
+                f"replica-{self.replica_id}-metrics.json")
+            self._snapshot_writer = SnapshotWriter(
+                self.registry, path,
+                interval=self.config.metrics_snapshot_interval).start()
         self.replica.start()
         self.node.start()
         return self
@@ -139,6 +160,12 @@ class ReplicaServer:
         self.node.stop()
         self.transport.close()
         self.replica.stop(timeout=2.0)
+        if self._snapshot_writer is not None:
+            self._snapshot_writer.stop()
+            self._snapshot_writer = None
+        if self._metrics_server is not None:
+            self._metrics_server.stop()
+            self._metrics_server = None
 
     def __enter__(self) -> "ReplicaServer":
         return self.start()
@@ -149,6 +176,13 @@ class ReplicaServer:
     @property
     def running(self) -> bool:
         return self._started and self.node.running
+
+    @property
+    def metrics_address(self) -> Optional[Any]:
+        """(host, port) actually bound by the /metrics server, if any."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.address
 
     # ------------------------------------------------------------ client path
 

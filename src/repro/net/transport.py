@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError, ShutdownError
 from repro.net.codec import CodecError, MAX_FRAME, decode_frame, encode_frame
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 
 __all__ = ["TcpTransport"]
 
@@ -51,6 +52,7 @@ class TcpTransport:
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
         seed: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if node_id not in addresses:
             raise ConfigurationError(
@@ -58,6 +60,11 @@ class TcpTransport:
         if queue_limit < 1:
             raise ConfigurationError("queue_limit must be >= 1")
         self.node_id = node_id
+        self._obs = registry if registry is not None else NULL_REGISTRY
+        self._obs_on = self._obs.enabled
+        self._peer_obs: Dict[int, Tuple[Any, Any, Any]] = {}
+        self._m_recv_frames = self._obs.counter("net_frames_received_total")
+        self._m_recv_bytes = self._obs.counter("net_bytes_received_total")
         self._addresses = dict(addresses)
         self._interceptor = interceptor
         self._queue_limit = queue_limit
@@ -79,14 +86,33 @@ class TcpTransport:
     # ------------------------------------------------------------ lifecycle
 
     def start(self) -> "TcpTransport":
-        """Bind the server and start the loop thread; returns self."""
+        """Bind the server and start the loop thread; returns self.
+
+        Both failure paths (bind error, readiness timeout) tear the loop
+        thread down before raising: the thread is joined, the event loop is
+        closed, and the transport is marked closed.  Without that, a bind
+        conflict used to leak a live daemon thread and an open event loop
+        per failed start.
+        """
         self._thread.start()
         self._ready.wait(timeout=10)
         if self._startup_error is not None:
+            # The loop thread already returned (and closed the loop) after
+            # setting the startup error; join so no thread outlives start().
+            self._thread.join(timeout=5)
+            self._closed = True
             raise ConfigurationError(
                 f"node {self.node_id} failed to bind "
                 f"{self._addresses[self.node_id]}: {self._startup_error}")
         if not self._ready.is_set():
+            # Startup hung: stop the loop from outside, then join.  The
+            # loop thread's finally-block closes the loop on its way out.
+            try:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            except RuntimeError:
+                pass  # loop closed between the timeout and now
+            self._thread.join(timeout=5)
+            self._closed = True
             raise ConfigurationError(
                 f"node {self.node_id} transport did not start")
         return self
@@ -98,6 +124,13 @@ class TcpTransport:
             self._loop.run_until_complete(self._bind())
         except OSError as error:
             self._startup_error = error
+            self._loop.close()
+            self._ready.set()
+            return
+        except RuntimeError as error:
+            # start() timed out waiting and stopped the loop mid-bind.
+            self._startup_error = error
+            self._loop.close()
             self._ready.set()
             return
         self._ready.set()
@@ -206,6 +239,23 @@ class TcpTransport:
     def peers(self) -> Dict[int, Tuple[str, int]]:
         return dict(self._addresses)
 
+    # -------------------------------------------------------- instrumentation
+
+    def _peer_instruments(self, dst: int):
+        """Cached per-peer instruments (docs/observability.md)."""
+        cached = self._peer_obs.get(dst)
+        if cached is None:
+            peer = str(dst)
+            cached = (
+                self._obs.gauge("net_outbox_depth", peer=peer),
+                self._obs.counter("net_outbox_drops_total", peer=peer),
+                self._obs.counter("net_frames_sent_total", peer=peer),
+                self._obs.counter("net_bytes_sent_total", peer=peer),
+                self._obs.counter("net_reconnects_total", peer=peer),
+            )
+            self._peer_obs[dst] = cached
+        return cached
+
     # ------------------------------------------------------------ inbound path
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -222,6 +272,9 @@ class TcpTransport:
                     src, msg = decode_frame(body)
                 except CodecError:
                     break  # corrupt peer: drop the connection
+                if self._obs_on:
+                    self._m_recv_frames.inc()
+                    self._m_recv_bytes.inc(4 + length)
                 self._dispatch(src, msg)
         except (asyncio.IncompleteReadError, ConnectionError, OSError):
             pass
@@ -248,7 +301,11 @@ class TcpTransport:
             self._outboxes[dst] = outbox
         if outbox.qsize() >= self._queue_limit:
             outbox.get_nowait()  # drop-oldest: fair-lossy link, not a log
+            if self._obs_on:
+                self._peer_instruments(dst)[1].inc()
         outbox.put_nowait(frame)
+        if self._obs_on:
+            self._peer_instruments(dst)[0].set(outbox.qsize())
         pump = self._pumps.get(dst)
         if pump is None or pump.done():
             self._pumps[dst] = self._loop.create_task(self._pump(dst))
@@ -264,15 +321,23 @@ class TcpTransport:
         outbox = self._outboxes[dst]
         writer: Optional[asyncio.StreamWriter] = None
         failures = 0
+        obs_on = self._obs_on
+        if obs_on:
+            m_depth, _, m_frames, m_bytes, m_reconnects = (
+                self._peer_instruments(dst))
         try:
             while not self._closed:
                 frame = await outbox.get()
+                if obs_on:
+                    m_depth.set(outbox.qsize())
                 while not self._closed:
                     if writer is None:
                         host, port = self._addresses[dst]
                         try:
                             _, writer = await asyncio.open_connection(
                                 host, port)
+                            if obs_on and failures:
+                                m_reconnects.inc()
                             failures = 0
                         except OSError:
                             writer = None
@@ -282,6 +347,9 @@ class TcpTransport:
                     try:
                         writer.write(frame)
                         await writer.drain()
+                        if obs_on:
+                            m_frames.inc()
+                            m_bytes.inc(len(frame))
                         break
                     except (ConnectionError, OSError):
                         writer.close()

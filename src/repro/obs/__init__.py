@@ -1,0 +1,56 @@
+"""Unified observability layer (docs/observability.md).
+
+One runtime-agnostic metrics registry serves every execution substrate in
+the repository: the threaded replica, the TCP deployment, and the
+discrete-event simulator.  The registry holds three instrument kinds —
+counters, gauges, and histograms with *fixed log-spaced buckets* — so a
+threaded run and a simulated run of the same workload aggregate into
+byte-identical series layouts and can be compared directly.
+
+Per-command trace spans (``delivered -> scheduled -> ready -> executing ->
+responded``) ride on the same registry: any instrumented component calls
+``registry.span(uid, stage)`` and a tracing run collects them into a span
+log that reconstructs the per-stage latency breakdown of a command's life,
+the instrumentation style of the early-scheduling / parallel-SMR
+measurement literature.
+
+Everything is **zero-cost when disabled**: the default hand-out is
+:data:`NULL_REGISTRY`, whose instruments are shared no-op singletons, and
+instrumented hot paths guard on ``registry.enabled``.  Crucially, the
+instrumentation never adds or removes *effects* in the COS generators, so
+a discrete-event simulation produces bit-identical schedules with
+observability on or off (pinned by tests/test_obs.py).
+"""
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    log_spaced_buckets,
+)
+from repro.obs.spans import NULL_SPAN_LOG, SPAN_STAGES, NullSpanLog, SpanLog
+from repro.obs.expose import MetricsHTTPServer, SnapshotWriter, render_text
+from repro.obs.stats import quantile
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "log_spaced_buckets",
+    "SpanLog",
+    "NullSpanLog",
+    "NULL_SPAN_LOG",
+    "SPAN_STAGES",
+    "MetricsHTTPServer",
+    "SnapshotWriter",
+    "render_text",
+    "quantile",
+]

@@ -1,0 +1,345 @@
+"""Metrics registry: counters, gauges, log-bucketed histograms, spans.
+
+The registry is runtime-agnostic: it takes a ``clock`` callable, so the
+same instrument code records wall time on the threaded/TCP paths and
+virtual time on the discrete-event simulator.  Histogram buckets are a
+*fixed* log-spaced ladder (:func:`log_spaced_buckets`) — not adaptive —
+so histograms from different substrates and different processes aggregate
+bucket-for-bucket.
+
+Series are identified by a name plus optional labels, rendered
+Prometheus-style (``net_outbox_depth{peer="2"}``).  Instrument handles are
+cached by the caller once and then updated lock-cheap on hot paths;
+:data:`NULL_REGISTRY` hands out shared no-op instruments so disabled
+instrumentation costs one attribute check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.spans import NULL_SPAN_LOG, NullSpanLog, SpanLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "log_spaced_buckets",
+]
+
+
+def log_spaced_buckets(low: float = 1e-6, high: float = 100.0,
+                       per_decade: int = 3) -> Tuple[float, ...]:
+    """Fixed log-spaced bucket upper bounds covering [low, high].
+
+    ``per_decade`` bounds per factor of 10, e.g. the default ladder is
+    1us, ~2.2us, ~4.6us, 10us, ... 100s (25 bounds).  Bounds are computed
+    from integer exponents so every process derives the identical ladder.
+    """
+    if low <= 0 or high <= low:
+        raise ValueError("need 0 < low < high")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    import math
+
+    first = round(math.log10(low) * per_decade)
+    last = round(math.log10(high) * per_decade)
+    return tuple(10.0 ** (step / per_decade)
+                 for step in range(first, last + 1))
+
+
+#: The ladder every histogram uses unless told otherwise: 1us .. 100s,
+#: three buckets per decade, plus the implicit +Inf overflow bucket.
+DEFAULT_BUCKETS = log_spaced_buckets()
+
+
+class Counter:
+    """Monotonically increasing value (int or float amounts)."""
+
+    kind = "counter"
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Gauge:
+    """Value that can go up and down (queue depths, occupancy)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum and quantile estimation."""
+
+    kind = "histogram"
+    __slots__ = ("name", "_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, name: str,
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        if not buckets or any(b <= a for a, b in zip(buckets, buckets[1:])):
+            raise ValueError("buckets must be strictly increasing, non-empty")
+        self.name = name
+        self._lock = threading.Lock()
+        self._bounds = tuple(buckets)
+        # counts[i] observes values <= bounds[i] (and > bounds[i-1]);
+        # the final slot is the +Inf overflow bucket.
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        return self._bounds
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (0.0 when empty).
+
+        Exact to within one bucket's width — the resolution the fixed
+        log ladder gives up in exchange for mergeable histograms.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            lower = 0.0 if index == 0 else self._bounds[index - 1]
+            if index >= len(self._bounds):
+                return self._bounds[-1]  # overflow bucket: clamp
+            upper = self._bounds[index]
+            if cumulative + bucket_count >= target:
+                within = max(0.0, target - cumulative)
+                return lower + (upper - lower) * (within / bucket_count)
+            cumulative += bucket_count
+        return self._bounds[-1]
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            return {
+                "kind": self.kind,
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": [
+                    {"le": bound, "count": count}
+                    for bound, count in zip(self._bounds, counts)
+                ] + [{"le": "+Inf", "count": counts[-1]}],
+            }
+
+
+def _series_key(name: str, labels: Dict[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Named instruments plus the span log, behind one clock."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic,
+                 trace: bool = False, trace_capacity: int = 200_000):
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._series: Dict[str, Any] = {}
+        self.spans = (SpanLog(lambda: self.clock(), capacity=trace_capacity)
+                      if trace else NULL_SPAN_LOG)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Re-point the clock (e.g. at a simulator's virtual time)."""
+        self.clock = clock
+
+    # ----------------------------------------------------------- instruments
+
+    def _get(self, cls: type, name: str, labels: Dict[str, Any],
+             *args: Any) -> Any:
+        key = _series_key(name, labels)
+        with self._lock:
+            instrument = self._series.get(key)
+            if instrument is None:
+                instrument = cls(key, *args)
+                self._series[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"series {key!r} already registered as "
+                    f"{instrument.kind}, not {cls.kind}")
+            return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels, buckets)
+
+    def span(self, uid: int, stage: str, at: Optional[float] = None) -> None:
+        self.spans.record(uid, stage, at)
+
+    # ------------------------------------------------------------- reporting
+
+    def series(self) -> List[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of every series, keyed by full series name."""
+        with self._lock:
+            instruments = dict(self._series)
+        return {key: instruments[key].snapshot()
+                for key in sorted(instruments)}
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind."""
+
+    kind = "null"
+    name = "null"
+    value = 0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    bounds: Tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: every instrument is the shared no-op singleton.
+
+    Instrumented code guards hot paths with ``registry.enabled``; even
+    unguarded calls cost one method dispatch and allocate nothing.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.clock = _zero_clock
+        self.spans = NULL_SPAN_LOG
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str,
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def span(self, uid: int, stage: str, at: Optional[float] = None) -> None:
+        pass
+
+    def series(self) -> List[str]:
+        return []
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,127 @@
+"""Per-command trace spans.
+
+A command's life at a replica passes through fixed stages::
+
+    delivered -> scheduled -> ready -> executing -> responded
+
+- ``delivered``: the atomic-broadcast delivery callback saw the command;
+- ``scheduled``: the scheduler finished inserting it into the COS;
+- ``ready``: the COS declared it free of pending conflicting predecessors;
+- ``executing``: a worker picked it up and is about to run it;
+- ``responded``: the response callback fired.
+
+Client-side traces reuse the same machinery with the ``submitted`` /
+``responded`` pair.  Events are keyed by the command's ``uid`` and
+timestamped with the owning registry's clock (wall time on threads,
+virtual time on the simulator), so stage-to-stage deltas are directly
+comparable across substrates.
+
+The log is bounded (drop-oldest) so a long-running replica with tracing
+enabled cannot grow without limit.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["SPAN_STAGES", "SpanLog", "NullSpanLog", "NULL_SPAN_LOG"]
+
+#: Replica-side stage vocabulary, in causal order.
+SPAN_STAGES = ("delivered", "scheduled", "ready", "executing", "responded")
+
+#: Default event capacity of one span log (drop-oldest beyond this).
+DEFAULT_CAPACITY = 200_000
+
+
+class SpanLog:
+    """Bounded, thread-safe log of ``(uid, stage, timestamp)`` events."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float],
+                 capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: Deque[Tuple[int, str, float]] = deque(maxlen=capacity)
+
+    def record(self, uid: int, stage: str,
+               at: Optional[float] = None) -> None:
+        if at is None:
+            at = self._clock()
+        with self._lock:
+            self._events.append((uid, stage, at))
+
+    # ------------------------------------------------------------ reporting
+
+    def events(self) -> List[Tuple[int, str, float]]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def spans(self) -> Dict[int, Dict[str, float]]:
+        """uid -> {stage: first timestamp}; partial spans included."""
+        out: Dict[int, Dict[str, float]] = {}
+        for uid, stage, at in self.events():
+            stages = out.setdefault(uid, {})
+            stages.setdefault(stage, at)
+        return out
+
+    def durations(self, start: str, end: str) -> List[float]:
+        """All ``end - start`` deltas for commands that reached both stages."""
+        deltas = []
+        for stages in self.spans().values():
+            if start in stages and end in stages:
+                deltas.append(stages[end] - stages[start])
+        return deltas
+
+    def write_jsonl(self, path: str) -> int:
+        """Write one JSON object per event; returns the event count."""
+        events = self.events()
+        with open(path, "w") as handle:
+            for uid, stage, at in events:
+                handle.write(json.dumps(
+                    {"uid": uid, "stage": stage, "t": at}) + "\n")
+        return len(events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+
+class NullSpanLog:
+    """Disabled span log: ``record`` is a no-op, reporting is empty."""
+
+    enabled = False
+
+    def record(self, uid: int, stage: str,
+               at: Optional[float] = None) -> None:
+        pass
+
+    def events(self) -> List[Tuple[int, str, float]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def spans(self) -> Dict[int, Dict[str, float]]:
+        return {}
+
+    def durations(self, start: str, end: str) -> List[float]:
+        return []
+
+    def write_jsonl(self, path: str) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_SPAN_LOG = NullSpanLog()

@@ -1,0 +1,43 @@
+"""Shared quantile helpers for every measurement path.
+
+Both the simulator's :class:`~repro.sim.metrics.Metrics` and the TCP
+benchmark used to index ``ordered[int(q * n)]``, which returns the upper
+middle element as the median for even ``n`` and degenerates to the minimum
+for small samples (``int(n * 0.99) == 0`` whenever ``n <= 100`` gives
+p99 == min for n < 100/99 bins — verified by the regression tests).  This
+module is the single correct implementation they now share.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["quantile", "median"]
+
+
+def quantile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending-sorted sample.
+
+    Uses the *inclusive* method (``h = (n - 1) * q``), the same convention
+    as ``statistics.quantiles(..., method="inclusive")`` and numpy's
+    default — the sample extremes are the 0.0 and 1.0 quantiles and
+    interior quantiles interpolate between adjacent order statistics.
+    Returns 0.0 for an empty sample.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return ordered[0]
+    h = (n - 1) * q
+    lo = math.floor(h)
+    hi = min(lo + 1, n - 1)
+    return ordered[lo] + (h - lo) * (ordered[hi] - ordered[lo])
+
+
+def median(ordered: Sequence[float]) -> float:
+    """Median of an ascending-sorted sample (mean of middles for even n)."""
+    return quantile(ordered, 0.5)

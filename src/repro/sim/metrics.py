@@ -4,12 +4,20 @@ The paper measures *throughput at the servers* and *latency at the clients*
 after a warm-up phase (§7.2).  :class:`Metrics` mirrors that: counters are
 timestamped against the virtual clock, and the reporting helpers exclude
 everything before ``mark_warm()`` was called.
+
+A :class:`Metrics` can optionally be bridged to a
+:class:`repro.obs.MetricsRegistry`, so a DES figure run records through
+the same registry API as the threaded and TCP deployments (counter per
+``incr`` name, ``latency_seconds`` histogram for latencies).  Without a
+registry the bridge is the shared no-op and nothing changes.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.stats import quantile
 from repro.sim.simulator import Simulator
 
 __all__ = ["Metrics", "TimeSeries"]
@@ -33,9 +41,14 @@ class TimeSeries:
     def sample(self, count: int) -> None:
         now = self._sim.now
         elapsed = now - self._last_time
-        if elapsed > 0:
-            rate = (count - self._last_count) / elapsed
-            self.points.append((now, rate))
+        if elapsed <= 0:
+            # Same virtual instant as the previous sample: keep the old
+            # baseline so this delta lands in the next interval instead of
+            # silently vanishing (overwriting ``_last_count`` here used to
+            # lose the events between the two samples).
+            return
+        rate = (count - self._last_count) / elapsed
+        self.points.append((now, rate))
         self._last_time = now
         self._last_count = count
 
@@ -43,8 +56,10 @@ class TimeSeries:
 class Metrics:
     """Counters and latency samples on the virtual clock."""
 
-    def __init__(self, simulator: Simulator):
+    def __init__(self, simulator: Simulator,
+                 registry: Optional[MetricsRegistry] = None):
         self._sim = simulator
+        self._registry = registry if registry is not None else NULL_REGISTRY
         self._counts: Dict[str, int] = {}
         self._warm_counts: Dict[str, int] = {}
         self._latencies: List[float] = []
@@ -54,10 +69,14 @@ class Metrics:
 
     def incr(self, name: str, amount: int = 1) -> None:
         self._counts[name] = self._counts.get(name, 0) + amount
+        if self._registry.enabled:
+            self._registry.counter(name).inc(amount)
 
     def record_latency(self, seconds: float) -> None:
         if self._warm_at is not None:
             self._latencies.append(seconds)
+            if self._registry.enabled:
+                self._registry.histogram("latency_seconds").observe(seconds)
 
     def mark_warm(self) -> None:
         """End the warm-up phase: snapshot counters and note the time."""
@@ -86,15 +105,18 @@ class Metrics:
         return self.warm_count(name) / elapsed
 
     def latency_stats(self) -> Tuple[float, float, float]:
-        """(mean, median, p99) of recorded latencies, in seconds."""
+        """(mean, median, p99) of recorded latencies, in seconds.
+
+        Quantiles use linear interpolation (repro.obs.stats.quantile): the
+        median of an even-sized sample is the mean of the two middle
+        elements, and p99 interpolates instead of indexing
+        ``int(n * 0.99)`` — which returned the *minimum* for n <= 100.
+        """
         if not self._latencies:
             return (0.0, 0.0, 0.0)
         ordered = sorted(self._latencies)
-        n = len(ordered)
-        mean = sum(ordered) / n
-        median = ordered[n // 2]
-        p99 = ordered[min(n - 1, int(n * 0.99))]
-        return (mean, median, p99)
+        mean = sum(ordered) / len(ordered)
+        return (mean, quantile(ordered, 0.5), quantile(ordered, 0.99))
 
     @property
     def warm_started(self) -> bool:

@@ -26,6 +26,7 @@ from repro.core import ThreadedCOS, ThreadedRuntime, make_cos
 from repro.core.command import Command
 from repro.core.cos import DEFAULT_MAX_SIZE
 from repro.errors import ShutdownError
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.smr.checkpoint import Checkpoint, CheckpointError
 from repro.smr.service import Service
 
@@ -39,11 +40,27 @@ ResponseCallback = Callable[[Command, Any, int], None]
 
 
 def _flatten_commands(payload: Any) -> Iterable[Command]:
-    """Yield commands from an arbitrarily nested batch, in order."""
+    """Yield commands from an arbitrarily nested batch, in order.
+
+    Only :class:`Command` leaves are valid.  Strings (and bytes) are
+    iterables whose items are themselves strings, so recursing into them
+    never terminates — and any other non-``Command`` leaf is a caller bug —
+    so both are rejected with ``TypeError`` instead of ``RecursionError``.
+    """
     if isinstance(payload, Command):
         yield payload
         return
-    for item in payload:
+    if isinstance(payload, (str, bytes, bytearray)):
+        raise TypeError(
+            f"batch leaves must be Command instances, got {type(payload).__name__}: "
+            f"{payload!r:.80}")
+    try:
+        items = iter(payload)
+    except TypeError:
+        raise TypeError(
+            f"batch leaves must be Command instances, got "
+            f"{type(payload).__name__}: {payload!r:.80}") from None
+    for item in items:
         yield from _flatten_commands(item)
 
 
@@ -58,6 +75,7 @@ class ParallelReplica:
         workers: int = 4,
         max_graph_size: int = DEFAULT_MAX_SIZE,
         on_response: Optional[ResponseCallback] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -65,10 +83,16 @@ class ParallelReplica:
         self.service = service
         self.workers = workers
         self._on_response = on_response
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        obs = self.registry
+        self._obs_on = obs.enabled
+        self._m_scheduled = obs.counter("replica_scheduled_total")
+        self._m_executed = obs.counter("replica_executed_total")
+        self._m_insert_latency = obs.histogram("replica_insert_seconds")
         self._runtime = ThreadedRuntime()
         self._cos = ThreadedCOS(
             make_cos(cos_algorithm, self._runtime, service.conflicts,
-                     max_size=max_graph_size),
+                     max_size=max_graph_size, obs=obs),
             self._runtime,
         )
         self._threads: List[threading.Thread] = []
@@ -93,6 +117,7 @@ class ParallelReplica:
         for index in range(self.workers):
             thread = threading.Thread(
                 target=self._worker_loop,
+                args=(index,),
                 name=f"replica-{self.replica_id}-worker-{index}",
                 daemon=True,
             )
@@ -124,10 +149,12 @@ class ParallelReplica:
         delta = workers - self.workers
         if delta > 0:
             for index in range(delta):
+                worker_index = len(self._threads) + index
                 thread = threading.Thread(
                     target=self._worker_loop,
+                    args=(worker_index,),
                     name=(f"replica-{self.replica_id}-worker-"
-                          f"{len(self._threads) + index}"),
+                          f"{worker_index}"),
                     daemon=True,
                 )
                 self._threads.append(thread)
@@ -148,12 +175,21 @@ class ParallelReplica:
         command, a client batch, or a protocol batch of client batches; the
         nesting is flattened in order.
         """
+        obs_on = self._obs_on
+        obs = self.registry
         with self._deliver_lock:
             for command in _flatten_commands(payload):
                 if self._is_duplicate(command):
                     continue
                 self._scheduled += 1
+                if obs_on:
+                    obs.span(command.uid, "delivered")
+                    entered = obs.clock()
                 self._cos.insert(command)
+                if obs_on:
+                    self._m_insert_latency.observe(obs.clock() - entered)
+                    self._m_scheduled.inc()
+                    obs.span(command.uid, "scheduled")
             self._last_instance = max(self._last_instance, instance)
 
     def _is_duplicate(self, command: Command) -> bool:
@@ -177,16 +213,30 @@ class ParallelReplica:
 
     # -------------------------------------------------------------- workers
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, index: int = 0) -> None:
         cos = self._cos
         service = self.service
+        obs = self.registry
+        obs_on = self._obs_on
+        if obs_on:
+            worker = str(index)
+            m_busy = obs.histogram("worker_busy_seconds", worker=worker)
+            m_commands = obs.counter("worker_commands_total", worker=worker)
         while True:
             handle = cos.get()
             command = cos.command_of(handle)
             if command.op == STOP_OP:
                 cos.remove(handle)
                 return
+            if obs_on:
+                obs.span(command.uid, "executing")
+                started = obs.clock()
             response = service.execute(command)
+            if obs_on:
+                m_busy.observe(obs.clock() - started)
+                m_commands.inc()
+                self._m_executed.inc()
+                obs.span(command.uid, "responded")
             with self._state_lock:
                 self._executed += 1
                 if command.client_id is not None:
@@ -269,6 +319,7 @@ class SequentialReplica(ParallelReplica):
         service: Service,
         max_queue_size: int = DEFAULT_MAX_SIZE,
         on_response: Optional[ResponseCallback] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         super().__init__(
             replica_id,
@@ -277,4 +328,5 @@ class SequentialReplica(ParallelReplica):
             workers=1,
             max_graph_size=max_queue_size,
             on_response=on_response,
+            registry=registry,
         )

@@ -28,6 +28,8 @@ from repro.core.cos import DEFAULT_MAX_SIZE
 from repro.core.effects import Down, Up, Work
 from repro.core.runtime import EffectGen
 from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.smr.replica import _flatten_commands
 from repro.sim import (
     ExecutionProfile,
     Metrics,
@@ -141,15 +143,27 @@ class _SimProtocolNode:
                 raise ConfigurationError(f"unknown action {action!r}")
 
 
-def run_sim_cluster(config: SimClusterConfig) -> SimClusterResult:
-    """Simulate one SMR configuration and return throughput and latency."""
+def run_sim_cluster(config: SimClusterConfig,
+                    registry: Optional[MetricsRegistry] = None,
+                    ) -> SimClusterResult:
+    """Simulate one SMR configuration and return throughput and latency.
+
+    ``registry`` optionally records the run through the unified
+    observability layer (docs/observability.md): its clock is bound to the
+    virtual clock, COS structures emit occupancy/wait metrics into it, and
+    client latencies mirror into the ``latency_seconds`` histogram.
+    Instrumentation adds no simulation events, so results are identical
+    with or without it.
+    """
     if config.workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {config.workers}")
     if not 1 <= config.execute_replicas <= config.n_replicas:
         raise ConfigurationError("execute_replicas out of range")
     sim = Simulator()
+    if registry is not None:
+        registry.bind_clock(lambda: sim.now)
     runtime = SimRuntime(sim, costs=config.sync_costs)
-    metrics = Metrics(sim)
+    metrics = Metrics(sim, registry=registry)
     rng = random.Random(config.seed * 6151 + 7)
     profile = config.profile
     total_target = config.warm_ops + config.measure_ops
@@ -182,6 +196,7 @@ def run_sim_cluster(config: SimClusterConfig) -> SimClusterResult:
             on_deliver = _build_executor(
                 replica_id, config, runtime, conflicts, metrics,
                 rng, respond, measure=replica_id == 0,
+                registry=registry if replica_id == 0 else None,
             )
         else:
             on_deliver = lambda payload: None
@@ -261,6 +276,7 @@ def _build_executor(
     rng: random.Random,
     respond: Callable[[Command], None],
     measure: bool,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Callable[[Any], None]:
     """Create one replica's execution engine; returns its deliver callback."""
     sim = runtime.simulator
@@ -277,12 +293,13 @@ def _build_executor(
         max_size=config.max_graph_size,
         costs=structure_costs(),
         classes_of=classes_of,
+        obs=registry,
     )
     in_queue: Deque[Command] = deque()
     queued = runtime.semaphore(0)
 
     def on_deliver(payload: Any) -> None:
-        commands = list(_flatten(payload))
+        commands = list(_flatten_commands(payload))
         in_queue.extend(commands)
         queued.up(len(commands))
 
@@ -318,9 +335,3 @@ def _build_executor(
     return on_deliver
 
 
-def _flatten(payload: Any):
-    if isinstance(payload, Command):
-        yield payload
-        return
-    for item in payload:
-        yield from _flatten(item)

@@ -15,11 +15,23 @@ Each test fails against the pre-fix code:
   a compare-and-set succeed against a distinct-but-equal object, which
   breaks the lock-free graph's identity-based transitions;
 - **monotonic quiesce deadline** (smr/replica.py): a wall-clock step while
-  quiescing fired the checkpoint deadline early (or postponed it forever).
+  quiescing fired the checkpoint deadline early (or postponed it forever);
+- **TimeSeries same-instant samples** (sim/metrics.py): two samples at one
+  virtual timestamp used to silently drop the events between them;
+- **latency quantiles** (sim/metrics.py): ``ordered[n // 2]`` biased the
+  median high and ``int(n * 0.99)`` truncated to index 0 for n <= 100, so
+  p99 reported the *minimum*;
+- **TcpTransport.start failure leak** (net/transport.py): a bind conflict
+  (or readiness timeout) used to leave the loop thread alive and the event
+  loop open;
+- **_flatten_commands on str** (smr/replica.py): a string payload recursed
+  forever (str iteration yields strings), dying with RecursionError
+  instead of a diagnosable TypeError.
 """
 
 from __future__ import annotations
 
+import statistics
 import sys
 import threading
 import time
@@ -30,9 +42,12 @@ import pytest
 from repro.broadcast.transport import FaultPlan, ThreadedTransport
 from repro.core.command import Command, ReadWriteConflicts
 from repro.core.threaded import ThreadedRuntime
+from repro.errors import ConfigurationError
+from repro.net.transport import TcpTransport
 from repro.sim import SimRuntime, Simulator
+from repro.sim.metrics import Metrics, TimeSeries
 from repro.smr.client import Client, ClientTimeout
-from repro.smr.replica import ParallelReplica
+from repro.smr.replica import ParallelReplica, _flatten_commands
 from repro.smr.service import Service
 
 
@@ -282,3 +297,123 @@ def test_checkpoint_quiesce_survives_wall_clock_steps(monkeypatch):
     finally:
         monkeypatch.undo()
         replica.stop()
+
+
+# --------------------------------------------------------------------------
+# TimeSeries: samples sharing a virtual instant must not lose events.
+# --------------------------------------------------------------------------
+
+
+def _integrate(points, start=0.0):
+    """Recover the event total from (time, rate) points."""
+    total, last = 0.0, start
+    for at, rate in points:
+        total += rate * (at - last)
+        last = at
+    return total
+
+
+def test_time_series_same_instant_sample_conserves_events():
+    sim = Simulator()
+    series = TimeSeries(sim)
+    sim.schedule(1.0, lambda: series.sample(10))
+    # Second sample at the SAME virtual instant, counter has moved on: the
+    # pre-fix code overwrote the baseline and the 6 events vanished from
+    # every later rate.
+    sim.schedule(1.0, lambda: series.sample(16))
+    sim.schedule(2.0, lambda: series.sample(20))
+    sim.run()
+    assert _integrate(series.points) == pytest.approx(20.0), (
+        "events between same-instant samples were dropped")
+
+
+def test_time_series_normal_sampling_unchanged():
+    sim = Simulator()
+    series = TimeSeries(sim)
+    sim.schedule(1.0, lambda: series.sample(100))
+    sim.schedule(3.0, lambda: series.sample(400))
+    sim.run()
+    assert series.points == [(1.0, pytest.approx(100.0)),
+                             (3.0, pytest.approx(150.0))]
+
+
+# --------------------------------------------------------------------------
+# latency_stats: interpolated quantiles, validated against the stdlib.
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 10, 37, 100, 101])
+def test_latency_quantiles_match_statistics_inclusive(n):
+    import random
+
+    rng = random.Random(n)
+    values = [rng.uniform(0.001, 2.0) for _ in range(n)]
+    metrics = Metrics(Simulator())
+    metrics.mark_warm()
+    for value in values:
+        metrics.record_latency(value)
+    mean, median, p99 = metrics.latency_stats()
+    assert mean == pytest.approx(statistics.fmean(values))
+    assert median == pytest.approx(statistics.median(values))
+    cuts = statistics.quantiles(values, n=100, method="inclusive")
+    assert p99 == pytest.approx(cuts[98])
+
+
+def test_even_sample_median_is_interpolated():
+    metrics = Metrics(Simulator())
+    metrics.mark_warm()
+    metrics.record_latency(1.0)
+    metrics.record_latency(3.0)
+    _, median, p99 = metrics.latency_stats()
+    assert median == pytest.approx(2.0)      # pre-fix: 3.0 (upper element)
+    assert 1.0 < p99 < 3.0                   # pre-fix: an endpoint
+
+
+# --------------------------------------------------------------------------
+# TcpTransport.start: failed starts must not leak the loop thread.
+# --------------------------------------------------------------------------
+
+
+def test_tcp_transport_bind_conflict_cleans_up_loop_thread():
+    from repro.net.config import free_port
+
+    addresses = {0: ("127.0.0.1", free_port())}
+    first = TcpTransport(0, addresses).start()
+    second = TcpTransport(0, addresses)  # same endpoint: bind must fail
+    try:
+        with pytest.raises(ConfigurationError):
+            second.start()
+        second._thread.join(timeout=5)
+        assert not second._thread.is_alive(), (
+            "bind failure leaked a live loop thread")
+        assert second._loop.is_closed(), (
+            "bind failure leaked an open event loop")
+        assert second.closed
+        second.close()  # idempotent after a failed start
+    finally:
+        first.close()
+
+
+# --------------------------------------------------------------------------
+# _flatten_commands: clear TypeError instead of infinite recursion.
+# --------------------------------------------------------------------------
+
+
+def test_flatten_commands_rejects_strings():
+    # ``"abc"`` iterates to strings forever; pre-fix this was a
+    # RecursionError deep inside the scheduler.
+    with pytest.raises(TypeError, match="Command"):
+        list(_flatten_commands("abc"))
+
+
+def test_flatten_commands_rejects_bytes_and_scalars():
+    with pytest.raises(TypeError, match="Command"):
+        list(_flatten_commands(b"\x00\x01"))
+    with pytest.raises(TypeError, match="Command"):
+        list(_flatten_commands([Command("get"), 42]))
+
+
+def test_flatten_commands_preserves_nested_order():
+    a, b, c = Command("a"), Command("b"), Command("c")
+    assert list(_flatten_commands([a, (b, [c])])) == [a, b, c]
+    assert list(_flatten_commands(a)) == [a]

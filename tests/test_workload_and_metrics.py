@@ -106,8 +106,10 @@ class TestMetrics:
         metrics.record_latency(3.0)
         mean, median, p99 = metrics.latency_stats()
         assert mean == pytest.approx(2.0)
-        assert median == 3.0
-        assert p99 == 3.0
+        # Interpolated quantiles: the even-n median is the mean of the two
+        # middle elements, and p99 of [1, 3] sits just under the max.
+        assert median == pytest.approx(2.0)
+        assert p99 == pytest.approx(1.0 + 0.99 * 2.0)
 
     def test_empty_latency_stats(self):
         assert Metrics(Simulator()).latency_stats() == (0.0, 0.0, 0.0)
