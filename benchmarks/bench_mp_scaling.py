@@ -1,0 +1,130 @@
+"""Throughput-vs-workers curve for the multiprocess execution engine.
+
+The experiment behind the repo's "true multi-core speedup" claim
+(docs/parallel_execution.md): one replica executes the paper's 0%-write
+linked-list workload on the ``mp`` engine at increasing shard counts,
+against the ``threaded`` engine as the GIL-bound baseline.  On a
+multi-core host the mp curve rises with workers while the threaded curve
+stays flat; on a single-CPU host both are flat and the mp engine only
+pays IPC overhead, so the speedup assertion is guarded on
+``os.cpu_count()``.
+
+Run as a pytest benchmark (``pytest benchmarks/bench_mp_scaling.py``) or
+directly (``python benchmarks/bench_mp_scaling.py [--smoke]``).  Results
+land in ``benchmarks/results/mp_scaling.txt`` and the machine-readable
+``BENCH_mp_scaling.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))  # conftest when run directly
+
+from conftest import RESULTS_DIR, emit
+
+from repro.bench import FigureData, run_benchmark, write_bench_json
+from repro.par.bench import MpBenchConfig
+
+SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: Shard counts swept for the mp curve (thread counts for the baseline).
+WORKER_COUNTS = [1, 2] if SMOKE else ([1, 2, 4, 8] if FULL else [1, 2, 4])
+#: Each command walks a list this long on average half-way — real CPU work.
+KEY_SPACE = 500 if SMOKE else 4_000
+MEASURE_OPS = 300 if SMOKE else 2_000
+WARM_OPS = 50 if SMOKE else 200
+
+
+def _point(engine: str, workers: int) -> dict:
+    config = MpBenchConfig(
+        engine=engine,
+        mp_workers=workers,
+        workers=workers if engine == "threaded" else 2 * workers,
+        write_pct=0.0,              # the paper's best-scaling workload
+        key_space=KEY_SPACE,
+        warm_ops=WARM_OPS,
+        measure_ops=MEASURE_OPS,
+    )
+    result = run_benchmark("mp", config)
+    return {
+        "engine": engine,
+        "workers": workers,
+        "throughput": result.throughput,
+        "dispatch_p50": result.dispatch_p50,
+        "dispatch_p99": result.dispatch_p99,
+        "shard_busy": result.shard_busy,
+        "barrier_rounds": result.barrier_rounds,
+    }
+
+
+def mp_scaling() -> FigureData:
+    figure = FigureData(
+        name="mp_scaling",
+        title="Multiprocess engine: throughput vs workers "
+              "(0% writes, linked list)",
+        x_label="workers",
+        y_label="cmds/s",
+    )
+    points = []
+    for engine in ("threaded", "mp"):
+        for workers in WORKER_COUNTS:
+            point = _point(engine, workers)
+            points.append(point)
+            figure.add_point("wall-clock", engine, workers,
+                             point["throughput"])
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_json(
+        "mp_scaling",
+        {
+            "points": points,
+            "worker_counts": WORKER_COUNTS,
+            "key_space": KEY_SPACE,
+            "measure_ops": MEASURE_OPS,
+            "smoke": SMOKE,
+        },
+        str(RESULTS_DIR),
+    )
+    return figure
+
+
+def _check_scaling(figure: FigureData) -> None:
+    mp_points = dict(figure.panels["wall-clock"]["mp"])
+    low, high = min(mp_points), max(mp_points)
+    cores = os.cpu_count() or 1
+    if cores >= 4 and high >= 4 and not SMOKE:
+        # The tentpole claim, only checkable on real cores: >1.5x speedup
+        # from 1 to 4+ shard processes on the read-only workload.
+        speedup = mp_points[high] / mp_points[low]
+        assert speedup > 1.5, (
+            f"mp engine speedup {speedup:.2f}x from {low} to {high} workers "
+            f"on a {cores}-core host; expected > 1.5x")
+    else:
+        print(f"[mp_scaling] speedup assertion skipped "
+              f"(cpu_count={cores}, max_workers={high}, smoke={SMOKE})")
+
+
+def test_mp_scaling(benchmark):
+    figure = benchmark.pedantic(mp_scaling, rounds=1, iterations=1)
+    emit(figure)
+    _check_scaling(figure)
+    # Engine sanity holds on any host: every configured point measured.
+    assert len(figure.panels["wall-clock"]["mp"]) == len(WORKER_COUNTS)
+
+
+def main() -> int:
+    global SMOKE, WORKER_COUNTS, KEY_SPACE, MEASURE_OPS, WARM_OPS
+    if "--smoke" in sys.argv[1:]:
+        SMOKE = True
+        WORKER_COUNTS = [1, 2]
+        KEY_SPACE, MEASURE_OPS, WARM_OPS = 500, 300, 50
+    figure = mp_scaling()
+    emit(figure)
+    _check_scaling(figure)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,14 +7,16 @@ paper's full parameter grids.
 
 Every figure's ASCII table is printed and also written to
 ``benchmarks/results/<name>.txt`` so the numbers recorded in
-EXPERIMENTS.md can be regenerated verbatim.
+EXPERIMENTS.md can be regenerated verbatim; a machine-readable
+``BENCH_<name>.json`` twin (series data + provenance: git SHA, python,
+CPU count) lands next to it for tooling.
 """
 
 from __future__ import annotations
 
 import pathlib
 
-from repro.bench import FigureData, format_figure
+from repro.bench import FigureData, figure_payload, format_figure, write_bench_json
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -26,3 +28,4 @@ def emit(figure: FigureData) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{figure.name}.txt").write_text(text)
+    write_bench_json(figure.name, figure_payload(figure), str(RESULTS_DIR))

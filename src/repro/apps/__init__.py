@@ -1,7 +1,46 @@
-"""Application services for the replicated state machine."""
+"""Application services for the replicated state machine.
+
+Also hosts the process-deployment service registry: worker processes (both
+``repro.net`` replicas and ``repro.par`` shard workers) reconstruct their
+service from a name + kwargs spec, because live service instances do not
+cross process boundaries.
+"""
+
+from typing import Any, Callable, Dict, Tuple
 
 from repro.apps.bank import BankService
 from repro.apps.kvstore import KVStoreService
 from repro.apps.linked_list import LinkedListService
+from repro.errors import ConfigurationError
+from repro.smr.service import Service
 
-__all__ = ["LinkedListService", "KVStoreService", "BankService"]
+__all__ = [
+    "LinkedListService",
+    "KVStoreService",
+    "BankService",
+    "SERVICES",
+    "build_service",
+]
+
+_SERVICE_FACTORIES: Dict[str, Callable[..., Service]] = {
+    # The linked list pre-populates a small working set so reads have
+    # something to scan (the historical `repro.net` default).
+    "linked-list": lambda **kwargs: LinkedListService(
+        **{"initial_size": 50, **kwargs}),
+    "kv": lambda **kwargs: KVStoreService(**kwargs),
+    "bank": lambda **kwargs: BankService(**kwargs),
+}
+
+#: Deployable service names (``repro.net`` configs, ``repro.par`` specs).
+SERVICES: Tuple[str, ...] = tuple(_SERVICE_FACTORIES)
+
+
+def build_service(name: str, **kwargs: Any) -> Service:
+    """Construct a registered service by name, overriding its defaults."""
+    try:
+        factory = _SERVICE_FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown service {name!r}; choose from "
+            f"{sorted(_SERVICE_FACTORIES)}") from None
+    return factory(**kwargs)

@@ -10,10 +10,15 @@ execution across replicas.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Optional
+from typing import Any, Dict, FrozenSet, Optional, Sequence, Tuple
 
-from repro.core.command import Command, ConflictRelation, PredicateConflicts
-from repro.smr.service import Service
+from repro.core.command import (
+    Command,
+    ConflictRelation,
+    PredicateConflicts,
+    stable_hash,
+)
+from repro.smr.service import ShardableService
 
 __all__ = ["BankService"]
 
@@ -30,7 +35,7 @@ def _bank_conflict(a: Command, b: Command) -> bool:
     return bool(_accounts_of(a) & _accounts_of(b))
 
 
-class BankService(Service):
+class BankService(ShardableService):
     """Account ledger with account-scoped conflicts."""
 
     def __init__(self, execution_cost: float = 0.0):
@@ -82,10 +87,34 @@ class BankService(Service):
         return self._execution_cost
 
     def snapshot(self) -> Dict[str, int]:
-        return dict(self._balances)
+        # Sorted by account: canonical serialization across processes (the
+        # insertion order of non-conflicting deposits is schedule-dependent).
+        return dict(sorted(self._balances.items()))
 
     def restore(self, snapshot: Dict[str, int]) -> None:
         self._balances = dict(snapshot)
+
+    # ------------------------------------------------------------- sharding
+
+    def shards_of(self, command: Command, n_shards: int) -> Tuple[int, ...]:
+        """Shards of the touched accounts; a cross-shard transfer spans two."""
+        return tuple(sorted({
+            stable_hash(account) % n_shards
+            for account in _accounts_of(command)
+        }))
+
+    def snapshot_shard(self, shard: int, n_shards: int) -> Dict[str, int]:
+        return {
+            account: balance
+            for account, balance in sorted(self._balances.items())
+            if stable_hash(account) % n_shards == shard
+        }
+
+    def recompose_snapshots(self, fragments: Sequence[Dict[str, int]]) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for fragment in fragments:
+            merged.update(fragment)
+        return dict(sorted(merged.items()))
 
     def total_money(self) -> int:
         """Sum over all balances (conserved by transfers)."""

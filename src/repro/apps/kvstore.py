@@ -11,15 +11,32 @@ Operations: ``get(k)``, ``put(k, v)``, ``delete(k)``, ``cas(k, old, new)``.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Sequence, Tuple
 
-from repro.core.command import Command, ConflictRelation, KeyedConflicts
-from repro.smr.service import Service
+from repro.core.command import (
+    Command,
+    ConflictRelation,
+    KeyedConflicts,
+    stable_hash,
+)
+from repro.smr.service import ShardableService
 
-__all__ = ["KVStoreService"]
+__all__ = ["KVStoreService", "canonical_key_order"]
 
 
-class KVStoreService(Service):
+def canonical_key_order(key: Any) -> Tuple[str, str]:
+    """Total order over mixed-type keys, identical in every process.
+
+    Snapshots are sorted with this so their serialized form is canonical:
+    two replicas that reached the same state through different interleavings
+    of non-conflicting commands produce byte-identical encodings
+    (DESIGN.md §"determinism" — dict insertion order is execution order,
+    which legitimately differs across processes).
+    """
+    return (type(key).__name__, repr(key))
+
+
+class KVStoreService(ShardableService):
     """In-memory dictionary with per-key conflict granularity."""
 
     READ_OPS = frozenset({"get"})
@@ -60,10 +77,31 @@ class KVStoreService(Service):
         return self._execution_cost
 
     def snapshot(self) -> Dict[Any, Any]:
-        return dict(self._data)
+        # Canonical encoding: sorted by key so serialization is identical
+        # across processes regardless of insertion (execution) order.
+        return dict(sorted(self._data.items(),
+                           key=lambda item: canonical_key_order(item[0])))
 
     def restore(self, snapshot: Dict[Any, Any]) -> None:
         self._data = dict(snapshot)
+
+    # ------------------------------------------------------------- sharding
+
+    def shards_of(self, command: Command, n_shards: int) -> Tuple[int, ...]:
+        return (stable_hash(command.args[0]) % n_shards,)
+
+    def snapshot_shard(self, shard: int, n_shards: int) -> Dict[Any, Any]:
+        return {
+            key: value for key, value in self.snapshot().items()
+            if stable_hash(key) % n_shards == shard
+        }
+
+    def recompose_snapshots(self, fragments: Sequence[Dict[Any, Any]]) -> Dict[Any, Any]:
+        merged: Dict[Any, Any] = {}
+        for fragment in fragments:
+            merged.update(fragment)
+        return dict(sorted(merged.items(),
+                           key=lambda item: canonical_key_order(item[0])))
 
     # ----------------------------------------------------- command builders
 

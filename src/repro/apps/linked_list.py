@@ -18,10 +18,15 @@ cost classes.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.core.command import Command, ConflictRelation, ReadWriteConflicts
-from repro.smr.service import Service
+from repro.core.command import (
+    Command,
+    ConflictRelation,
+    ReadWriteConflicts,
+    stable_hash,
+)
+from repro.smr.service import ShardableService
 from repro.workload.generator import READ_OP, WRITE_OP
 
 __all__ = ["LinkedListService"]
@@ -35,7 +40,7 @@ class _ListNode:
         self.nxt = nxt
 
 
-class LinkedListService(Service):
+class LinkedListService(ShardableService):
     """Singly linked list with ``contains``/``add`` commands."""
 
     def __init__(self, initial_size: int = 0, execution_cost: float = 0.0):
@@ -72,7 +77,12 @@ class LinkedListService(Service):
         return self._execution_cost
 
     def snapshot(self) -> List[int]:
-        return list(self._iter_values())
+        # Canonical encoding: sorted values.  The observable state is a set
+        # (``contains``/``add`` are order-blind), and the internal chain
+        # order is an execution artifact — sorting makes the serialized form
+        # identical across processes and lets per-shard fragments recompose
+        # to exactly the unsharded snapshot (docs/parallel_execution.md).
+        return sorted(self._iter_values())
 
     def restore(self, snapshot: List[int]) -> None:
         self._head = None
@@ -80,6 +90,28 @@ class LinkedListService(Service):
         for value in reversed(snapshot):
             self._head = _ListNode(value, self._head)
             self._size += 1
+
+    # ------------------------------------------------------------- sharding
+
+    def shards_of(self, command: Command, n_shards: int) -> Tuple[int, ...]:
+        """Both ``contains(i)`` and ``add(i)`` touch only key ``i``'s shard.
+
+        The conflict relation stays the coarse readers/writers one (an
+        ``add`` still *schedules* against everything), but the state
+        footprint is single-shard, so the multiprocess engine never needs a
+        barrier for this service.
+        """
+        return (stable_hash(command.args[0]) % n_shards,)
+
+    def snapshot_shard(self, shard: int, n_shards: int) -> List[int]:
+        return sorted(value for value in self._iter_values()
+                      if stable_hash(value) % n_shards == shard)
+
+    def recompose_snapshots(self, fragments: Sequence[List[int]]) -> List[int]:
+        merged: List[int] = []
+        for fragment in fragments:
+            merged.extend(fragment)
+        return sorted(merged)
 
     # ------------------------------------------------------------ operations
 

@@ -19,6 +19,8 @@ from repro.bench.figures import (
     figure6,
     quick_mode_default,
 )
+from repro.bench.artifact import (bench_environment, figure_payload,
+                                  write_bench_json)
 from repro.bench.harness import (BENCH_BACKENDS, StandaloneConfig,
                                  StandaloneResult, run_benchmark,
                                  run_standalone)
@@ -28,6 +30,9 @@ from repro.bench.report import format_figure, print_figure
 
 __all__ = [
     "BENCH_BACKENDS",
+    "bench_environment",
+    "figure_payload",
+    "write_bench_json",
     "StandaloneConfig",
     "StandaloneResult",
     "run_benchmark",

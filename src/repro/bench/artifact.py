@@ -1,0 +1,98 @@
+"""Machine-readable benchmark artifacts (``BENCH_<name>.json``).
+
+The ASCII tables under ``benchmarks/results/*.txt`` are for humans; the
+``BENCH_<name>.json`` files written next to them are for tooling —
+regression tracking, plotting, cross-run comparison.  Every artifact
+carries provenance (git SHA, python version, CPU count, ``PYTHONHASHSEED``)
+so a number can always be traced back to the code and machine that
+produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, Optional
+
+__all__ = ["bench_environment", "figure_payload", "write_bench_json"]
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def bench_environment() -> Dict[str, Any]:
+    """Provenance block stamped into every artifact."""
+    return {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "pythonhashseed": os.environ.get("PYTHONHASHSEED", ""),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "argv": sys.argv,
+    }
+
+
+def _jsonable(value: Any) -> Any:
+    if is_dataclass(value) and not isinstance(value, type):
+        return asdict(value)
+    return value
+
+
+def figure_payload(figure: Any) -> Dict[str, Any]:
+    """A :class:`~repro.bench.figures.FigureData` as plain JSON data."""
+    return {
+        "name": figure.name,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "y_label": figure.y_label,
+        "panels": {
+            panel: {
+                series: [[x, y] for x, y in points]
+                for series, points in series_map.items()
+            }
+            for panel, series_map in figure.panels.items()
+        },
+    }
+
+
+def write_bench_json(name: str, payload: Any, directory: str,
+                     config: Optional[Any] = None) -> str:
+    """Write ``<directory>/BENCH_<name>.json`` and return its path.
+
+    ``payload`` is the measurement (a dict, or a dataclass/object with
+    ``to_json``); ``config`` optionally records the run parameters when
+    the payload doesn't already embed them.
+    """
+    if hasattr(payload, "to_json"):
+        payload = payload.to_json()
+    document = {
+        "bench": name,
+        "environment": bench_environment(),
+        "result": _jsonable(payload),
+    }
+    if config is not None:
+        document["config"] = _jsonable(config)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, default=repr)
+        handle.write("\n")
+    return path

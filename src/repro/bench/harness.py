@@ -72,10 +72,11 @@ class StandaloneResult:
         return self.throughput / 1e3
 
 
-#: Benchmark backends: simulator (the paper's figures) and the real TCP
-#: process deployment (repro.net.bench).  Names are what ``run_benchmark``
-#: dispatches on; callables are imported lazily to keep sim-only runs light.
-BENCH_BACKENDS = ("sim", "tcp")
+#: Benchmark backends: simulator (the paper's figures), the real TCP
+#: process deployment (repro.net.bench), and the multiprocess execution
+#: engine (repro.par.bench).  Names are what ``run_benchmark`` dispatches
+#: on; callables are imported lazily to keep sim-only runs light.
+BENCH_BACKENDS = ("sim", "tcp", "mp")
 
 
 def run_benchmark(backend: str, config):
@@ -84,7 +85,9 @@ def run_benchmark(backend: str, config):
     ``"sim"`` takes a :class:`StandaloneConfig` and runs on the
     discrete-event simulator; ``"tcp"`` takes a
     :class:`repro.net.bench.NetBenchConfig` and measures a real loopback
-    multi-process cluster.
+    multi-process cluster; ``"mp"`` takes a
+    :class:`repro.par.bench.MpBenchConfig` and measures one replica on the
+    shard-per-process engine against a wall clock.
     """
     if backend == "sim":
         return run_standalone(config)
@@ -92,6 +95,10 @@ def run_benchmark(backend: str, config):
         from repro.net.bench import run_net_bench
 
         return run_net_bench(config)
+    if backend == "mp":
+        from repro.par.bench import run_mp_bench
+
+        return run_mp_bench(config)
     raise ValueError(
         f"unknown benchmark backend {backend!r}; choose from {BENCH_BACKENDS}")
 

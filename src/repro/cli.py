@@ -60,6 +60,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="record the run through the observability "
                              "registry and print its snapshot "
                              "(docs/observability.md)")
+    parser.add_argument("--engine", default="sim",
+                        choices=("sim", "threaded", "mp"),
+                        help="'sim' runs the discrete-event simulator "
+                             "(the paper's figures); 'threaded'/'mp' run "
+                             "real wall-clock execution, 'mp' on the "
+                             "shard-per-process engine "
+                             "(docs/parallel_execution.md)")
+    parser.add_argument("--mp-workers", type=int, default=2,
+                        help="shard worker processes with --engine mp")
+    parser.add_argument("--key-dist", default="uniform",
+                        choices=("uniform", "zipf"),
+                        help="workload key distribution (zipf = skewed, "
+                             "YCSB-style)")
+    parser.add_argument("--zipf-s", type=float, default=0.99,
+                        help="Zipf exponent for --key-dist zipf")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -155,6 +170,8 @@ def _print_obs(registry) -> None:
 
 
 def _cmd_standalone(args: argparse.Namespace) -> int:
+    if args.engine != "sim":
+        return _cmd_standalone_wallclock(args)
     registry = None
     if args.obs:
         from repro.obs import MetricsRegistry
@@ -179,7 +196,42 @@ def _cmd_standalone(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_standalone_wallclock(args: argparse.Namespace) -> int:
+    """One replica on a real engine against a wall clock (--engine mp)."""
+    from repro.obs import MetricsRegistry, render_text
+    from repro.par.bench import MpBenchConfig, run_mp_bench
+
+    registry = MetricsRegistry()
+    result = run_mp_bench(MpBenchConfig(
+        engine=args.engine,
+        mp_workers=args.mp_workers,
+        workers=args.workers,
+        cos_algorithm=args.algorithm,
+        write_pct=args.write_pct,
+        key_dist=args.key_dist,
+        zipf_s=args.zipf_s,
+        seed=args.seed,
+        measure_ops=args.measure_ops,
+        warm_ops=max(args.measure_ops // 10, 50),
+    ), registry=registry)
+    print(f"engine={args.engine} algorithm={args.algorithm} "
+          f"mp_workers={args.mp_workers} writes={args.write_pct}% "
+          f"key_dist={args.key_dist}")
+    print(f"throughput: {result.throughput:,.0f} cmds/s wall clock "
+          f"({result.executed} cmds in {result.duration:.2f}s)")
+    if args.engine == "mp":
+        print(f"dispatch latency: p50 {result.dispatch_p50 * 1e6:.0f} us / "
+              f"p99 {result.dispatch_p99 * 1e6:.0f} us   shard busy: "
+              + " ".join(f"{busy:.2f}" for busy in result.shard_busy))
+    if args.obs:
+        print("--- observability snapshot (wall clock) ---")
+        print(render_text(registry), end="")
+    return 0
+
+
 def _cmd_smr(args: argparse.Namespace) -> int:
+    if args.engine != "sim":
+        return _cmd_smr_wallclock(args)
     registry = None
     if args.obs:
         from repro.obs import MetricsRegistry
@@ -203,6 +255,32 @@ def _cmd_smr(args: argparse.Namespace) -> int:
           f"p99 {result.latency_p99 * 1e3:.2f} ms")
     if registry is not None:
         _print_obs(registry)
+    return 0
+
+
+def _cmd_smr_wallclock(args: argparse.Namespace) -> int:
+    """A real threaded cluster on a selectable engine (--engine mp)."""
+    from repro.par.bench import MpClusterConfig, run_mp_cluster
+
+    result = run_mp_cluster(MpClusterConfig(
+        engine=args.engine,
+        mp_workers=args.mp_workers,
+        workers=args.workers,
+        cos_algorithm=args.algorithm,
+        write_pct=args.write_pct,
+        key_dist=args.key_dist,
+        zipf_s=args.zipf_s,
+        seed=args.seed,
+        ops=args.measure_ops,
+        n_clients=min(args.clients, 16),
+    ))
+    print(f"engine={args.engine} algorithm={args.algorithm} "
+          f"mp_workers={args.mp_workers} writes={args.write_pct}% "
+          f"clients={result.config.n_clients}")
+    print(f"throughput: {result.throughput:,.0f} cmds/s wall clock   "
+          f"batch latency: mean {result.latency_mean * 1e3:.1f} ms / "
+          f"p99 {result.latency_p99 * 1e3:.1f} ms   "
+          f"({result.executed} executed, {result.errors} timed out)")
     return 0
 
 

@@ -15,6 +15,7 @@ from repro.core.command import (
     NeverConflicts,
     PredicateConflicts,
     ReadWriteConflicts,
+    stable_hash,
 )
 from repro.core.class_based import ClassBasedCOS, ClassConflicts, read_write_classes
 from repro.core.cos import COS, DEFAULT_MAX_SIZE, StructureCosts
@@ -38,6 +39,7 @@ __all__ = [
     "NeverConflicts",
     "AlwaysConflicts",
     "PredicateConflicts",
+    "stable_hash",
     "COS",
     "StructureCosts",
     "DEFAULT_MAX_SIZE",

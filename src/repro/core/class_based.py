@@ -25,7 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Hashable, Tuple
 
-from repro.core.command import Command, ConflictRelation
+from repro.core.command import Command, ConflictRelation, stable_hash
 from repro.core.cos import COS, DEFAULT_MAX_SIZE, StructureCosts
 from repro.core.effects import Acquire, Down, Release, Up, Work
 from repro.core.runtime import EffectGen, Runtime
@@ -50,7 +50,9 @@ def read_write_classes(shards: int = 1) -> ClassesOf:
         if command.writes:
             return tuple(range(shards))
         key = command.args[0] if command.args else 0
-        return (hash(key) % shards,)
+        # stable_hash, not hash: replicas in different OS processes must
+        # agree on the class of every command or their schedules diverge.
+        return (stable_hash(key) % shards,)
 
     return classes_of
 

@@ -13,6 +13,7 @@ linked-list application and by the extra example services.
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional, Tuple
 
@@ -24,7 +25,30 @@ __all__ = [
     "NeverConflicts",
     "AlwaysConflicts",
     "PredicateConflicts",
+    "stable_hash",
 ]
+
+
+def stable_hash(value: Hashable) -> int:
+    """A hash that is identical in every interpreter process.
+
+    The builtin ``hash`` is salted per process for ``str``/``bytes``
+    (``PYTHONHASHSEED``), so any key-to-shard or key-to-class mapping built
+    on it silently disagrees across OS processes.  Shard routing
+    (:mod:`repro.par`) and conflict-class mapping must use this instead:
+    ints map to themselves (preserving the uniformity of generated key
+    spaces) and everything else goes through CRC-32 of a canonical text
+    form.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return zlib.crc32(bytes(value))
+    return zlib.crc32(repr(value).encode("utf-8"))
 
 _command_counter = itertools.count()
 

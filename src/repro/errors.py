@@ -45,3 +45,18 @@ class CheckViolation(ReproError):
 
 class ShutdownError(ReproError):
     """An operation was attempted on a component that has been shut down."""
+
+
+class ShardError(ReproError):
+    """The multiprocess execution engine (:mod:`repro.par`) failed.
+
+    Raised when a shard worker process reports an execution error, stops
+    answering, or dies.  The engine is fail-stop: after a shard crash every
+    subsequent dispatch raises :class:`ShardCrashed`, and recovery happens
+    at the replica level (checkpoint transfer from a peer), matching the
+    crash model of the rest of the system.
+    """
+
+
+class ShardCrashed(ShardError):
+    """A shard worker process died or timed out; the engine is down."""

@@ -45,6 +45,8 @@ class NetBenchConfig:
     service: str = "linked-list"
     cos_algorithm: str = "lock-free"
     workers: int = 4
+    engine: str = "threaded"        # "threaded" | "mp" (repro.par)
+    mp_workers: int = 2             # shard processes per replica under mp
     seed: int = 1
     crash_replica: Optional[int] = None   # crash-stop this replica mid-run
     recover: bool = True                  # ...and restart it afterwards
@@ -96,6 +98,8 @@ def run_net_bench(config: NetBenchConfig,
         service=config.service,
         cos_algorithm=config.cos_algorithm,
         workers=config.workers,
+        engine=config.engine,
+        mp_workers=config.mp_workers,
         client_timeout=config.client_timeout,
     )
     batches_per_client = max(

@@ -43,6 +43,12 @@ def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--algorithm", default="lock-free",
                         choices=COS_ALGORITHMS)
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--engine", default="threaded",
+                        choices=("threaded", "mp"),
+                        help="execution engine: worker threads, or shard "
+                             "worker processes (docs/parallel_execution.md)")
+    parser.add_argument("--mp-workers", type=int, default=2,
+                        help="shard processes per replica with --engine mp")
 
 
 def add_net_parser(sub: argparse._SubParsersAction) -> None:
@@ -127,6 +133,8 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
         protocol=args.protocol,
         cos_algorithm=args.algorithm,
         workers=args.workers,
+        engine=args.engine,
+        mp_workers=args.mp_workers,
     )
     with open(args.config_out, "w") as handle:
         handle.write(config.to_json())
@@ -182,6 +190,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         service=args.service,
         cos_algorithm=args.algorithm,
         workers=args.workers,
+        engine=args.engine,
+        mp_workers=args.mp_workers,
         seed=args.seed,
         crash_replica=args.replicas - 1 if args.crash else None,
         trace=args.trace,

@@ -13,13 +13,11 @@ import socket
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Tuple
 
+from repro.apps import SERVICES
 from repro.core.cos import DEFAULT_MAX_SIZE
 from repro.errors import ConfigurationError
 
-__all__ = ["NetConfig", "free_port", "loopback_config"]
-
-#: Service registry for process deployments (name -> zero-arg factory).
-SERVICES = ("linked-list", "kv", "bank")
+__all__ = ["NetConfig", "SERVICES", "free_port", "loopback_config"]
 
 
 def free_port(host: str = "127.0.0.1") -> int:
@@ -40,6 +38,12 @@ class NetConfig:
     protocol: str = "paxos"            # "paxos" | "sequencer"
     cos_algorithm: str = "lock-free"   # any COS algorithm, or "sequential"
     workers: int = 4
+    #: Execution engine per replica: "threaded" (worker threads call the
+    #: service in-process) or "mp" (repro.par shard worker processes — true
+    #: multi-core execution; see docs/parallel_execution.md).
+    engine: str = "threaded"
+    #: Shard worker processes per replica when ``engine == "mp"``.
+    mp_workers: int = 2
     max_graph_size: int = DEFAULT_MAX_SIZE
     batch_size: int = 64
     heartbeat_interval: float = 0.05
@@ -67,6 +71,11 @@ class NetConfig:
         if self.service not in SERVICES:
             raise ConfigurationError(
                 f"unknown service {self.service!r}; choose from {SERVICES}")
+        if self.engine not in ("threaded", "mp"):
+            raise ConfigurationError(f"unknown engine {self.engine!r}")
+        if self.engine == "mp" and self.mp_workers < 1:
+            raise ConfigurationError(
+                f"mp_workers must be >= 1, got {self.mp_workers}")
         if self.metrics_addresses and (
                 len(self.metrics_addresses) != self.n_replicas):
             raise ConfigurationError(

@@ -22,9 +22,11 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Dict, Optional
 
-from repro.apps import BankService, KVStoreService, LinkedListService
+# build_service re-exported for compatibility: the registry moved to
+# repro.apps so the par shard workers can share it.
+from repro.apps import build_service
 from repro.broadcast import MultiPaxos, SequencerBroadcast, ThreadedNode
 from repro.core.command import Command
 from repro.errors import ConfigurationError, ShutdownError
@@ -32,27 +34,12 @@ from repro.net.config import NetConfig
 from repro.net.messages import ClientRequest, ClientResponse
 from repro.net.transport import TcpTransport
 from repro.obs import MetricsHTTPServer, MetricsRegistry, SnapshotWriter
+from repro.par import MpService
 from repro.smr.checkpoint import Checkpoint
 from repro.smr.replica import ParallelReplica, SequentialReplica
 from repro.smr.service import Service
 
 __all__ = ["ReplicaServer", "build_service"]
-
-_SERVICE_FACTORIES: Dict[str, Callable[[], Service]] = {
-    "linked-list": lambda: LinkedListService(initial_size=50),
-    "kv": KVStoreService,
-    "bank": BankService,
-}
-
-
-def build_service(name: str) -> Service:
-    try:
-        factory = _SERVICE_FACTORIES[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown service {name!r}; choose from "
-            f"{sorted(_SERVICE_FACTORIES)}") from None
-    return factory()
 
 
 class ReplicaServer:
@@ -67,10 +54,19 @@ class ReplicaServer:
                 f"{config.n_replicas} replicas")
         self.replica_id = replica_id
         self.config = config
-        self.service = build_service(config.service)
         # One registry per replica process records the whole stack — COS,
         # replica engine, and transport (docs/observability.md).
         self.registry = MetricsRegistry()
+        self._engine: Optional[MpService] = None
+        if config.engine == "mp":
+            self._engine = MpService(
+                config.service,
+                workers=config.mp_workers,
+                registry=self.registry,
+            )
+            self.service: Service = self._engine
+        else:
+            self.service = build_service(config.service)
         self._metrics_server: Optional[MetricsHTTPServer] = None
         self._snapshot_writer: Optional[SnapshotWriter] = None
         self.replica = self._build_replica()
@@ -139,6 +135,11 @@ class ReplicaServer:
         if self._started:
             raise ShutdownError("replica server already started")
         self._started = True
+        # The engine forks first: shard processes should not inherit live
+        # sockets or transport threads.  Starting it also installs any
+        # checkpoint stashed by install_checkpoint.
+        if self._engine is not None:
+            self._engine.start()
         self.transport.start()
         if self.config.metrics_addresses:
             host, port = self.config.metrics_addresses[self.replica_id]
@@ -160,6 +161,8 @@ class ReplicaServer:
         self.node.stop()
         self.transport.close()
         self.replica.stop(timeout=2.0)
+        if self._engine is not None:
+            self._engine.stop()
         if self._snapshot_writer is not None:
             self._snapshot_writer.stop()
             self._snapshot_writer = None

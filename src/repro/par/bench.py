@@ -1,0 +1,346 @@
+"""Wall-clock benchmark of the multiprocess engine (``"mp"`` backend).
+
+Measures one replica executing a pre-created workload — the shape of the
+paper's standalone experiment (§7.3), but on real cores and a wall clock
+instead of the simulator's virtual one.  A feeder thread plays the atomic
+broadcast (calling ``on_deliver`` in batches), the replica schedules
+through the unchanged COS, and the engine under test executes:
+
+- ``engine="threaded"`` — workers call the service in-process; the GIL
+  serializes CPU-bound execution regardless of worker count (the
+  known-limitation baseline);
+- ``engine="mp"`` — workers dispatch to shard processes; on a multi-core
+  host throughput scales with workers on low-conflict workloads.
+
+Throughput is counted after a warm-up prefix, like the paper measures
+"overall throughput obtained by the worker threads".  Speedup claims need
+real cores: on a single-CPU host both engines collapse to sequential and
+the mp engine only adds IPC overhead — ``benchmarks/bench_mp_scaling.py``
+guards its assertion on ``os.cpu_count()`` accordingly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.apps import build_service
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.par.config import MpEngineConfig
+from repro.par.engine import MpService
+from repro.smr.replica import ParallelReplica
+from repro.workload import WorkloadGenerator
+
+__all__ = ["MpBenchConfig", "MpBenchResult", "run_mp_bench",
+           "MpClusterConfig", "MpClusterResult", "run_mp_cluster"]
+
+MP_BENCH_ENGINES = ("threaded", "mp")
+
+
+@dataclass(frozen=True)
+class MpBenchConfig:
+    """Parameters of one engine-scaling run (one curve point)."""
+
+    engine: str = "mp"                 # "mp" | "threaded" baseline
+    mp_workers: int = 2                # shard processes (mp engine)
+    workers: int = 4                   # replica worker threads (threaded)
+    service: str = "linked-list"
+    service_kwargs: Dict[str, Any] = field(default_factory=dict)
+    cos_algorithm: str = "lock-free"
+    write_pct: float = 0.0             # paper's best-scaling workload
+    key_dist: str = "uniform"
+    zipf_s: float = 0.99
+    key_space: int = 2_000
+    warm_ops: int = 200
+    measure_ops: int = 2_000
+    deliver_batch: int = 32
+    seed: int = 1
+    timeout: float = 120.0
+    start_method: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.engine not in MP_BENCH_ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {MP_BENCH_ENGINES}, got "
+                f"{self.engine!r}")
+        if self.mp_workers < 1 or self.workers < 1:
+            raise ConfigurationError("worker counts must be >= 1")
+        if self.measure_ops < 1:
+            raise ConfigurationError("measure_ops must be >= 1")
+
+    def service_factory_kwargs(self) -> Dict[str, Any]:
+        kwargs = dict(self.service_kwargs)
+        if self.service == "linked-list":
+            # Scale the list to the key space so ``contains`` walks are real
+            # CPU work — the thing the mp engine parallelizes.
+            kwargs.setdefault("initial_size", self.key_space)
+        return kwargs
+
+
+@dataclass(frozen=True)
+class MpBenchResult:
+    """Measured outcome (seconds are wall clock)."""
+
+    config: MpBenchConfig
+    executed: int                      # commands counted after warm-up
+    duration: float                    # measured window
+    throughput: float                  # commands per wall-clock second
+    dispatch_p50: float = 0.0          # engine dispatch round trip (mp only)
+    dispatch_p99: float = 0.0
+    #: Fraction of the measured window each shard spent executing (mp only);
+    #: sums > 1.0 are the engine genuinely using more than one core.
+    shard_busy: List[float] = field(default_factory=list)
+    barrier_rounds: int = 0
+
+    @property
+    def kops(self) -> float:
+        return self.throughput / 1e3
+
+    def to_json(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["config"] = asdict(self.config)
+        data["kops"] = self.kops
+        return data
+
+
+def run_mp_bench(config: MpBenchConfig,
+                 registry: Optional[MetricsRegistry] = None) -> MpBenchResult:
+    """Run one engine-scaling point and return its measured throughput."""
+    config.validate()
+    registry = registry if registry is not None else MetricsRegistry()
+    total = config.warm_ops + config.measure_ops
+    workload = WorkloadGenerator(
+        config.write_pct,
+        key_space=config.key_space,
+        seed=config.seed,
+        key_dist=config.key_dist,
+        zipf_s=config.zipf_s,
+    )
+    commands = workload.commands(total)
+
+    engine: Optional[MpService] = None
+    if config.engine == "mp":
+        engine = MpService(
+            config.service,
+            config.service_factory_kwargs(),
+            workers=config.mp_workers,
+            config=MpEngineConfig(start_method=config.start_method),
+            registry=registry,
+        )
+        service = engine
+    else:
+        service = build_service(
+            config.service, **config.service_factory_kwargs())
+    replica = ParallelReplica(
+        0,
+        service,
+        cos_algorithm=config.cos_algorithm,
+        workers=config.workers,
+        registry=registry,
+    )
+
+    def feeder() -> None:
+        # The atomic broadcast, reduced to its essence: batches delivered
+        # in order.  COS backpressure (insert blocks when the graph is
+        # full) paces this thread, as it paces delivery in a real replica.
+        for offset in range(0, total, config.deliver_batch):
+            replica.on_deliver(
+                offset, commands[offset:offset + config.deliver_batch])
+
+    if engine is not None:
+        engine.start()
+    replica.start()
+    feeder_thread = threading.Thread(
+        target=feeder, name="mp-bench-feeder", daemon=True)
+    deadline = time.monotonic() + config.timeout
+    warm_at: Optional[float] = None
+    feeder_thread.start()
+    try:
+        while True:
+            executed = replica.executed
+            now = time.monotonic()
+            if warm_at is None and executed >= config.warm_ops:
+                warm_at = now
+            if executed >= total:
+                finished = now
+                break
+            if now > deadline:
+                raise TimeoutError(
+                    f"mp bench executed only {executed}/{total} commands "
+                    f"within {config.timeout}s")
+            time.sleep(0.002)
+        feeder_thread.join(5.0)
+    finally:
+        replica.stop()
+        if engine is not None:
+            engine.stop()
+
+    warm_at = warm_at if warm_at is not None else finished
+    duration = max(finished - warm_at, 1e-9)
+    measured = total - config.warm_ops
+    dispatch = registry.histogram("mp_dispatch_seconds")
+    shard_busy = []
+    if config.engine == "mp":
+        for shard in range(config.mp_workers):
+            busy = registry.histogram("mp_shard_busy_seconds",
+                                      shard=str(shard))
+            shard_busy.append(busy.sum / duration)
+    return MpBenchResult(
+        config=config,
+        executed=measured,
+        duration=duration,
+        throughput=measured / duration,
+        dispatch_p50=dispatch.quantile(0.50),
+        dispatch_p99=dispatch.quantile(0.99),
+        shard_busy=shard_busy,
+        barrier_rounds=int(
+            registry.counter("mp_barrier_rounds_total").value),
+    )
+
+
+@dataclass(frozen=True)
+class MpClusterConfig:
+    """Closed-loop threaded-cluster run with a selectable engine.
+
+    The SMR counterpart of :class:`MpBenchConfig`: a full in-process
+    cluster (consensus + replicas + clients) where each replica executes on
+    either engine — ``python -m repro smr --engine mp`` ends here.
+    """
+
+    engine: str = "mp"                 # "mp" | "threaded"
+    mp_workers: int = 2
+    workers: int = 4
+    n_replicas: int = 3
+    n_clients: int = 4
+    batch: int = 8
+    ops: int = 800                     # total commands across all clients
+    write_pct: float = 0.0
+    key_dist: str = "uniform"
+    zipf_s: float = 0.99
+    key_space: int = 500
+    service: str = "linked-list"
+    service_kwargs: Dict[str, Any] = field(default_factory=dict)
+    cos_algorithm: str = "lock-free"
+    seed: int = 1
+    client_timeout: float = 5.0
+
+    def validate(self) -> None:
+        if self.engine not in MP_BENCH_ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {MP_BENCH_ENGINES}, got "
+                f"{self.engine!r}")
+
+    def service_factory_kwargs(self) -> Dict[str, Any]:
+        kwargs = dict(self.service_kwargs)
+        if self.service == "linked-list":
+            kwargs.setdefault("initial_size", self.key_space)
+        return kwargs
+
+
+@dataclass(frozen=True)
+class MpClusterResult:
+    """Measured outcome of one closed-loop cluster run (wall clock)."""
+
+    config: MpClusterConfig
+    executed: int
+    errors: int
+    duration: float
+    throughput: float
+    latency_mean: float               # per-batch round trip
+    latency_p50: float
+    latency_p99: float
+
+    @property
+    def kops(self) -> float:
+        return self.throughput / 1e3
+
+    def to_json(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["config"] = asdict(self.config)
+        data["kops"] = self.kops
+        return data
+
+
+def run_mp_cluster(config: MpClusterConfig) -> MpClusterResult:
+    """Drive a ThreadedCluster with closed-loop clients on either engine."""
+    config.validate()
+    # Imported here: the cluster pulls in broadcast machinery the plain
+    # engine benchmark does not need.
+    from repro.smr.client import ClientTimeout
+    from repro.smr.cluster import ClusterConfig, ThreadedCluster
+
+    cluster_config = ClusterConfig(
+        n_replicas=config.n_replicas,
+        cos_algorithm=config.cos_algorithm,
+        workers=config.workers,
+        engine=config.engine,
+        mp_workers=config.mp_workers,
+        service=config.service,
+        service_kwargs=config.service_factory_kwargs(),
+        client_timeout=config.client_timeout,
+    )
+    batches_per_client = max(
+        1, config.ops // (config.n_clients * config.batch))
+    latencies: List[float] = []
+    lock = threading.Lock()
+    executed = 0
+    errors = 0
+
+    def client_loop(cluster: "ThreadedCluster", index: int) -> None:
+        nonlocal executed, errors
+        workload = WorkloadGenerator(
+            config.write_pct,
+            key_space=config.key_space,
+            seed=config.seed * 1_000 + index,
+            key_dist=config.key_dist,
+            zipf_s=config.zipf_s,
+        )
+        client = cluster.client(contact=index % config.n_replicas)
+        for _ in range(batches_per_client):
+            commands = workload.commands(config.batch)
+            begun = time.monotonic()
+            try:
+                client.execute_batch(commands)
+            except ClientTimeout:
+                with lock:
+                    errors += len(commands)
+                continue
+            elapsed = time.monotonic() - begun
+            with lock:
+                latencies.append(elapsed)
+                executed += len(commands)
+
+    with ThreadedCluster(cluster_config) as cluster:
+        threads = [
+            threading.Thread(target=client_loop, args=(cluster, index),
+                             daemon=True)
+            for index in range(config.n_clients)
+        ]
+        begun = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        duration = max(time.monotonic() - begun, 1e-9)
+
+    ordered = sorted(latencies)
+
+    def percentile(fraction: float) -> float:
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    return MpClusterResult(
+        config=config,
+        executed=executed,
+        errors=errors,
+        duration=duration,
+        throughput=executed / duration,
+        latency_mean=sum(ordered) / len(ordered) if ordered else 0.0,
+        latency_p50=percentile(0.50),
+        latency_p99=percentile(0.99),
+    )

@@ -1,0 +1,66 @@
+"""Shard routing: command → owning worker process(es).
+
+The router is the parent-side view of the state partition.  It resolves a
+service's :meth:`~repro.smr.service.ShardableService.shards_of` answer into
+one of two dispatch plans:
+
+- a **single shard** — the common case; the command is queued to that
+  shard's worker process and runs concurrently with commands on every other
+  shard (this is where the engine escapes the GIL);
+- a **barrier set** (several shards, or all of them for the
+  :data:`~repro.smr.service.ALL_SHARDS` sentinel) — the command must see a
+  combined view of those shards and executes under a barrier round
+  (:mod:`repro.par.barrier`).
+
+Routing must be identical in every replica process, which is why
+:func:`repro.core.command.stable_hash` backs the services' ``shards_of``
+implementations rather than the per-process-salted builtin ``hash``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.command import Command
+from repro.errors import ConfigurationError
+from repro.smr.service import ShardableService
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Resolves commands to shard sets against a template service."""
+
+    def __init__(self, template: ShardableService, n_shards: int):
+        if n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {n_shards}")
+        if not isinstance(template, ShardableService):
+            raise ConfigurationError(
+                f"{type(template).__name__} is not shardable; services run "
+                f"under the mp engine must implement ShardableService")
+        self._template = template
+        self.n_shards = n_shards
+        self._all = tuple(range(n_shards))
+
+    def route(self, command: Command) -> Tuple[int, ...]:
+        """The sorted shard set ``command`` touches (never empty).
+
+        ``ALL_SHARDS`` (the empty tuple) resolves to every shard; anything
+        out of range is a service bug and raises immediately rather than
+        corrupting a worker queue.
+        """
+        shards = tuple(self._template.shards_of(command, self.n_shards))
+        if not shards:
+            return self._all
+        for shard in shards:
+            if not 0 <= shard < self.n_shards:
+                raise ConfigurationError(
+                    f"{command!r} routed to shard {shard}, outside "
+                    f"[0, {self.n_shards})")
+        if len(shards) == 1:
+            return shards
+        return tuple(sorted(set(shards)))
+
+    def is_barrier(self, shards: Tuple[int, ...]) -> bool:
+        return len(shards) > 1

@@ -1,0 +1,106 @@
+"""Shard worker process: the loop that actually escapes the GIL.
+
+Each worker process owns one shard of the service state.  It rebuilds the
+service from a ``(name, kwargs)`` spec (live services do not cross process
+boundaries), trims it to its shard, then serves requests from its FIFO
+queue:
+
+- ``exec`` — apply a command, reply with ``(response, busy_seconds)``;
+- ``collect`` — start of a barrier round: reply with this shard's fragment
+  and *bar* the queue (buffering later requests) until the matching
+  ``install`` delivers the post-barrier fragment;
+- ``snapshot`` / ``restore`` — checkpointing hooks (the parent only calls
+  them while the engine is quiescent);
+- ``ping`` / ``stop`` — lifecycle.
+
+Messages are 4-tuples ``(tag, seq, shard, payload)`` in both directions;
+``seq`` numbers are parent-assigned and globally unique, which is what lets
+an ``install`` find its barred ``collect`` even with unrelated requests
+buffered in between.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections import deque
+from typing import Any, Dict, Tuple
+
+__all__ = ["shard_worker_main"]
+
+#: Request tags (parent → worker).
+EXEC, COLLECT, INSTALL, SNAPSHOT, RESTORE, PING, STOP = (
+    "exec", "collect", "install", "snapshot", "restore", "ping", "stop")
+#: Reply tags (worker → parent).
+RESP, FRAG, OK, ERR = "resp", "frag", "ok", "err"
+
+
+def shard_worker_main(shard: int, n_shards: int, service_name: str,
+                      service_kwargs: Dict[str, Any],
+                      request_queue: Any, reply_queue: Any) -> None:
+    """Entry point of one shard worker process."""
+    # Imported here so a ``spawn``-started child pays its import cost once,
+    # inside the worker, and the module stays importable without triggering
+    # package side effects at definition time.
+    from repro.apps import build_service
+
+    service = build_service(service_name, **service_kwargs)
+    # Trim the (fully initialized) service to this worker's shard: the
+    # initial population is key-partitioned exactly like live commands.
+    service.restore_shard(
+        shard, n_shards, service.snapshot_shard(shard, n_shards))
+
+    backlog: deque = deque()  # requests buffered while barred
+
+    def next_request() -> Tuple[str, int, Any]:
+        if backlog:
+            return backlog.popleft()
+        tag, seq, _shard, payload = request_queue.get()
+        return tag, seq, payload
+
+    def await_install(barrier_seq: int) -> Any:
+        """Block on the matching install, buffering unrelated requests."""
+        while True:
+            message = request_queue.get()
+            tag, seq, _shard, payload = message
+            if tag == INSTALL and seq == barrier_seq:
+                return payload
+            backlog.append((tag, seq, payload))
+
+    try:
+        while True:
+            tag, seq, payload = next_request()
+            if tag == EXEC:
+                started = time.perf_counter()
+                try:
+                    response = service.execute(payload)
+                except Exception as error:  # noqa: BLE001 - forwarded
+                    reply_queue.put((ERR, seq, shard, (
+                        type(error).__name__, str(error),
+                        traceback.format_exc())))
+                    continue
+                busy = time.perf_counter() - started
+                reply_queue.put((RESP, seq, shard, (response, busy)))
+            elif tag == COLLECT:
+                reply_queue.put((FRAG, seq, shard,
+                                 service.snapshot_shard(shard, n_shards)))
+                fragment = await_install(seq)
+                service.restore_shard(shard, n_shards, fragment)
+            elif tag == SNAPSHOT:
+                reply_queue.put((FRAG, seq, shard,
+                                 service.snapshot_shard(shard, n_shards)))
+            elif tag == RESTORE:
+                service.restore_shard(shard, n_shards, payload)
+                reply_queue.put((OK, seq, shard, None))
+            elif tag == PING:
+                reply_queue.put((OK, seq, shard, None))
+            elif tag == STOP:
+                reply_queue.put((OK, seq, shard, None))
+                return
+            else:  # pragma: no cover - protocol bug
+                reply_queue.put((ERR, seq, shard, (
+                    "ProtocolError", f"unknown request tag {tag!r}", "")))
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+        # Parent died or we are being torn down: exit quietly; the
+        # dispatcher's liveness watcher reports the crash on its side.
+        return

@@ -43,11 +43,22 @@ ServiceFactory = Callable[[], Service]
 class ClusterConfig:
     """Parameters of a threaded cluster deployment."""
 
-    service_factory: ServiceFactory
+    service_factory: Optional[ServiceFactory] = None
     n_replicas: int = 3
     protocol: str = "paxos"            # "paxos" | "sequencer"
     cos_algorithm: str = "lock-free"   # any of COS_ALGORITHMS, or "sequential"
     workers: int = 4
+    #: Execution engine per replica: "threaded" (worker threads call the
+    #: service directly) or "mp" (repro.par shard worker processes).
+    engine: str = "threaded"
+    #: Shard worker processes per replica when ``engine == "mp"``.
+    mp_workers: int = 2
+    #: Registered service name (repro.apps.SERVICES) + factory kwargs.
+    #: Required for the mp engine — worker processes rebuild the service
+    #: from this spec, live instances don't cross process boundaries.
+    #: For the threaded engine it is an alternative to ``service_factory``.
+    service: Optional[str] = None
+    service_kwargs: Dict[str, Any] = field(default_factory=dict)
     max_graph_size: int = DEFAULT_MAX_SIZE
     batch_size: int = 64
     heartbeat_interval: float = 0.05
@@ -68,6 +79,21 @@ class ClusterConfig:
             )
         if self.n_replicas < 1:
             raise ConfigurationError("need at least one replica")
+        if self.engine not in ("threaded", "mp"):
+            raise ConfigurationError(f"unknown engine {self.engine!r}")
+        if self.engine == "mp":
+            if self.service is None:
+                raise ConfigurationError(
+                    "engine='mp' requires a service name (service=...): "
+                    "shard worker processes rebuild the service from its "
+                    "spec, a live service_factory instance cannot cross "
+                    "process boundaries")
+            if self.mp_workers < 1:
+                raise ConfigurationError(
+                    f"mp_workers must be >= 1, got {self.mp_workers}")
+        if self.service_factory is None and self.service is None:
+            raise ConfigurationError(
+                "need a service_factory or a service name")
 
 
 class ThreadedCluster:
@@ -83,6 +109,9 @@ class ThreadedCluster:
         self._client_counter = itertools.count(1)
         self.replicas: List[ParallelReplica] = []
         self.nodes: List[ThreadedNode] = []
+        #: replica_id -> MpService when config.engine == "mp" (the engines
+        #: need lifecycle calls the Service interface doesn't have).
+        self._engines: Dict[int, Any] = {}
         for replica_id in range(config.n_replicas):
             replica = self._build_replica(replica_id)
             self.replicas.append(replica)
@@ -98,8 +127,26 @@ class ThreadedCluster:
 
     # --------------------------------------------------------------- builders
 
+    def _build_service(self, replica_id: int) -> Service:
+        if self.config.engine == "mp":
+            # Lazy import: only mp clusters pull in multiprocessing plumbing.
+            from repro.par import MpService
+
+            engine = MpService(
+                self.config.service,
+                self.config.service_kwargs,
+                workers=self.config.mp_workers,
+            )
+            self._engines[replica_id] = engine
+            return engine
+        if self.config.service_factory is not None:
+            return self.config.service_factory()
+        from repro.apps import build_service
+
+        return build_service(self.config.service, **self.config.service_kwargs)
+
     def _build_replica(self, replica_id: int) -> ParallelReplica:
-        service = self.config.service_factory()
+        service = self._build_service(replica_id)
         if self.config.cos_algorithm == "sequential":
             return SequentialReplica(
                 replica_id,
@@ -140,6 +187,10 @@ class ThreadedCluster:
         if self._started:
             raise ShutdownError("cluster already started")
         self._started = True
+        # Engines first: with the fork start method the shard processes
+        # should multiply the process before replica/node threads exist.
+        for engine in self._engines.values():
+            engine.start()
         for replica in self.replicas:
             replica.start()
         for node in self.nodes:
@@ -152,6 +203,8 @@ class ThreadedCluster:
         self._transport.close()
         for replica in self.replicas:
             replica.stop()
+        for engine in self._engines.values():
+            engine.stop()  # idempotent; after replicas so drains complete
 
     def __enter__(self) -> "ThreadedCluster":
         return self.start()
@@ -201,6 +254,9 @@ class ThreadedCluster:
         self._transport.crash(replica_id)
         self.nodes[replica_id].stop()
         self.replicas[replica_id].stop(timeout=1.0)
+        engine = self._engines.get(replica_id)
+        if engine is not None:
+            engine.stop()
 
     def restart_replica(self, replica_id: int,
                         from_peer: Optional[int] = None) -> None:
@@ -235,6 +291,11 @@ class ThreadedCluster:
         node = ThreadedNode(replica_id, protocol, self._transport,
                             replica.on_deliver)
         self.nodes[replica_id] = node
+        engine = self._engines.get(replica_id)
+        if engine is not None:
+            # _build_replica registered a fresh engine for this id; starting
+            # it installs the checkpoint state stashed by install_checkpoint.
+            engine.start()
         replica.start()
         node.start()
 

@@ -79,6 +79,14 @@ class ParallelReplica:
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        # An engine-backed service (repro.par.MpService) wants more worker
+        # threads than CPU-bound execution would: its threads spend their
+        # time blocked on shard queues (GIL released) and must outnumber the
+        # shards to keep them pipelined.  The hint only ever raises the pool
+        # size, so plain services are unaffected.
+        hint = getattr(service, "dispatch_parallelism", None)
+        if hint is not None:
+            workers = max(workers, int(hint))
         self.replica_id = replica_id
         self.service = service
         self.workers = workers

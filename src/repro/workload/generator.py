@@ -5,19 +5,46 @@ The paper's application is a linked list of integers offering ``contains``
 percentage — "15% of writes represents a workload with 15% of writes and 85%
 of reads" — with uniformly random keys.  Generation is seeded so every run
 of an experiment sees the identical command stream.
+
+Beyond the paper's uniform keys, the generator supports a Zipfian key
+distribution (``key_dist="zipf"``), the standard skewed-access model (YCSB's
+default).  Skew concentrates traffic on few keys, which under keyed
+conflicts raises the effective conflict rate and under sharded execution
+(:mod:`repro.par`) imbalances the shards — both effects worth measuring.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.command import Command
 
-__all__ = ["WorkloadGenerator", "READ_OP", "WRITE_OP"]
+__all__ = ["WorkloadGenerator", "READ_OP", "WRITE_OP", "KEY_DISTRIBUTIONS"]
 
 READ_OP = "contains"
 WRITE_OP = "add"
+
+#: Supported key distributions.
+KEY_DISTRIBUTIONS = ("uniform", "zipf")
+
+
+def _zipf_cdf(key_space: int, s: float) -> Tuple[float, ...]:
+    """Cumulative distribution of P(rank) ∝ 1/rank^s over 1..key_space.
+
+    Computed once per generator; draws are then one uniform variate plus a
+    binary search, so a skewed stream costs the same as a uniform one.
+    """
+    weights = [1.0 / (rank ** s) for rank in range(1, key_space + 1)]
+    total = sum(weights)
+    cumulative = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cumulative.append(running / total)
+    cumulative[-1] = 1.0  # guard against float drift at the tail
+    return tuple(cumulative)
 
 
 class WorkloadGenerator:
@@ -29,22 +56,52 @@ class WorkloadGenerator:
         key_space: int = 10_000,
         seed: int = 1,
         client_id: Optional[str] = None,
+        key_dist: str = "uniform",
+        zipf_s: float = 0.99,
     ):
+        """Args:
+            write_pct: Percentage of write (``add``) commands in [0, 100].
+            key_space: Keys are drawn from ``range(key_space)``.
+            seed: RNG seed; identical seeds give identical streams.
+            client_id: Stamped on generated commands (``None`` leaves them
+                anonymous, e.g. for pre-created standalone workloads).
+            key_dist: ``"uniform"`` (paper §7.2) or ``"zipf"`` (skewed;
+                rank-``i`` key drawn with probability ∝ 1/i^s).
+            zipf_s: Zipf exponent; 0.99 matches the YCSB default.  Larger
+                is more skewed; 0 degenerates to uniform.
+        """
         if not 0.0 <= write_pct <= 100.0:
             raise ValueError(f"write_pct must be in [0, 100], got {write_pct}")
         if key_space < 1:
             raise ValueError(f"key_space must be >= 1, got {key_space}")
+        if key_dist not in KEY_DISTRIBUTIONS:
+            raise ValueError(
+                f"key_dist must be one of {KEY_DISTRIBUTIONS}, got "
+                f"{key_dist!r}")
+        if zipf_s < 0.0:
+            raise ValueError(f"zipf_s must be >= 0, got {zipf_s}")
         self._write_fraction = write_pct / 100.0
         self._key_space = key_space
         self._rng = random.Random(seed)
         self._client_id = client_id
         self._issued = 0
+        self.key_dist = key_dist
+        self.zipf_s = zipf_s
+        self._zipf_cdf: Optional[Tuple[float, ...]] = (
+            _zipf_cdf(key_space, zipf_s) if key_dist == "zipf" else None)
+
+    def _draw_key(self) -> int:
+        if self._zipf_cdf is None:
+            return self._rng.randrange(self._key_space)
+        # Rank r (0-based) is drawn Zipf-distributed; ranks map to keys
+        # identically in every process (rank == key), so the hottest key is
+        # always 0 — convenient for reasoning about shard imbalance.
+        return bisect_left(self._zipf_cdf, self._rng.random())
 
     def next_command(self) -> Command:
         """Produce the next command of the stream."""
-        rng = self._rng
-        is_write = rng.random() < self._write_fraction
-        key = rng.randrange(self._key_space)
+        is_write = self._rng.random() < self._write_fraction
+        key = self._draw_key()
         self._issued += 1
         return Command(
             op=WRITE_OP if is_write else READ_OP,

@@ -27,7 +27,7 @@ def tiny(**overrides):
 
 class TestBackendDispatch:
     def test_backends_registered(self):
-        assert BENCH_BACKENDS == ("sim", "tcp")
+        assert BENCH_BACKENDS == ("sim", "tcp", "mp")
 
     def test_sim_backend_dispatches_to_standalone(self):
         result = run_benchmark("sim", tiny())
@@ -211,3 +211,52 @@ class TestAsciiPlot:
         from repro.bench import plot_figure
         text = plot_figure(self._figure(), log_y=True)
         assert "lock-free" in text
+
+
+class TestBenchArtifacts:
+    def _figure(self):
+        figure = FigureData(name="demo", title="t", x_label="w",
+                            y_label="kops")
+        figure.add_point("light", "lock-free", 1, 10.0)
+        figure.add_point("light", "lock-free", 2, 20.0)
+        return figure
+
+    def test_environment_has_provenance(self):
+        from repro.bench import bench_environment
+        env = bench_environment()
+        assert set(env) >= {"git_sha", "python", "cpu_count",
+                            "pythonhashseed", "recorded_at"}
+        assert len(env["git_sha"]) == 40  # this repo is a git checkout
+
+    def test_figure_payload_round_trips_points(self):
+        from repro.bench import figure_payload
+        payload = figure_payload(self._figure())
+        assert payload["name"] == "demo"
+        assert payload["panels"]["light"]["lock-free"] == [[1, 10.0],
+                                                           [2, 20.0]]
+
+    def test_write_bench_json(self, tmp_path):
+        import json
+
+        from repro.bench import figure_payload, write_bench_json
+        path = write_bench_json("demo", figure_payload(self._figure()),
+                                str(tmp_path), config={"workers": 2})
+        assert path.endswith("BENCH_demo.json")
+        document = json.loads(open(path).read())
+        assert document["bench"] == "demo"
+        assert document["config"] == {"workers": 2}
+        assert document["result"]["panels"]["light"]["lock-free"]
+        assert document["environment"]["git_sha"]
+
+    def test_payload_with_to_json_hook(self, tmp_path):
+        import json
+
+        from repro.bench import write_bench_json
+
+        class Result:
+            def to_json(self):
+                return {"throughput": 123.0}
+
+        path = write_bench_json("hooked", Result(), str(tmp_path))
+        assert json.loads(open(path).read())["result"] == {
+            "throughput": 123.0}

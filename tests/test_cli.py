@@ -39,6 +39,43 @@ class TestSmr:
         assert "latency:" in out
 
 
+class TestMpEngine:
+    def test_standalone_mp(self, capsys):
+        code = main(["standalone", "--engine", "mp", "--mp-workers", "2",
+                     "--measure-ops", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine=mp" in out
+        assert "cmds/s wall clock" in out
+
+    def test_standalone_threaded_wallclock(self, capsys):
+        assert main(["standalone", "--engine", "threaded", "--workers", "2",
+                     "--measure-ops", "150"]) == 0
+        assert "engine=threaded" in capsys.readouterr().out
+
+    def test_standalone_zipf(self, capsys):
+        assert main(["standalone", "--key-dist", "zipf", "--zipf-s", "1.2",
+                     "--measure-ops", "400"]) == 0
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["standalone", "--engine", "gpu"])
+
+    def test_smr_mp(self, capsys):
+        code = main(["smr", "--engine", "mp", "--mp-workers", "2",
+                     "--clients", "4", "--measure-ops", "120"])
+        assert code == 0
+        assert "engine=mp" in capsys.readouterr().out
+
+    def test_net_parser_accepts_engine_flags(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["net", "bench", "--engine", "mp", "--mp-workers", "3"])
+        assert args.engine == "mp"
+        assert args.mp_workers == 3
+
+
 class TestFigures:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

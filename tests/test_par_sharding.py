@@ -1,0 +1,184 @@
+"""Sharding contract tests: routing, fragments, and round-trips.
+
+The multiprocess engine's correctness rests on the
+:class:`~repro.smr.service.ShardableService` contract: routing is pure and
+cross-process stable, per-shard fragments partition the full snapshot, and
+``split → restore_shard → snapshot_shard → recompose`` reproduces exactly
+the unsharded snapshot for every application service.
+"""
+
+import pytest
+
+from repro.apps import SERVICES, build_service
+from repro.apps.bank import BankService
+from repro.apps.kvstore import KVStoreService
+from repro.apps.linked_list import LinkedListService
+from repro.core.command import Command, stable_hash
+from repro.errors import ConfigurationError
+from repro.par.shard import ShardRouter
+from repro.smr.service import ALL_SHARDS, ShardableService
+from repro.workload import READ_OP, WRITE_OP
+
+
+class TestStableHash:
+    def test_ints_map_to_themselves(self):
+        assert [stable_hash(i) for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_bools_are_ints(self):
+        assert stable_hash(True) == 1
+        assert stable_hash(False) == 0
+
+    def test_str_and_bytes_agree_with_crc(self):
+        import zlib
+        assert stable_hash("key") == zlib.crc32(b"key")
+        assert stable_hash(b"key") == zlib.crc32(b"key")
+
+    def test_spreads_string_keys(self):
+        shards = {stable_hash(f"key-{i}") % 4 for i in range(100)}
+        assert shards == {0, 1, 2, 3}
+
+
+def _populated(name):
+    """Build each registered service with a little state on board."""
+    if name == "kv":
+        service = build_service("kv")
+        for i in range(40):
+            service.execute(KVStoreService.put(f"k{i}", i))
+    elif name == "bank":
+        service = build_service("bank")
+        for i in range(20):
+            service.execute(BankService.deposit(f"acct-{i}", 10 * i))
+    else:
+        service = build_service(name, initial_size=30)
+        service.execute(Command(WRITE_OP, (1000,)))
+    return service
+
+
+class TestFragmentRoundTrips:
+    """Satellite: checkpoint/restore through the sharded path, all apps."""
+
+    @pytest.mark.parametrize("name", SERVICES)
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5])
+    def test_fragments_recompose_to_unsharded_snapshot(self, name, n_shards):
+        service = _populated(name)
+        full = service.snapshot()
+        fragments = [service.snapshot_shard(shard, n_shards)
+                     for shard in range(n_shards)]
+        assert service.recompose_snapshots(fragments) == full
+
+    @pytest.mark.parametrize("name", SERVICES)
+    def test_split_then_restore_shard_round_trip(self, name):
+        n_shards = 3
+        source = _populated(name)
+        full = source.snapshot()
+        fragments = build_service(name).split_snapshot(full, n_shards)
+        rebuilt = []
+        for shard, fragment in enumerate(fragments):
+            worker = _populated(name)  # stale state must be replaced
+            worker.restore_shard(shard, n_shards, fragment)
+            rebuilt.append(worker.snapshot_shard(shard, n_shards))
+        assert source.recompose_snapshots(rebuilt) == full
+
+    @pytest.mark.parametrize("name", SERVICES)
+    def test_fragments_are_disjoint(self, name):
+        service = _populated(name)
+        n_shards = 4
+        sizes = []
+        for shard in range(n_shards):
+            fragment = service.snapshot_shard(shard, n_shards)
+            sizes.append(len(fragment))
+        total = len(service.snapshot())
+        assert sum(sizes) == total
+
+    def test_worker_trim_idiom(self):
+        """restore_shard(snapshot_shard(...)) leaves exactly one shard."""
+        service = _populated("kv")
+        keys = set(service.snapshot())
+        service.restore_shard(1, 3, service.snapshot_shard(1, 3))
+        kept = set(service.snapshot())
+        assert kept == {k for k in keys if stable_hash(k) % 3 == 1}
+
+
+class TestRouting:
+    def test_kv_routes_by_key(self):
+        router = ShardRouter(build_service("kv"), 4)
+        shards = router.route(KVStoreService.put("alpha", 1))
+        assert shards == (stable_hash("alpha") % 4,)
+        assert router.route(KVStoreService.get("alpha")) == shards
+
+    def test_bank_transfer_spans_both_account_shards(self):
+        service = build_service("bank")
+        router = ShardRouter(service, 8)
+        command = BankService.transfer("acct-a", "acct-b", 1)
+        shards = router.route(command)
+        expected = tuple(sorted({stable_hash("acct-a") % 8,
+                                 stable_hash("acct-b") % 8}))
+        assert shards == expected
+        assert router.is_barrier(shards) == (len(expected) > 1)
+
+    def test_linked_list_is_always_single_shard(self):
+        router = ShardRouter(build_service("linked-list"), 4)
+        for key in range(50):
+            read = router.route(Command(READ_OP, (key,), writes=False))
+            write = router.route(Command(WRITE_OP, (key,)))
+            assert read == write == (key % 4,)
+
+    def test_all_shards_sentinel_routes_everywhere(self):
+        class Sweeping(ShardableService):
+            def execute(self, command):
+                return None
+
+            @property
+            def conflicts(self):
+                raise NotImplementedError
+
+            def snapshot(self):
+                return {}
+
+            def restore(self, snapshot):
+                pass
+
+            def shards_of(self, command, n_shards):
+                return ALL_SHARDS
+
+            def snapshot_shard(self, shard, n_shards):
+                return {}
+
+            def recompose_snapshots(self, fragments):
+                return {}
+
+        router = ShardRouter(Sweeping(), 3)
+        assert router.route(Command("sweep")) == (0, 1, 2)
+
+    def test_out_of_range_shard_is_a_service_bug(self):
+        class Broken(KVStoreService):
+            def shards_of(self, command, n_shards):
+                return (n_shards,)
+
+        router = ShardRouter(Broken(), 2)
+        with pytest.raises(ConfigurationError):
+            router.route(KVStoreService.get("x"))
+
+    def test_rejects_non_shardable_service(self):
+        class Plain:
+            pass
+
+        with pytest.raises(ConfigurationError):
+            ShardRouter(Plain(), 2)
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter(build_service("kv"), 0)
+
+
+class TestRegistry:
+    def test_all_services_are_shardable(self):
+        for name in SERVICES:
+            assert isinstance(build_service(name), ShardableService)
+
+    def test_kwargs_override(self):
+        assert len(build_service("linked-list", initial_size=7)) == 7
+
+    def test_unknown_service(self):
+        with pytest.raises(ConfigurationError):
+            build_service("nope")

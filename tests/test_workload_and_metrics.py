@@ -66,6 +66,62 @@ class TestWorkloadGenerator:
             WorkloadGenerator(10.0, key_space=0)
 
 
+class TestZipfianKeys:
+    def test_zipf_is_seeded_and_reproducible(self):
+        a = WorkloadGenerator(20.0, seed=5, key_dist="zipf").commands(200)
+        b = WorkloadGenerator(20.0, seed=5, key_dist="zipf").commands(200)
+        assert [(c.op, c.args) for c in a] == [(c.op, c.args) for c in b]
+
+    def test_zipf_keys_in_range(self):
+        generator = WorkloadGenerator(50.0, key_space=64, seed=2,
+                                      key_dist="zipf")
+        assert all(0 <= c.args[0] < 64 for c in generator.commands(500))
+
+    def test_zipf_skews_toward_low_ranks(self):
+        generator = WorkloadGenerator(0.0, key_space=1000, seed=7,
+                                      key_dist="zipf", zipf_s=0.99)
+        keys = [c.args[0] for c in generator.commands(5000)]
+        counts = {}
+        for key in keys:
+            counts[key] = counts.get(key, 0) + 1
+        hottest = max(counts, key=counts.get)
+        # Rank == key: key 0 is the head of the distribution.
+        assert hottest == 0
+        top10 = sum(counts.get(k, 0) for k in range(10))
+        assert top10 / len(keys) > 0.25  # heavy head, vs 1% under uniform
+
+    def test_higher_s_means_more_skew(self):
+        def head_mass(s):
+            generator = WorkloadGenerator(0.0, key_space=500, seed=11,
+                                          key_dist="zipf", zipf_s=s)
+            keys = [c.args[0] for c in generator.commands(3000)]
+            return sum(1 for k in keys if k < 5) / len(keys)
+
+        assert head_mass(1.5) > head_mass(0.5)
+
+    def test_uniform_is_unchanged_default(self):
+        # Regression guard: adding key_dist must not perturb the streams
+        # existing benchmarks were recorded with.
+        a = WorkloadGenerator(30.0, seed=9).commands(100)
+        b = WorkloadGenerator(30.0, seed=9, key_dist="uniform").commands(100)
+        assert [(c.op, c.args) for c in a] == [(c.op, c.args) for c in b]
+
+    def test_invalid_key_dist(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(10.0, key_dist="pareto")
+
+    def test_invalid_zipf_s(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(10.0, key_dist="zipf", zipf_s=-1.0)
+
+    def test_zipf_s_zero_degenerates_to_uniform_weights(self):
+        generator = WorkloadGenerator(0.0, key_space=100, seed=3,
+                                      key_dist="zipf", zipf_s=0.0)
+        keys = [c.args[0] for c in generator.commands(2000)]
+        head = sum(1 for k in keys if k < 10) / len(keys)
+        assert 0.05 < head < 0.20  # ~10% under uniform
+
+
 class TestMetrics:
     def test_counts(self):
         metrics = Metrics(Simulator())
