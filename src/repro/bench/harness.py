@@ -54,6 +54,11 @@ class StandaloneConfig:
     conflicts: Optional[ConflictRelation] = None
     #: Shard count for the "class-based" scheduler's readers/writers model.
     class_shards: int = 1
+    #: Workload key parameters (see repro.workload.WorkloadGenerator):
+    #: uniform or Zipf-skewed keys over ``key_space``.
+    key_space: int = 10_000
+    key_dist: str = "uniform"
+    zipf_s: float = 0.99
 
 
 @dataclass(frozen=True)
@@ -136,7 +141,9 @@ def run_standalone(config: StandaloneConfig,
         classes_of=classes_of,
         obs=registry,
     )
-    workload = WorkloadGenerator(config.write_pct, seed=config.seed)
+    workload = WorkloadGenerator(config.write_pct, key_space=config.key_space,
+                                 seed=config.seed, key_dist=config.key_dist,
+                                 zipf_s=config.zipf_s)
     total_target = config.warm_ops + config.measure_ops
     profile = config.profile
     # The linked-list operations scan until the (uniformly random) key, so

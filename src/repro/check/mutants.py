@@ -19,6 +19,12 @@ the checker catches every one within a bounded exploration budget:
   already-collected dependency observes a *prefix* of the dependency set
   and marks the node ready before its later conflicts are recorded:
   **conflict-order** (or a double readiness credit).
+- ``indexed-skip-reader-tracking`` — the indexed COS's writer insert
+  consults only the conflict class's last writer and ignores the readers
+  recorded since that write, so a new writer never orders after live
+  readers it conflicts with and can execute concurrently with them:
+  **conflict-order**.  This is exactly the bug the per-class
+  ``(last_writer, readers)`` index entry exists to prevent.
 """
 
 from __future__ import annotations
@@ -26,8 +32,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.command import Command, ConflictRelation
-from repro.core.cos import StructureCosts
+from repro.core.cos import COS, StructureCosts
 from repro.core.effects import Cas, Load, Store
+from repro.core.indexed import IndexedCOS
 from repro.core.lock_free import LockFreeCOS
 from repro.core.node import EXECUTING, READY, REMOVED, LockFreeNode
 from repro.core.runtime import EffectGen, Runtime
@@ -116,16 +123,28 @@ class PrematurePublishCOS(LockFreeCOS):
         return ready
 
 
+class IndexedSkipReaderTrackingCOS(IndexedCOS):
+    """Indexed insert whose writers ignore the readers of their class."""
+
+    def _writer_candidates(self, writer, readers):
+        # BUG: the readers recorded since the class's last write are
+        # dropped, so a new writer orders only after the displaced writer
+        # and can execute concurrently with live readers it conflicts
+        # with — the violation the (last_writer, readers) entry prevents.
+        return (writer,) if writer is not None else ()
+
+
 MUTANTS = {
     "skip-cas-retry": SkipCasRetryCOS,
     "drop-helped-remove": DropHelpedRemoveCOS,
     "premature-publish": PrematurePublishCOS,
+    "indexed-skip-reader-tracking": IndexedSkipReaderTrackingCOS,
 }
 
 
 def make_mutant(name: str, runtime: Runtime, conflicts: ConflictRelation,
-                max_size: int) -> LockFreeCOS:
-    """Instantiate a named mutant (always a lock-free variant)."""
+                max_size: int) -> COS:
+    """Instantiate a named mutant (a lock-free or indexed variant)."""
     try:
         cls = MUTANTS[name]
     except KeyError:

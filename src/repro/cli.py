@@ -185,6 +185,8 @@ def _cmd_standalone(args: argparse.Namespace) -> int:
         seed=args.seed,
         measure_ops=args.measure_ops,
         warm_ops=max(args.measure_ops // 10, 50),
+        key_dist=args.key_dist,
+        zipf_s=args.zipf_s,
     ), registry=registry)
     print(f"algorithm={args.algorithm} workers={args.workers} "
           f"profile={args.profile} writes={args.write_pct}%")

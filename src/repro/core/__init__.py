@@ -27,6 +27,7 @@ from repro.core.history import (
     check_history,
 )
 from repro.core.fine_grained import FineGrainedCOS
+from repro.core.indexed import IndexedCOS
 from repro.core.lock_free import LockFreeCOS
 from repro.core.sequential import SequentialCOS
 from repro.core.threaded import ThreadedCOS, ThreadedRuntime
@@ -52,6 +53,7 @@ __all__ = [
     "HistoryViolation",
     "RecordingCOS",
     "check_history",
+    "IndexedCOS",
     "LockFreeCOS",
     "SequentialCOS",
     "ThreadedCOS",
@@ -61,9 +63,10 @@ __all__ = [
 ]
 
 #: Names accepted by :func:`make_cos`, in the order the paper presents them
-#: (plus the class-based extension from the related-work line).
-COS_ALGORITHMS = ("coarse-grained", "fine-grained", "lock-free", "sequential",
-                  "class-based")
+#: (plus the class-based extension from the related-work line and the
+#: indexed variant of the lock-free graph, docs/scheduling.md).
+COS_ALGORITHMS = ("coarse-grained", "fine-grained", "lock-free", "indexed",
+                  "sequential", "class-based")
 
 
 def make_cos(name, runtime, conflicts, max_size=DEFAULT_MAX_SIZE,
@@ -91,6 +94,8 @@ def make_cos(name, runtime, conflicts, max_size=DEFAULT_MAX_SIZE,
         return FineGrainedCOS(runtime, conflicts, max_size, costs, obs=obs)
     if name == "lock-free":
         return LockFreeCOS(runtime, conflicts, max_size, costs, obs=obs)
+    if name == "indexed":
+        return IndexedCOS(runtime, conflicts, max_size, costs, obs=obs)
     if name == "sequential":
         return SequentialCOS(runtime, max_size, costs)
     if name == "class-based":

@@ -60,11 +60,18 @@ def read_write_classes(shards: int = 1) -> ClassesOf:
 class ClassConflicts(ConflictRelation):
     """Two commands conflict iff they share a conflict class."""
 
+    supports_footprint = True
+
     def __init__(self, classes_of: ClassesOf):
         self._classes_of = classes_of
 
     def conflicts(self, a: Command, b: Command) -> bool:
         return bool(set(self._classes_of(a)) & set(self._classes_of(b)))
+
+    def footprint(self, cmd: Command):
+        # Class membership conflicts regardless of read/write intent, so
+        # every entry is a write of its class.
+        return tuple((cls, True) for cls in self._classes_of(cmd))
 
 
 class _ClassNode:

@@ -32,6 +32,7 @@ from repro.core.effects import Acquire, Release, Signal, Wait, Work
 from repro.core.node import EXECUTING, WAITING, CoarseNode
 from repro.core.runtime import EffectGen, Runtime
 from repro.obs.registry import NULL_REGISTRY
+from repro.obs.spans import span_key
 
 __all__ = ["CoarseGrainedCOS"]
 
@@ -70,6 +71,7 @@ class CoarseGrainedCOS(COS):
         self._m_restarts = obs.counter("cos_traversal_restarts_total")
         self._m_space_wait = obs.histogram("cos_space_wait_seconds")
         self._m_ready_wait = obs.histogram("cos_ready_wait_seconds")
+        self._m_insert_visits = obs.counter("cos_insert_visits_total")
 
     # ------------------------------------------------------------------ API
 
@@ -87,7 +89,9 @@ class CoarseGrainedCOS(COS):
         visit = self._costs.insert_visit
         edge = self._costs.edge
         conflicts = self._conflicts.conflicts
+        visited = 0
         for other in self._nodes.values():
+            visited += 1
             if visit:
                 yield Work(visit)
             if conflicts(other.cmd, cmd):
@@ -98,10 +102,11 @@ class CoarseGrainedCOS(COS):
         self._nodes[node.seq] = node
         if obs_on:
             self._m_inserts.inc()
+            self._m_insert_visits.inc(visited)
             self._m_occupancy.set(len(self._nodes))
         if not node.deps_in:
             if obs_on:
-                self._obs.span(cmd.uid, "ready")
+                self._obs.span(span_key(cmd), "ready")
             yield Signal(self._has_ready)
         yield Release(self._mutex)
 
@@ -139,7 +144,7 @@ class CoarseGrainedCOS(COS):
             dependent.deps_in.discard(handle)
             if not dependent.deps_in and dependent.status == WAITING:
                 if obs_on:
-                    self._obs.span(dependent.cmd.uid, "ready")
+                    self._obs.span(span_key(dependent.cmd), "ready")
                 yield Signal(self._has_ready)
         handle.deps_out.clear()
         del self._nodes[handle.seq]

@@ -81,16 +81,46 @@ class Command:
         return f"Command({self.op}{self.args!r}, uid={self.uid})"
 
 
+#: One entry of a command's conflict footprint: the class it touches and
+#: whether it *writes* that class (writers conflict with every member of the
+#: class; readers only with its writers).
+FootprintEntry = Tuple[Hashable, bool]
+
+
 class ConflictRelation:
     """Decides whether two commands conflict.
 
     Subclasses implement :meth:`conflicts`.  The relation must be symmetric:
     ``conflicts(a, b) == conflicts(b, a)``; it need not be reflexive, although
     most useful relations are for write commands.
+
+    Relations that can decompose themselves into *conflict classes* also
+    implement :meth:`footprint` and set :attr:`supports_footprint`.  The
+    contract: ``conflicts(a, b)`` holds iff some class appears in both
+    footprints and at least one of the two commands writes it.  Index-based
+    schedulers (:class:`~repro.core.indexed.IndexedCOS`) rely on this to
+    find a command's conflicting predecessors in O(|footprint|) instead of
+    scanning the whole graph.
     """
+
+    #: True when :meth:`footprint` is implemented (class-decomposable).
+    supports_footprint = False
 
     def conflicts(self, a: Command, b: Command) -> bool:
         raise NotImplementedError
+
+    def footprint(self, cmd: Command) -> Tuple[FootprintEntry, ...]:
+        """``((class_key, writes), ...)`` — the classes ``cmd`` touches.
+
+        Class keys must be hashable, distinct within one footprint, and
+        identical in every process (use :func:`stable_hash`-safe keys).
+        Relations that cannot decompose into classes (arbitrary predicates)
+        leave this unimplemented.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not decompose into conflict "
+            f"classes; the indexed COS needs a relation with "
+            f"supports_footprint=True")
 
     def __call__(self, a: Command, b: Command) -> bool:
         return self.conflicts(a, b)
@@ -104,8 +134,14 @@ class ReadWriteConflicts(ConflictRelation):
     conflict with ``add`` commands, which conflict with everything.
     """
 
+    supports_footprint = True
+
     def conflicts(self, a: Command, b: Command) -> bool:
         return a.writes or b.writes
+
+    def footprint(self, cmd: Command) -> Tuple[FootprintEntry, ...]:
+        # One global class; writers conflict with everyone, readers commute.
+        return (("rw", cmd.writes),)
 
 
 class KeyedConflicts(ConflictRelation):
@@ -116,6 +152,8 @@ class KeyedConflicts(ConflictRelation):
     command argument.
     """
 
+    supports_footprint = True
+
     def __init__(self, key_of: Optional[Callable[[Command], Hashable]] = None):
         self._key_of = key_of or (lambda cmd: cmd.args[0] if cmd.args else None)
 
@@ -124,26 +162,56 @@ class KeyedConflicts(ConflictRelation):
             return False
         return self._key_of(a) == self._key_of(b)
 
+    def footprint(self, cmd: Command) -> Tuple[FootprintEntry, ...]:
+        # One class per key; readers of a key commute with each other.
+        return ((self._key_of(cmd), cmd.writes),)
+
 
 class NeverConflicts(ConflictRelation):
     """No two commands conflict (maximum parallelism; paper's 0%-writes case)."""
 
+    supports_footprint = True
+
     def conflicts(self, a: Command, b: Command) -> bool:
         return False
+
+    def footprint(self, cmd: Command) -> Tuple[FootprintEntry, ...]:
+        return ()
 
 
 class AlwaysConflicts(ConflictRelation):
     """Every pair of commands conflicts (fully sequential execution)."""
 
+    supports_footprint = True
+
     def conflicts(self, a: Command, b: Command) -> bool:
         return True
 
+    def footprint(self, cmd: Command) -> Tuple[FootprintEntry, ...]:
+        # Everybody writes the single class: a total order.
+        return (("all", True),)
+
 
 class PredicateConflicts(ConflictRelation):
-    """Adapts an arbitrary symmetric predicate into a ConflictRelation."""
+    """Adapts an arbitrary symmetric predicate into a ConflictRelation.
 
-    def __init__(self, predicate: Callable[[Command, Command], bool]):
+    An arbitrary predicate has no class decomposition, so the indexed COS
+    rejects it — unless the caller supplies ``footprint_of`` describing the
+    classes the predicate is equivalent to.
+    """
+
+    def __init__(self, predicate: Callable[[Command, Command], bool],
+                 footprint_of: Optional[
+                     Callable[[Command], Tuple[FootprintEntry, ...]]] = None):
         self._predicate = predicate
+        self._footprint_of = footprint_of
+        if footprint_of is not None:
+            self.supports_footprint = True
 
     def conflicts(self, a: Command, b: Command) -> bool:
         return self._predicate(a, b)
+
+    def footprint(self, cmd: Command) -> Tuple[FootprintEntry, ...]:
+        if self._footprint_of is None:
+            return super().footprint(cmd)
+        return tuple(self._footprint_of(cmd))

@@ -35,6 +35,7 @@ from repro.core.effects import Acquire, Down, Release, Up, Work
 from repro.core.node import EXECUTING, WAITING, FineNode
 from repro.core.runtime import EffectGen, Runtime
 from repro.obs.registry import NULL_REGISTRY
+from repro.obs.spans import span_key
 
 __all__ = ["FineGrainedCOS"]
 
@@ -77,6 +78,7 @@ class FineGrainedCOS(COS):
         self._m_restarts = obs.counter("cos_traversal_restarts_total")
         self._m_space_wait = obs.histogram("cos_space_wait_seconds")
         self._m_ready_wait = obs.histogram("cos_ready_wait_seconds")
+        self._m_insert_visits = obs.counter("cos_insert_visits_total")
 
     # ------------------------------------------------------------------ API
 
@@ -95,9 +97,11 @@ class FineGrainedCOS(COS):
         visit = self._costs.insert_visit
         edge = self._costs.edge
         conflicts = self._conflicts.conflicts
+        visited = 0
         while cur is not self._tail:
             yield Acquire(cur.mutex)
             yield Release(prev.mutex)
+            visited += 1
             if visit:
                 yield Work(visit)
             if conflicts(cur.cmd, cmd):
@@ -115,9 +119,10 @@ class FineGrainedCOS(COS):
         is_ready = not node.deps_in
         if obs_on:
             self._m_inserts.inc()
+            self._m_insert_visits.inc(visited)
             self._m_occupancy.inc()
             if is_ready:
-                self._obs.span(cmd.uid, "ready")
+                self._obs.span(span_key(cmd), "ready")
         yield Release(prev.mutex)
         yield Release(node.mutex)
         if is_ready:
@@ -194,7 +199,7 @@ class FineGrainedCOS(COS):
                 if not cur.deps_in and cur.status == WAITING:
                     freed += 1
                     if self._obs_on:
-                        self._obs.span(cur.cmd.uid, "ready")
+                        self._obs.span(span_key(cur.cmd), "ready")
             nxt = cur.nxt
             if nxt is not self._tail:
                 yield Acquire(nxt.mutex)

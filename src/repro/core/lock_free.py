@@ -48,6 +48,7 @@ from repro.core.effects import Cas, Down, Load, Store, Up, Work
 from repro.core.node import EXECUTING, READY, REMOVED, WAITING, LockFreeNode
 from repro.core.runtime import EffectGen, Runtime
 from repro.obs.registry import NULL_REGISTRY
+from repro.obs.spans import span_key
 
 __all__ = ["LockFreeCOS"]
 
@@ -85,6 +86,7 @@ class LockFreeCOS(COS):
         self._m_cas_retries = obs.counter("cos_cas_retries_total")
         self._m_space_wait = obs.histogram("cos_space_wait_seconds")
         self._m_ready_wait = obs.histogram("cos_ready_wait_seconds")
+        self._m_insert_visits = obs.counter("cos_insert_visits_total")
 
     # --------------------------------------------------- blocking layer API
 
@@ -143,7 +145,7 @@ class LockFreeCOS(COS):
         ok = yield Cas(node.st, WAITING, READY)
         if self._obs_on:
             if ok:
-                self._obs.span(node.cmd.uid, "ready")
+                self._obs.span(span_key(node.cmd), "ready")
             else:
                 # Lost the wtg->rdy race to a concurrent remover/inserter.
                 self._m_cas_retries.inc()
@@ -186,8 +188,10 @@ class LockFreeCOS(COS):
         conflicts = self._conflicts.conflicts
         dep_acc: List[LockFreeNode] = []
         prev: Optional[LockFreeNode] = None
+        visited = 0
         cur = yield Load(self._head)
         while cur is not None:
+            visited += 1
             if visit:
                 yield Work(visit)
             cur_st = yield Load(cur.st)
@@ -207,6 +211,8 @@ class LockFreeCOS(COS):
         # visible (paper §6.2 requires all edges to exist first, otherwise
         # the node could be wrongly considered ready).  Until this store,
         # dep_on is None and testReady refuses to mark the node ready.
+        if self._obs_on:
+            self._m_insert_visits.inc(visited)
         yield Store(node.dep_on, tuple(dep_acc))
         if prev is None:
             yield Store(self._head, node)  # Alg. 7 l. 15/25 (LPins)

@@ -26,6 +26,7 @@ __all__ = [
     "CoarseNode",
     "FineNode",
     "LockFreeNode",
+    "IndexedNode",
 ]
 
 WAITING = "wtg"
@@ -115,6 +116,42 @@ class LockFreeNode:
 
     def __repr__(self) -> str:
         return f"LockFreeNode(seq={self.seq}, {self.cmd!r})"
+
+
+class IndexedNode:
+    """Node of the indexed lock-free DAG (:mod:`repro.core.indexed`).
+
+    ``st`` follows the same four-state life cycle as the lock-free graph,
+    but readiness is driven by ``pending`` — an atomic count of conflicting
+    predecessors still in the structure (plus one *insertion guard* held by
+    the inserting thread, so the node cannot turn ready while its edges are
+    still being registered).  ``dep_me`` holds the dependents tuple until
+    the node's remover *seals* it (swaps in a sentinel), atomically claiming
+    the set of nodes whose counters it must decrement; an inserter that
+    finds the seal knows the predecessor can no longer block it.  ``qnext``
+    links the node into the lock-free FIFO ready queue.  ``footprint`` is
+    the conflict-class footprint captured at insert, needed to prune the
+    node from its index entries on removal.  ``deps_dbg`` records the
+    predecessors an edge was registered to — plain data for tests, never
+    read by the algorithm.
+    """
+
+    __slots__ = ("cmd", "seq", "footprint", "st", "pending", "dep_me",
+                 "qnext", "deps_dbg")
+
+    def __init__(self, cmd: Command, seq: int, runtime: Runtime,
+                 footprint: tuple = ()):
+        self.cmd = cmd
+        self.seq = seq
+        self.footprint = footprint
+        self.st = runtime.atomic(WAITING)
+        self.pending = runtime.atomic(1)  # 1 = the insertion guard
+        self.dep_me = runtime.atomic(())
+        self.qnext = runtime.atomic(None)
+        self.deps_dbg: list = []
+
+    def __repr__(self) -> str:
+        return f"IndexedNode(seq={self.seq}, {self.cmd!r})"
 
 
 def _unused(*_: Any) -> None:  # pragma: no cover - placating linters

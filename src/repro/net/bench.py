@@ -128,9 +128,18 @@ def run_net_bench(config: NetBenchConfig,
             for _ in range(batches_per_client):
                 commands = workload.commands(config.batch)
                 started = time.monotonic()
+                span_keys = ()
                 if trace:
-                    for command in commands:
-                        registry.span(command.uid, "submitted", at=started)
+                    # execute_batch re-stamps the commands with this
+                    # client's identity and the next request_ids, so the
+                    # wire-stable keys (client_id#request_id) are known
+                    # before the call — unlike the process-local uids.
+                    base = client.requests_issued
+                    span_keys = tuple(
+                        f"bench-{index}#{base + 1 + offset}"
+                        for offset in range(len(commands)))
+                    for key in span_keys:
+                        registry.span(key, "submitted", at=started)
                 try:
                     client.execute_batch(commands)
                 except ClientTimeout:
@@ -140,8 +149,8 @@ def run_net_bench(config: NetBenchConfig,
                 finished = time.monotonic()
                 elapsed = finished - started
                 if trace:
-                    for command in commands:
-                        registry.span(command.uid, "responded", at=finished)
+                    for key in span_keys:
+                        registry.span(key, "responded", at=finished)
                 latency_hist.observe(elapsed)
                 with latency_lock:
                     latencies.append(elapsed)

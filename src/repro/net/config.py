@@ -55,6 +55,9 @@ class NetConfig:
     #: Directory for periodic JSON metric snapshots ("" disables).
     metrics_snapshot_dir: str = ""
     metrics_snapshot_interval: float = 1.0
+    #: Collect per-command trace spans on each replica's registry (keyed
+    #: by the wire-stable ``client_id#request_id``; see repro.obs.spans).
+    trace: bool = False
 
     @property
     def n_replicas(self) -> int:

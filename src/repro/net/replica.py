@@ -56,7 +56,7 @@ class ReplicaServer:
         self.config = config
         # One registry per replica process records the whole stack — COS,
         # replica engine, and transport (docs/observability.md).
-        self.registry = MetricsRegistry()
+        self.registry = MetricsRegistry(trace=config.trace)
         self._engine: Optional[MpService] = None
         if config.engine == "mp":
             self._engine = MpService(

@@ -76,6 +76,11 @@ class TcpTransport:
         self._loop = asyncio.new_event_loop()
         self._outboxes: Dict[int, asyncio.Queue] = {}   # loop thread only
         self._pumps: Dict[int, asyncio.Task] = {}       # loop thread only
+        #: Frames popped from an outbox but not yet written+drained, per
+        #: peer (0 or 1); loop thread only.  The depth gauge counts these,
+        #: otherwise a down peer's last frame disappears from the gauge
+        #: while the pump retries it forever.
+        self._inflight: Dict[int, int] = {}
         self._connections: set = set()                  # loop thread only
         self._server: Optional[asyncio.AbstractServer] = None
         self._ready = threading.Event()
@@ -305,7 +310,8 @@ class TcpTransport:
                 self._peer_instruments(dst)[1].inc()
         outbox.put_nowait(frame)
         if self._obs_on:
-            self._peer_instruments(dst)[0].set(outbox.qsize())
+            self._peer_instruments(dst)[0].set(
+                outbox.qsize() + self._inflight.get(dst, 0))
         pump = self._pumps.get(dst)
         if pump is None or pump.done():
             self._pumps[dst] = self._loop.create_task(self._pump(dst))
@@ -328,8 +334,9 @@ class TcpTransport:
         try:
             while not self._closed:
                 frame = await outbox.get()
+                self._inflight[dst] = 1
                 if obs_on:
-                    m_depth.set(outbox.qsize())
+                    m_depth.set(outbox.qsize() + 1)
                 while not self._closed:
                     if writer is None:
                         host, port = self._addresses[dst]
@@ -347,9 +354,11 @@ class TcpTransport:
                     try:
                         writer.write(frame)
                         await writer.drain()
+                        self._inflight[dst] = 0
                         if obs_on:
                             m_frames.inc()
                             m_bytes.inc(len(frame))
+                            m_depth.set(outbox.qsize())
                         break
                     except (ConnectionError, OSError):
                         writer.close()
@@ -359,6 +368,7 @@ class TcpTransport:
         except asyncio.CancelledError:
             pass
         finally:
+            self._inflight[dst] = 0  # a cancelled pump's frame is lost
             if writer is not None:
                 writer.close()
 

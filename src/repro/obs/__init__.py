@@ -9,7 +9,8 @@ byte-identical series layouts and can be compared directly.
 
 Per-command trace spans (``delivered -> scheduled -> ready -> executing ->
 responded``) ride on the same registry: any instrumented component calls
-``registry.span(uid, stage)`` and a tracing run collects them into a span
+``registry.span(span_key(cmd), stage)`` and a tracing run collects them
+into a span
 log that reconstructs the per-stage latency breakdown of a command's life,
 the instrumentation style of the early-scheduling / parallel-SMR
 measurement literature.
@@ -32,7 +33,13 @@ from repro.obs.registry import (
     NullRegistry,
     log_spaced_buckets,
 )
-from repro.obs.spans import NULL_SPAN_LOG, SPAN_STAGES, NullSpanLog, SpanLog
+from repro.obs.spans import (
+    NULL_SPAN_LOG,
+    SPAN_STAGES,
+    NullSpanLog,
+    SpanLog,
+    span_key,
+)
 from repro.obs.expose import MetricsHTTPServer, SnapshotWriter, render_text
 from repro.obs.stats import quantile
 
@@ -49,6 +56,7 @@ __all__ = [
     "NullSpanLog",
     "NULL_SPAN_LOG",
     "SPAN_STAGES",
+    "span_key",
     "MetricsHTTPServer",
     "SnapshotWriter",
     "render_text",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from bisect import bisect_left
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.obs.spans import NULL_SPAN_LOG, NullSpanLog, SpanLog
 
@@ -251,7 +251,8 @@ class MetricsRegistry:
                   **labels: Any) -> Histogram:
         return self._get(Histogram, name, labels, buckets)
 
-    def span(self, uid: int, stage: str, at: Optional[float] = None) -> None:
+    def span(self, uid: Hashable, stage: str,
+             at: Optional[float] = None) -> None:
         self.spans.record(uid, stage, at)
 
     # ------------------------------------------------------------- reporting
@@ -332,7 +333,8 @@ class NullRegistry(MetricsRegistry):
                   **labels: Any) -> Histogram:
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
-    def span(self, uid: int, stage: str, at: Optional[float] = None) -> None:
+    def span(self, uid: Hashable, stage: str,
+             at: Optional[float] = None) -> None:
         pass
 
     def series(self) -> List[str]:

@@ -11,10 +11,12 @@ A command's life at a replica passes through fixed stages::
 - ``responded``: the response callback fired.
 
 Client-side traces reuse the same machinery with the ``submitted`` /
-``responded`` pair.  Events are keyed by the command's ``uid`` and
-timestamped with the owning registry's clock (wall time on threads,
-virtual time on the simulator), so stage-to-stage deltas are directly
-comparable across substrates.
+``responded`` pair.  Events are keyed by :func:`span_key` — the stable
+``(client_id, request_id)`` identity when the command carries one, the
+process-local ``uid`` otherwise — and timestamped with the owning
+registry's clock (wall time on threads, virtual time on the simulator),
+so stage-to-stage deltas are directly comparable across substrates and
+joinable across processes.
 
 The log is bounded (drop-oldest) so a long-running replica with tracing
 enabled cannot grow without limit.
@@ -25,9 +27,10 @@ from __future__ import annotations
 import json
 import threading
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple
 
-__all__ = ["SPAN_STAGES", "SpanLog", "NullSpanLog", "NULL_SPAN_LOG"]
+__all__ = ["SPAN_STAGES", "SpanLog", "NullSpanLog", "NULL_SPAN_LOG",
+           "span_key"]
 
 #: Replica-side stage vocabulary, in causal order.
 SPAN_STAGES = ("delivered", "scheduled", "ready", "executing", "responded")
@@ -36,8 +39,24 @@ SPAN_STAGES = ("delivered", "scheduled", "ready", "executing", "responded")
 DEFAULT_CAPACITY = 200_000
 
 
+def span_key(cmd) -> Hashable:
+    """Stable trace key for a command.
+
+    ``Command.uid`` is minted by a process-local counter, so two client
+    processes (or a client and a replica re-creating commands off the
+    wire) can stamp *different* commands with the *same* uid — their
+    spans would silently merge into one bogus trace.  Commands that
+    carry a client identity are keyed by ``client_id#request_id``,
+    which survives serialization and is unique cluster-wide; locally
+    minted commands (benchmarks, unit tests) fall back to ``uid``.
+    """
+    if cmd.client_id is not None:
+        return f"{cmd.client_id}#{cmd.request_id}"
+    return cmd.uid
+
+
 class SpanLog:
-    """Bounded, thread-safe log of ``(uid, stage, timestamp)`` events."""
+    """Bounded, thread-safe log of ``(key, stage, timestamp)`` events."""
 
     enabled = True
 
@@ -47,9 +66,9 @@ class SpanLog:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._clock = clock
         self._lock = threading.Lock()
-        self._events: Deque[Tuple[int, str, float]] = deque(maxlen=capacity)
+        self._events: Deque[Tuple[Hashable, str, float]] = deque(maxlen=capacity)
 
-    def record(self, uid: int, stage: str,
+    def record(self, uid: Hashable, stage: str,
                at: Optional[float] = None) -> None:
         if at is None:
             at = self._clock()
@@ -58,7 +77,7 @@ class SpanLog:
 
     # ------------------------------------------------------------ reporting
 
-    def events(self) -> List[Tuple[int, str, float]]:
+    def events(self) -> List[Tuple[Hashable, str, float]]:
         with self._lock:
             return list(self._events)
 
@@ -66,9 +85,9 @@ class SpanLog:
         with self._lock:
             return len(self._events)
 
-    def spans(self) -> Dict[int, Dict[str, float]]:
-        """uid -> {stage: first timestamp}; partial spans included."""
-        out: Dict[int, Dict[str, float]] = {}
+    def spans(self) -> Dict[Hashable, Dict[str, float]]:
+        """key -> {stage: first timestamp}; partial spans included."""
+        out: Dict[Hashable, Dict[str, float]] = {}
         for uid, stage, at in self.events():
             stages = out.setdefault(uid, {})
             stages.setdefault(stage, at)
@@ -101,17 +120,17 @@ class NullSpanLog:
 
     enabled = False
 
-    def record(self, uid: int, stage: str,
+    def record(self, uid: Hashable, stage: str,
                at: Optional[float] = None) -> None:
         pass
 
-    def events(self) -> List[Tuple[int, str, float]]:
+    def events(self) -> List[Tuple[Hashable, str, float]]:
         return []
 
     def __len__(self) -> int:
         return 0
 
-    def spans(self) -> Dict[int, Dict[str, float]]:
+    def spans(self) -> Dict[Hashable, Dict[str, float]]:
         return {}
 
     def durations(self, start: str, end: str) -> List[float]:

@@ -39,6 +39,15 @@ __all__ = ["MpDispatcher"]
 #: How often the collector wakes to check worker liveness (seconds).
 _LIVENESS_INTERVAL = 0.2
 
+#: Consecutive reply-queue failures (broken pipe / EOF while not closing)
+#: the collector tolerates before declaring the engine dead.
+_REPLY_FAILURE_LIMIT = 5
+
+#: Base backoff between reply-queue failures.  A broken pipe raises
+#: instantly, bypassing the blocking timeout; without a sleep the
+#: collector would hot-spin a core until shutdown.
+_REPLY_FAILURE_BACKOFF = 0.05
+
 
 class _Slot:
     """One outstanding request: a slot the collector thread fills."""
@@ -189,6 +198,11 @@ class MpDispatcher:
         if slot is None:  # already failed and cleared by a crash
             raise self._crashed or ShardCrashed(f"request {seq} was dropped")
         fulfilled = slot.event.wait(timeout)
+        if not fulfilled:
+            # The collector may have filled the slot between the wait's
+            # expiry and this cleanup; a reply that raced the deadline is
+            # still a reply, not a crash.
+            fulfilled = slot.event.is_set()
         with self._pending_lock:
             self._pending.pop(seq, None)
         if not fulfilled:
@@ -205,15 +219,35 @@ class MpDispatcher:
     # -------------------------------------------------------------- collector
 
     def _collector_loop(self) -> None:
+        failures = 0  # consecutive reply-queue breakages
         while True:
             try:
                 tag, seq, shard, payload = self._reply_queue.get(
                     timeout=_LIVENESS_INTERVAL)
-            except (queue_module.Empty, OSError, EOFError):
+            except queue_module.Empty:
                 if self._closing.is_set():
                     return
+                failures = 0  # the queue is healthy, just idle
                 self._check_liveness()
                 continue
+            except (OSError, EOFError):
+                # Broken/closed reply pipe: get() returns instantly, so
+                # back off (bounded) instead of hot-spinning, and poison
+                # the engine once the breakage is clearly persistent.
+                if self._closing.is_set():
+                    return
+                failures += 1
+                if failures >= _REPLY_FAILURE_LIMIT:
+                    self._poison(ShardCrashed(
+                        f"reply queue broken ({failures} consecutive "
+                        f"failures); engine cannot receive results"))
+                    return
+                self._check_liveness()
+                self._closing.wait(
+                    min(_REPLY_FAILURE_BACKOFF * failures,
+                        _LIVENESS_INTERVAL))
+                continue
+            failures = 0
             with self._pending_lock:
                 slot = self._pending.get(seq)
             if slot is None:

@@ -27,6 +27,7 @@ from repro.core.command import Command
 from repro.core.cos import DEFAULT_MAX_SIZE
 from repro.errors import ShutdownError
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.spans import span_key
 from repro.smr.checkpoint import Checkpoint, CheckpointError
 from repro.smr.service import Service
 
@@ -191,13 +192,13 @@ class ParallelReplica:
                     continue
                 self._scheduled += 1
                 if obs_on:
-                    obs.span(command.uid, "delivered")
+                    obs.span(span_key(command), "delivered")
                     entered = obs.clock()
                 self._cos.insert(command)
                 if obs_on:
                     self._m_insert_latency.observe(obs.clock() - entered)
                     self._m_scheduled.inc()
-                    obs.span(command.uid, "scheduled")
+                    obs.span(span_key(command), "scheduled")
             self._last_instance = max(self._last_instance, instance)
 
     def _is_duplicate(self, command: Command) -> bool:
@@ -237,14 +238,14 @@ class ParallelReplica:
                 cos.remove(handle)
                 return
             if obs_on:
-                obs.span(command.uid, "executing")
+                obs.span(span_key(command), "executing")
                 started = obs.clock()
             response = service.execute(command)
             if obs_on:
                 m_busy.observe(obs.clock() - started)
                 m_commands.inc()
                 self._m_executed.inc()
-                obs.span(command.uid, "responded")
+                obs.span(span_key(command), "responded")
             with self._state_lock:
                 self._executed += 1
                 if command.client_id is not None:

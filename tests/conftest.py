@@ -11,8 +11,9 @@ import pytest
 from repro.core import ThreadedCOS, ThreadedRuntime, make_cos
 from repro.core.command import Command, ConflictRelation
 
-ALL_ALGORITHMS = ("coarse-grained", "fine-grained", "lock-free", "sequential")
-GRAPH_ALGORITHMS = ("coarse-grained", "fine-grained", "lock-free")
+ALL_ALGORITHMS = ("coarse-grained", "fine-grained", "lock-free", "indexed",
+                  "sequential")
+GRAPH_ALGORITHMS = ("coarse-grained", "fine-grained", "lock-free", "indexed")
 
 
 @pytest.fixture

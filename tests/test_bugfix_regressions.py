@@ -26,7 +26,14 @@ Each test fails against the pre-fix code:
   loop open;
 - **_flatten_commands on str** (smr/replica.py): a string payload recursed
   forever (str iteration yields strings), dying with RecursionError
-  instead of a diagnosable TypeError.
+  instead of a diagnosable TypeError;
+- **MpDispatcher._await timeout race** (par/dispatcher.py): a reply that
+  arrived between the wait's expiry and the cleanup used to poison the
+  whole engine as a shard crash, even though the slot held a valid value;
+- **MpDispatcher._collector_loop broken pipe** (par/dispatcher.py): a
+  broken reply-queue pipe raises from ``get()`` instantly, so the
+  collector hot-spun a core forever; it now backs off (bounded) and
+  poisons the engine after repeated consecutive failures.
 """
 
 from __future__ import annotations
@@ -42,8 +49,14 @@ import pytest
 from repro.broadcast.transport import FaultPlan, ThreadedTransport
 from repro.core.command import Command, ReadWriteConflicts
 from repro.core.threaded import ThreadedRuntime
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ShardCrashed
 from repro.net.transport import TcpTransport
+from repro.par.config import MpEngineConfig
+from repro.par.dispatcher import (
+    _REPLY_FAILURE_LIMIT,
+    MpDispatcher,
+    _Slot,
+)
 from repro.sim import SimRuntime, Simulator
 from repro.sim.metrics import Metrics, TimeSeries
 from repro.smr.client import Client, ClientTimeout
@@ -417,3 +430,143 @@ def test_flatten_commands_preserves_nested_order():
     a, b, c = Command("a"), Command("b"), Command("c")
     assert list(_flatten_commands([a, (b, [c])])) == [a, b, c]
     assert list(_flatten_commands(a)) == [a]
+
+
+# --------------------------------------------------------------------------
+# MpDispatcher._await: a reply racing the deadline is a reply, not a crash.
+# --------------------------------------------------------------------------
+
+
+def _dispatcher(n_shards: int = 1) -> MpDispatcher:
+    """Dispatcher with in-memory plumbing only — no worker processes.
+
+    The constructor is cheap (processes spawn in ``start()``), so unit
+    tests can poke ``_await`` / ``_collector_loop`` directly.
+    """
+    return MpDispatcher("kv", {}, n_shards, MpEngineConfig())
+
+
+class TestAwaitTimeoutRace:
+
+    def test_fulfilled_slot_wins_over_timed_out_wait(self):
+        dispatcher = _dispatcher()
+        dispatcher._started = True
+        slot = _Slot()
+        slot.value = "late-but-valid"
+        slot.event.set()
+        # Simulate the race: the wait call reports expiry even though the
+        # collector filled the slot (the flag was set between the deadline
+        # and wait()'s return — exactly what a loaded box produces).
+        slot.event.wait = lambda timeout=None: False
+        dispatcher._pending[7] = slot
+        assert dispatcher._await(7, shard=0, timeout=0.01) == "late-but-valid"
+        assert dispatcher._crashed is None, (
+            "a delivered reply must never poison the engine")
+        assert 7 not in dispatcher._pending
+
+    def test_genuine_timeout_still_poisons(self):
+        dispatcher = _dispatcher()
+        dispatcher._started = True
+        dispatcher._pending[9] = _Slot()  # never fulfilled
+        with pytest.raises(ShardCrashed):
+            dispatcher._await(9, shard=0, timeout=0.01)
+        assert isinstance(dispatcher._crashed, ShardCrashed)
+
+
+# --------------------------------------------------------------------------
+# MpDispatcher._collector_loop: broken reply pipe must not hot-spin.
+# --------------------------------------------------------------------------
+
+
+class _BrokenQueue:
+    """A reply queue whose pipe has died: every get raises instantly."""
+
+    def __init__(self, exc_type):
+        self._exc_type = exc_type
+        self.calls = 0
+
+    def get(self, timeout=None):
+        self.calls += 1
+        raise self._exc_type("simulated broken reply pipe")
+
+
+class TestCollectorBrokenPipe:
+
+    @pytest.mark.parametrize("exc_type", [OSError, EOFError])
+    def test_poisons_and_exits_after_repeated_failures(self, exc_type):
+        dispatcher = _dispatcher()
+        broken = _BrokenQueue(exc_type)
+        dispatcher._reply_queue = broken
+        thread = threading.Thread(target=dispatcher._collector_loop,
+                                  daemon=True)
+        thread.start()
+        thread.join(timeout=10)
+        # Pre-fix the loop re-raised into get() forever: never exits, and
+        # broken.calls climbs unboundedly (a pegged core).
+        assert not thread.is_alive(), "collector hot-spun on a broken pipe"
+        assert isinstance(dispatcher._crashed, ShardCrashed)
+        assert "reply queue" in str(dispatcher._crashed)
+        assert broken.calls == _REPLY_FAILURE_LIMIT, (
+            f"expected exactly {_REPLY_FAILURE_LIMIT} bounded attempts, "
+            f"saw {broken.calls}")
+
+    def test_broken_pipe_fails_outstanding_requests(self):
+        dispatcher = _dispatcher()
+        dispatcher._reply_queue = _BrokenQueue(OSError)
+        slot = _Slot()
+        dispatcher._pending[3] = slot
+        thread = threading.Thread(target=dispatcher._collector_loop,
+                                  daemon=True)
+        thread.start()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert slot.event.is_set(), (
+            "poisoning must wake threads parked in _await")
+        assert isinstance(slot.error, ShardCrashed)
+
+    def test_clean_close_still_exits_quietly(self):
+        dispatcher = _dispatcher()
+        broken = _BrokenQueue(OSError)
+        dispatcher._reply_queue = broken
+        dispatcher._closing.set()  # shutdown already in progress
+        dispatcher._collector_loop()  # must return on the first failure
+        assert dispatcher._crashed is None, (
+            "a closing dispatcher's dead queue is not a crash")
+        assert broken.calls == 1
+
+
+# --------------------------------------------------------------------------
+# Span keys: colliding process-local uids must not merge traces.
+# --------------------------------------------------------------------------
+
+
+def test_span_keys_survive_uid_collisions_across_clients():
+    # Two *different* commands stamped with the same uid — exactly what
+    # two client processes (each minting uids from 0) produce after their
+    # commands cross the wire.  Pre-fix the span log keyed by uid and
+    # merged both lives into one bogus trace.
+    from repro.obs import MetricsRegistry
+
+    alice = Command("contains", (1,), writes=False,
+                    client_id="alice", request_id=1, uid=777)
+    bob = Command("contains", (2,), writes=False,
+                  client_id="bob", request_id=1, uid=777)
+    registry = MetricsRegistry(trace=True)
+    replica = ParallelReplica(0, SlowService(0.0), workers=2,
+                              registry=registry)
+    replica.start()
+    try:
+        replica.on_deliver(0, alice)
+        replica.on_deliver(1, bob)
+        deadline = time.monotonic() + 5
+        while (registry.counter("replica_executed_total").value < 2
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+    finally:
+        replica.stop()
+    spans = registry.spans.spans()
+    assert "alice#1" in spans and "bob#1" in spans
+    assert 777 not in spans, "span log fell back to the colliding uid"
+    for key in ("alice#1", "bob#1"):
+        for stage in ("delivered", "scheduled", "executing", "responded"):
+            assert stage in spans[key], f"{key} missing stage {stage}"

@@ -34,6 +34,14 @@ MUTANT_CASES = {
                     mutant="premature-publish"),
         "conflict-order",
     ),
+    # write / read / write on one conflict class: once the first write is
+    # removed the index entry is (None, (reader,)), so the second write's
+    # entire ordering obligation IS the reader the mutant drops.
+    "indexed-skip-reader-tracking": (
+        CheckConfig(algorithm="indexed", workers=2, commands=3, max_size=2,
+                    write_every=2, mutant="indexed-skip-reader-tracking"),
+        "conflict-order",
+    ),
 }
 
 BUDGET = dict(max_schedules=2_000, max_steps=2_000)

@@ -144,3 +144,4 @@ def _machine_for(algorithm_name):
 TestCoarseGrainedMachine = _machine_for("coarse-grained")
 TestFineGrainedMachine = _machine_for("fine-grained")
 TestLockFreeMachine = _machine_for("lock-free")
+TestIndexedMachine = _machine_for("indexed")

@@ -1,0 +1,287 @@
+"""Differential fuzz: indexed COS vs lock-free COS vs a spec model.
+
+The indexed structure (repro.core.indexed) claims its per-class index
+links the *transitive reduction* of the lock-free graph's "every live
+conflicting predecessor" edge set, and that ready-sets are therefore
+identical at every point.  These tests check both claims directly by
+running the two graph layers in lockstep over seeded random schedules:
+
+- one pseudo-random script of inserts and removals is generated against
+  a pure-Python specification model (removals only ever target
+  spec-ready commands, mirroring real execution where a command is
+  removed after it executed, hence after its dependencies were removed);
+- both implementations execute the *same* script (same ``Command``
+  objects, same order) on the deterministic simulator, observing after
+  every operation (a) how many commands the operation made ready and
+  (b) the exact set of ready commands;
+- both observation streams must equal the model's prediction — and
+  hence each other.
+
+The edge-level claim is checked as a sandwich, per inserted command::
+
+    direct index edges  ⊆  lock-free dependency set  ⊆
+        closure of direct edges over live-at-insert nodes
+
+The middle term is every live conflicting predecessor (what lfInsert's
+full traversal records); the closure may legitimately contain extra
+*non-conflicting* commands (a multi-class writer chains otherwise
+unrelated classes together), which is harmless: those are ordered
+anyway, and the ready-set equality above proves the reduction loses no
+scheduling freedom.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import pytest
+
+from repro.core.command import (
+    Command,
+    ConflictRelation,
+    KeyedConflicts,
+    ReadWriteConflicts,
+)
+from repro.core.indexed import IndexedCOS
+from repro.core.lock_free import LockFreeCOS
+from repro.core.node import READY
+from repro.sim import SimRuntime, Simulator
+
+MAX_SIZE = 5
+STEPS = 150
+KEY_SPACE = 4
+SEEDS = range(8)
+
+RELATIONS = {
+    "keyed": KeyedConflicts,          # many classes, reads commute per key
+    "read-write": ReadWriteConflicts,  # one class, reads commute globally
+}
+
+
+# ------------------------------------------------------------- spec model
+
+
+class SpecModel:
+    """Arrival-ordered pairwise-conflict DAG over live commands."""
+
+    def __init__(self, conflicts: ConflictRelation):
+        self._conflicts = conflicts
+        self.live: List[Command] = []
+        #: uid -> conflicting commands live at this command's insert (the
+        #: dependency set the lock-free full traversal records).
+        self.deps: Dict[int, Set[int]] = {}
+
+    def ready_uids(self) -> FrozenSet[int]:
+        live = {cmd.uid for cmd in self.live}
+        return frozenset(cmd.uid for cmd in self.live
+                         if not (self.deps[cmd.uid] & live))
+
+    def insert(self, cmd: Command) -> int:
+        before = self.ready_uids()
+        self.deps[cmd.uid] = {
+            live.uid for live in self.live
+            if self._conflicts.conflicts(live, cmd)}
+        self.live.append(cmd)
+        return len(self.ready_uids() - before)
+
+    def remove(self, uid: int) -> int:
+        assert uid in self.ready_uids(), "script removes only ready commands"
+        before = self.ready_uids() - {uid}
+        self.live = [cmd for cmd in self.live if cmd.uid != uid]
+        return len(self.ready_uids() - before)
+
+
+def _make_script(seed: int, conflicts: ConflictRelation):
+    """One insert/remove script plus the model's expected observations."""
+    rng = random.Random(seed)
+    model = SpecModel(conflicts)
+    script: List[Tuple[str, object]] = []
+    expected: List[Tuple[int, FrozenSet[int]]] = []
+    while len(script) < STEPS:
+        ready = sorted(model.ready_uids())
+        can_insert = len(model.live) < MAX_SIZE
+        if can_insert and (not ready or rng.random() < 0.55):
+            writes = rng.random() < 0.4
+            key = rng.randrange(KEY_SPACE)
+            cmd = Command("add" if writes else "contains", (key,),
+                          writes=writes)
+            freed = model.insert(cmd)
+            script.append(("insert", cmd))
+        else:
+            uid = rng.choice(ready)
+            freed = model.remove(uid)
+            script.append(("remove", uid))
+        expected.append((freed, model.ready_uids()))
+    # Drain: remove everything so the full lifecycle is exercised.
+    while model.live:
+        uid = rng.choice(sorted(model.ready_uids()))
+        freed = model.remove(uid)
+        script.append(("remove", uid))
+        expected.append((freed, model.ready_uids()))
+    return script, expected
+
+
+# ------------------------------------------------------------ impl drivers
+
+
+def _indexed_ready_uids(cos: IndexedCOS) -> FrozenSet[int]:
+    """Unsynchronized walk of the ready FIFO (never dequeued here)."""
+    out = set()
+    node = cos._q_head.value.qnext.value
+    while node is not None:
+        if node.st.value == READY:
+            out.add(node.cmd.uid)
+        node = node.qnext.value
+    return frozenset(out)
+
+
+def _lock_free_ready_uids(cos: LockFreeCOS) -> FrozenSet[int]:
+    out = set()
+    node = cos._head.value
+    while node is not None:
+        if node.st.value == READY:
+            out.add(node.cmd.uid)
+        node = node.nxt.value
+    return frozenset(out)
+
+
+def _find_indexed_node(cos: IndexedCOS, cmd: Command):
+    """Right after ``cmd``'s insert it sits in one of its class entries."""
+    for class_key, _writes in cos._conflicts.footprint(cmd):
+        writer, readers = cos._classes[class_key].value
+        candidates = readers if writer is None else (writer,) + readers
+        for node in candidates:
+            if node.cmd.uid == cmd.uid:
+                return node
+    raise AssertionError(f"{cmd!r} not present in its own index entries")
+
+
+def _find_lock_free_node(cos: LockFreeCOS, uid: int):
+    node = cos._head.value
+    while node is not None:
+        if node.cmd.uid == uid:
+            return node
+        node = node.nxt.value
+    raise AssertionError(f"uid {uid} not on the arrival list")
+
+
+def _drive(cos, script, insert_op, remove_op, find_node, ready_uids,
+           direct_edges=None):
+    """Run the script to completion on the simulator; observe every op."""
+    observed: List[Tuple[int, FrozenSet[int]]] = []
+    by_uid = {}
+
+    def program():
+        for action, arg in script:
+            if action == "insert":
+                freed = yield from insert_op(arg)
+                node = find_node(cos, arg)
+                by_uid[arg.uid] = node
+                if direct_edges is not None:
+                    direct_edges[arg.uid] = {
+                        pred.cmd.uid for pred in node.deps_dbg}
+            else:
+                freed = yield from remove_op(by_uid.pop(arg))
+            observed.append((freed, ready_uids(cos)))
+
+    sim = cos._runtime._sim if hasattr(cos._runtime, "_sim") else None
+    cos._runtime.spawn(program(), "driver")
+    sim.run()
+    assert len(observed) == len(script), "driver deadlocked mid-script"
+    return observed
+
+
+def _run_indexed(script, conflicts, direct_edges=None):
+    sim = Simulator()
+    runtime = SimRuntime(sim)
+    cos = IndexedCOS(runtime, conflicts, MAX_SIZE)
+    return _drive(cos, script, cos._idx_insert, cos._idx_remove,
+                  _find_indexed_node, _indexed_ready_uids,
+                  direct_edges=direct_edges), cos
+
+
+def _run_lock_free(script, conflicts):
+    sim = Simulator()
+    runtime = SimRuntime(sim)
+    cos = LockFreeCOS(runtime, conflicts, MAX_SIZE)
+
+    def find(cos_, arg):
+        return _find_lock_free_node(cos_, arg.uid)
+
+    return _drive(cos, script, cos._lf_insert, cos._lf_remove,
+                  find, _lock_free_ready_uids), cos
+
+
+# ------------------------------------------------------------------- tests
+
+
+@pytest.mark.parametrize("relation", sorted(RELATIONS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ready_sets_and_freed_counts_match(relation, seed):
+    conflicts = RELATIONS[relation]()
+    script, expected = _make_script(seed, conflicts)
+    observed_indexed, _ = _run_indexed(script, conflicts)
+    observed_lock_free, _ = _run_lock_free(script, conflicts)
+    for step, (want, got_idx, got_lf) in enumerate(
+            zip(expected, observed_indexed, observed_lock_free)):
+        action, arg = script[step]
+        label = f"step {step} ({action} {arg!r}) [{relation} seed {seed}]"
+        assert got_idx == want, f"indexed diverged from spec at {label}"
+        assert got_lf == want, f"lock-free diverged from spec at {label}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_index_edges_are_a_transitive_reduction(seed):
+    """direct ⊆ lock-free deps ⊆ closure(direct) over live nodes."""
+    conflicts = KeyedConflicts()
+    script, _ = _make_script(seed, conflicts)
+    direct_edges: Dict[int, Set[int]] = {}
+    _run_indexed(script, conflicts, direct_edges=direct_edges)
+
+    # Replay the model to recover, per insert, the live set and the
+    # lock-free dependency set at that moment.
+    model = SpecModel(conflicts)
+    for action, arg in script:
+        if action != "insert":
+            model.remove(arg)
+            continue
+        live_before = {cmd.uid for cmd in model.live}
+        model.insert(arg)
+        lf_deps = model.deps[arg.uid]
+        direct = direct_edges[arg.uid]
+        assert direct <= lf_deps, (
+            f"index linked a non-conflicting or dead predecessor for "
+            f"{arg!r}: {direct - lf_deps}")
+        # BFS closure of direct edges through nodes live at insert time.
+        closure: Set[int] = set()
+        frontier = list(direct & live_before)
+        while frontier:
+            uid = frontier.pop()
+            if uid in closure:
+                continue
+            closure.add(uid)
+            frontier.extend(direct_edges[uid] & live_before)
+        assert lf_deps <= closure, (
+            f"conflicting predecessor unordered for {arg!r}: "
+            f"{lf_deps - closure} not reachable through the index edges")
+
+
+def test_mutant_breaks_the_differential_lockstep():
+    """The seeded checker mutant also fails this harness (cross-check)."""
+    from repro.check.mutants import IndexedSkipReaderTrackingCOS
+
+    conflicts = KeyedConflicts()
+    diverged = 0
+    for seed in SEEDS:
+        script, expected = _make_script(seed, conflicts)
+        sim = Simulator()
+        runtime = SimRuntime(sim)
+        cos = IndexedSkipReaderTrackingCOS(runtime, conflicts, MAX_SIZE)
+        observed = _drive(cos, script, cos._idx_insert, cos._idx_remove,
+                          _find_indexed_node, _indexed_ready_uids)
+        if observed != expected:
+            diverged += 1
+    assert diverged > 0, (
+        "skip-reader-tracking mutant indistinguishable from spec; "
+        "the differential harness has no teeth")

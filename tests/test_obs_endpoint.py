@@ -164,3 +164,37 @@ class TestBenchTrace:
         artifact = json.loads(artifact_path.read_text())
         assert artifact["trace_events"] == 32
         assert artifact["fig6_point"]["throughput_kops"] > 0
+
+
+class TestSpanJoin:
+    def test_client_and_replica_spans_join_on_stable_key(self):
+        """Client- and replica-side spans share ``client_id#request_id``.
+
+        The join is the whole point of stable span keys: a client process
+        records ``submitted``/``responded`` while each replica process
+        records ``delivered``..``responded``, and the two logs must line
+        up per command without sharing a uid counter.
+        """
+        with TcpCluster(n_replicas=1, workers=2, trace=True) as cluster:
+            client = cluster.client(client_id="joiner")
+            base = client.requests_issued
+            commands = WorkloadGenerator(
+                50.0, key_space=10, seed=5).commands(6)
+            client.execute_batch(commands)
+            cluster.wait_converged(6)
+            replica_spans = cluster.servers[0].registry.spans.spans()
+
+        expected = {f"joiner#{base + 1 + offset}" for offset in range(6)}
+        assert expected <= set(replica_spans), (
+            f"replica trace missing keys: {expected - set(replica_spans)}")
+        for key in expected:
+            stages = replica_spans[key]
+            for stage in ("delivered", "scheduled", "ready",
+                          "executing", "responded"):
+                assert stage in stages, f"{key} missing stage {stage}"
+            assert (stages["delivered"] <= stages["scheduled"]
+                    <= stages["executing"] <= stages["responded"])
+        # No span leaked under a bare process-local uid: every key of a
+        # client-stamped command is the wire-stable string form.
+        assert all(isinstance(key, str) and "#" in key
+                   for key in replica_spans)
