@@ -115,22 +115,20 @@ def indexed_insert() -> FigureData:
             if p["key_dist"] == key_dist and p["max_size"] == RATIO_AT_SIZE}
         indexed = per_algo.get("indexed") or 1e-12
         ratios[key_dist] = per_algo["lock-free"] / indexed
-    RESULTS_DIR.mkdir(exist_ok=True)
-    write_bench_json(
-        "indexed_insert",
-        {
-            "points": points,
-            "graph_sizes": GRAPH_SIZES,
-            "write_pct": WRITE_PCT,
-            "key_space": KEY_SPACE,
-            "workers": WORKERS,
-            "measure_ops": MEASURE_OPS,
-            "visit_ratio_lock_free_over_indexed_at_150": ratios,
-            "min_visit_ratio_required": MIN_VISIT_RATIO,
-            "smoke": SMOKE,
-        },
-        str(RESULTS_DIR),
-    )
+    # Merged into BENCH_indexed_insert.json by conftest.emit() — writing
+    # a second document under the same name here used to be silently
+    # overwritten by emit's figure payload.
+    figure.extra = {
+        "points": points,
+        "graph_sizes": GRAPH_SIZES,
+        "write_pct": WRITE_PCT,
+        "key_space": KEY_SPACE,
+        "workers": WORKERS,
+        "measure_ops": MEASURE_OPS,
+        "visit_ratio_lock_free_over_indexed_at_150": ratios,
+        "min_visit_ratio_required": MIN_VISIT_RATIO,
+        "smoke": SMOKE,
+    }
     figure.ratios = ratios
     return figure
 

@@ -22,10 +22,22 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def emit(figure: FigureData) -> None:
-    """Print a figure table and persist it under benchmarks/results/."""
+    """Print a figure table and persist it under benchmarks/results/.
+
+    A benchmark that computes headline numbers beyond the series data
+    (ratios, crossovers, gate summaries) attaches them as
+    ``figure.extra``; they are merged into the JSON document so the one
+    ``BENCH_<name>.json`` artifact carries both.  (Benchmarks used to
+    write a second document under the same name before calling emit,
+    which silently overwrote it.)
+    """
     text = format_figure(figure)
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{figure.name}.txt").write_text(text)
-    write_bench_json(figure.name, figure_payload(figure), str(RESULTS_DIR))
+    payload = figure_payload(figure)
+    extra = getattr(figure, "extra", None)
+    if extra:
+        payload = {**payload, **extra}
+    write_bench_json(figure.name, payload, str(RESULTS_DIR))

@@ -16,6 +16,8 @@ from repro.core import (
     CoarseGrainedCOS,
     Command,
     ConflictRelation,
+    EarlyCOS,
+    EarlyConfig,
     FineGrainedCOS,
     KeyedConflicts,
     LockFreeCOS,
@@ -54,6 +56,8 @@ __all__ = [
     "StructureCosts",
     "DEFAULT_MAX_SIZE",
     "CoarseGrainedCOS",
+    "EarlyCOS",
+    "EarlyConfig",
     "FineGrainedCOS",
     "LockFreeCOS",
     "SequentialCOS",

@@ -140,6 +140,7 @@ def run_standalone(config: StandaloneConfig,
         costs=structure_costs(),
         classes_of=classes_of,
         obs=registry,
+        workers=config.workers,
     )
     workload = WorkloadGenerator(config.write_pct, key_space=config.key_space,
                                  seed=config.seed, key_dist=config.key_dist,

@@ -113,10 +113,12 @@ class CheckExecution:
         if config.mutant is not None:
             from repro.check.mutants import make_mutant
             self.cos = make_mutant(config.mutant, self.runtime,
-                                   self.conflicts, config.max_size)
+                                   self.conflicts, config.max_size,
+                                   workers=config.workers)
         else:
             self.cos = make_cos(algorithm, self.runtime, self.conflicts,
-                                max_size=config.max_size)
+                                max_size=config.max_size,
+                                workers=config.workers)
         workload = _make_commands(config)
         pills = [Command(op=STOP_OP, writes=True)
                  for _ in range(config.workers)]

@@ -25,14 +25,22 @@ the checker catches every one within a bounded exploration budget:
   readers it conflicts with and can execute concurrently with them:
   **conflict-order**.  This is exactly the bug the per-class
   ``(last_writer, readers)`` index entry exists to prevent.
+- ``early-skip-barrier`` — the early scheduler enqueues a multi-lane
+  (worker-set barrier) command into only the *first* lane of its set, so
+  a cross-class write never rendezvouses with the other lanes and can
+  execute concurrently with conflicting commands queued there:
+  **conflict-order**.  The barrier over the class's whole worker set is
+  the one mechanism by which early scheduling orders a write against the
+  readers spread round-robin across that set.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.command import Command, ConflictRelation
 from repro.core.cos import COS, StructureCosts
+from repro.core.early import DEFAULT_WORKERS, EarlyConfig, EarlyCOS
 from repro.core.effects import Cas, Load, Store
 from repro.core.indexed import IndexedCOS
 from repro.core.lock_free import LockFreeCOS
@@ -134,21 +142,36 @@ class IndexedSkipReaderTrackingCOS(IndexedCOS):
         return (writer,) if writer is not None else ()
 
 
+class EarlySkipBarrierCOS(EarlyCOS):
+    """Early scheduler whose barrier commands take only their first lane."""
+
+    def _barrier_lanes(self, lanes: Tuple[int, ...]) -> Tuple[int, ...]:
+        # BUG: the worker-set barrier is skipped — the command waits for
+        # (and blocks) only the first lane of its set, so it can execute
+        # while conflicting commands in the other lanes are still live.
+        return lanes[:1]
+
+
 MUTANTS = {
     "skip-cas-retry": SkipCasRetryCOS,
     "drop-helped-remove": DropHelpedRemoveCOS,
     "premature-publish": PrematurePublishCOS,
     "indexed-skip-reader-tracking": IndexedSkipReaderTrackingCOS,
+    "early-skip-barrier": EarlySkipBarrierCOS,
 }
 
 
 def make_mutant(name: str, runtime: Runtime, conflicts: ConflictRelation,
-                max_size: int) -> COS:
-    """Instantiate a named mutant (a lock-free or indexed variant)."""
+                max_size: int, workers: Optional[int] = None) -> COS:
+    """Instantiate a named mutant (a lock-free, indexed or early variant)."""
     try:
         cls = MUTANTS[name]
     except KeyError:
         raise ValueError(
             f"unknown mutant {name!r}; expected one of "
             f"{sorted(MUTANTS)}") from None
+    if issubclass(cls, EarlyCOS):
+        config = EarlyConfig(workers=workers or DEFAULT_WORKERS)
+        return cls(runtime, conflicts, max_size, StructureCosts.zero(),
+                   config=config)
     return cls(runtime, conflicts, max_size, StructureCosts.zero())

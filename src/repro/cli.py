@@ -48,8 +48,11 @@ __all__ = ["main"]
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--algorithm", default="lock-free",
-                        choices=COS_ALGORITHMS)
+    parser.add_argument("--algorithm", "--scheduler", default="lock-free",
+                        choices=COS_ALGORITHMS,
+                        help="COS scheduler (--scheduler is an alias; "
+                             "'early'/'early-batched' compile the conflict "
+                             "classes to worker sets at configuration time)")
     parser.add_argument("--workers", type=int, default=8)
     parser.add_argument("--profile", default="light",
                         choices=sorted(PROFILES))
@@ -109,9 +112,9 @@ def _build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser(
         "check",
         help="systematic schedule-space model check against the COS spec")
-    check.add_argument("--algorithm", default="lock-free",
+    check.add_argument("--algorithm", "--scheduler", default="lock-free",
                        help="COS algorithm (underscores accepted, e.g. "
-                            "lock_free)")
+                            "lock_free; --scheduler is an alias)")
     check.add_argument("--workers", type=int, default=3)
     check.add_argument("--commands", type=int, default=5)
     check.add_argument("--max-size", type=int, default=4,

@@ -20,6 +20,12 @@ from repro.core.command import (
 from repro.core.class_based import ClassBasedCOS, ClassConflicts, read_write_classes
 from repro.core.cos import COS, DEFAULT_MAX_SIZE, StructureCosts
 from repro.core.coarse_grained import CoarseGrainedCOS
+from repro.core.early import (
+    DEFAULT_WORKERS as DEFAULT_EARLY_WORKERS,
+    EarlyCOS,
+    EarlyConfig,
+    EarlySchedule,
+)
 from repro.core.history import (
     HistoryRecorder,
     HistoryViolation,
@@ -49,6 +55,9 @@ __all__ = [
     "ClassBasedCOS",
     "ClassConflicts",
     "read_write_classes",
+    "EarlyCOS",
+    "EarlyConfig",
+    "EarlySchedule",
     "HistoryRecorder",
     "HistoryViolation",
     "RecordingCOS",
@@ -63,14 +72,20 @@ __all__ = [
 ]
 
 #: Names accepted by :func:`make_cos`, in the order the paper presents them
-#: (plus the class-based extension from the related-work line and the
-#: indexed variant of the lock-free graph, docs/scheduling.md).
+#: (plus the class-based extension from the related-work line, the indexed
+#: variant of the lock-free graph and the early/static schedulers,
+#: docs/scheduling.md).
 COS_ALGORITHMS = ("coarse-grained", "fine-grained", "lock-free", "indexed",
-                  "sequential", "class-based")
+                  "sequential", "class-based", "early", "early-batched")
+
+#: Algorithms that compile the conflict relation into per-class state and
+#: therefore require ``supports_footprint=True``.
+FOOTPRINT_ALGORITHMS = ("indexed", "early", "early-batched")
 
 
 def make_cos(name, runtime, conflicts, max_size=DEFAULT_MAX_SIZE,
-             costs=StructureCosts.zero(), classes_of=None, obs=None):
+             costs=StructureCosts.zero(), classes_of=None, obs=None,
+             workers=None, early_config=None):
     """Construct a COS implementation by its paper name.
 
     Args:
@@ -84,10 +99,26 @@ def make_cos(name, runtime, conflicts, max_size=DEFAULT_MAX_SIZE,
         classes_of: For ``"class-based"`` only — maps a command to its
             conflict classes; defaults to the single-class readers/writers
             model (:func:`read_write_classes`).
-        obs: Optional :class:`repro.obs.MetricsRegistry` the three graph
-            structures record into (occupancy, blocked-time, restarts, CAS
-            retries — see docs/observability.md).  ``None`` disables.
+        obs: Optional :class:`repro.obs.MetricsRegistry` the graph
+            structures and the early schedulers record into (occupancy,
+            blocked-time, restarts, CAS retries, lane depths — see
+            docs/observability.md).  ``None`` disables.
+        workers: For ``"early"``/``"early-batched"`` only — number of
+            execution lanes to compile the class map for (defaults to
+            :data:`repro.core.early.DEFAULT_WORKERS`).
+        early_config: For ``"early"``/``"early-batched"`` only — a full
+            :class:`EarlyConfig`, overriding ``workers``.
     """
+    if name in FOOTPRINT_ALGORITHMS and not getattr(
+            conflicts, "supports_footprint", False):
+        alternatives = tuple(a for a in COS_ALGORITHMS
+                             if a not in FOOTPRINT_ALGORITHMS)
+        raise ValueError(
+            f"the {name!r} scheduler requires a conflict relation that "
+            f"decomposes into classes (supports_footprint=True), but "
+            f"{type(conflicts).__name__} does not; either give the "
+            f"relation a footprint (see ConflictRelation.footprint) or "
+            f"pick a pairwise scheduler: {alternatives}")
     if name == "coarse-grained":
         return CoarseGrainedCOS(runtime, conflicts, max_size, costs, obs=obs)
     if name == "fine-grained":
@@ -101,4 +132,10 @@ def make_cos(name, runtime, conflicts, max_size=DEFAULT_MAX_SIZE,
     if name == "class-based":
         return ClassBasedCOS(runtime, classes_of or read_write_classes(),
                              max_size, costs)
+    if name in ("early", "early-batched"):
+        config = early_config or EarlyConfig(
+            workers=workers or DEFAULT_EARLY_WORKERS,
+            batched=(name == "early-batched"))
+        return EarlyCOS(runtime, conflicts, max_size, costs,
+                        config=config, obs=obs)
     raise ValueError(f"unknown COS algorithm {name!r}; expected one of {COS_ALGORITHMS}")

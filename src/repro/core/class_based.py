@@ -23,7 +23,7 @@ paper's three schedulers under identical harnesses.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Hashable, Tuple
+from typing import Callable, Deque, Dict, Hashable, Optional, Tuple
 
 from repro.core.command import Command, ConflictRelation, stable_hash
 from repro.core.cos import COS, DEFAULT_MAX_SIZE, StructureCosts
@@ -62,8 +62,9 @@ class ClassConflicts(ConflictRelation):
 
     supports_footprint = True
 
-    def __init__(self, classes_of: ClassesOf):
+    def __init__(self, classes_of: ClassesOf, universe: Optional[int] = None):
         self._classes_of = classes_of
+        self._universe = universe
 
     def conflicts(self, a: Command, b: Command) -> bool:
         return bool(set(self._classes_of(a)) & set(self._classes_of(b)))
@@ -72,6 +73,11 @@ class ClassConflicts(ConflictRelation):
         # Class membership conflicts regardless of read/write intent, so
         # every entry is a write of its class.
         return tuple((cls, True) for cls in self._classes_of(cmd))
+
+    def class_universe(self) -> Optional[int]:
+        # ``classes_of`` is an arbitrary callable, so the universe is
+        # unknown unless the caller declares it at construction.
+        return self._universe
 
 
 class _ClassNode:

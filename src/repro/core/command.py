@@ -122,6 +122,17 @@ class ConflictRelation:
             f"classes; the indexed COS needs a relation with "
             f"supports_footprint=True")
 
+    def class_universe(self) -> Optional[int]:
+        """Total number of distinct class keys the relation can emit.
+
+        ``None`` when unbounded or unknown (per-key relations); ``0``
+        when footprints are always empty.  Early scheduling
+        (:mod:`repro.core.early`) uses this at configuration time to
+        size each class's worker set: a small universe spreads every
+        class over many lanes, an unbounded one gets exclusive lanes.
+        """
+        return None
+
     def __call__(self, a: Command, b: Command) -> bool:
         return self.conflicts(a, b)
 
@@ -142,6 +153,9 @@ class ReadWriteConflicts(ConflictRelation):
     def footprint(self, cmd: Command) -> Tuple[FootprintEntry, ...]:
         # One global class; writers conflict with everyone, readers commute.
         return (("rw", cmd.writes),)
+
+    def class_universe(self) -> Optional[int]:
+        return 1
 
 
 class KeyedConflicts(ConflictRelation):
@@ -178,6 +192,9 @@ class NeverConflicts(ConflictRelation):
     def footprint(self, cmd: Command) -> Tuple[FootprintEntry, ...]:
         return ()
 
+    def class_universe(self) -> Optional[int]:
+        return 0
+
 
 class AlwaysConflicts(ConflictRelation):
     """Every pair of commands conflicts (fully sequential execution)."""
@@ -190,6 +207,9 @@ class AlwaysConflicts(ConflictRelation):
     def footprint(self, cmd: Command) -> Tuple[FootprintEntry, ...]:
         # Everybody writes the single class: a total order.
         return (("all", True),)
+
+    def class_universe(self) -> Optional[int]:
+        return 1
 
 
 class PredicateConflicts(ConflictRelation):

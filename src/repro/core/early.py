@@ -1,0 +1,465 @@
+"""Early/static scheduling: classes compiled to worker sets, O(1) enqueue.
+
+Every COS variant so far — even the indexed graph with its O(|footprint|)
+insert — decides *at delivery time* which live commands a new command must
+wait for.  The early-scheduling line of related work (Alchieri et al.,
+"Early Scheduling in Parallel State Machine Replication") moves that
+decision to *configuration time*: the application's conflict classes are
+mapped to **worker sets** once, before the first command is delivered, so
+delivery degenerates to appending the command to the lanes of its classes
+— no graph, no conflict test, no per-command allocation of edges.
+
+The compile step (:class:`EarlySchedule`) consumes the same
+``footprint``/``supports_footprint`` API the indexed COS uses
+(:meth:`repro.core.command.ConflictRelation.footprint`) and assigns every
+class one of three synchronization modes:
+
+- **free** — commands with an *empty* footprint conflict with nothing and
+  bypass the lanes entirely (ready at insert);
+- **exclusive worker** — a class whose worker set is a single lane; all
+  its commands serialize through that lane's FIFO;
+- **worker-set barrier** — a class spread over ``k > 1`` lanes: *reads*
+  of the class go round-robin to one lane each (recovering read
+  parallelism), while *writes* enqueue in **every** lane of the set and
+  execute only when they reach all those lane heads simultaneously — the
+  classic barrier rendezvous.  A multi-class command takes the union of
+  its classes' lanes, so cross-class writes barrier across worker sets.
+
+The spread ``k`` is derived from the relation's
+:meth:`~repro.core.command.ConflictRelation.class_universe`: a relation
+with ``u`` global classes gets ``k = max(1, workers // u)`` lanes per
+class (the readers/writers relation, ``u = 1``, spreads its reads over
+*all* workers); relations with unbounded classes (per-key) default to
+exclusive lanes, the classic early-scheduling configuration.
+
+Skew is early scheduling's Achilles heel: a static class→lane map pins a
+hot class to one lane while others idle.  The **batched-index** variant
+(``EarlyConfig(batched=True)``, exposed as the ``early-batched``
+algorithm) follows the index-based scheduling refinement: a class is
+homed on the least-loaded lane when first seen, stays pinned while it has
+live commands (re-homing a live class would break conflict ordering), and
+idle assignments are retired every ``batch_size`` removals so returning
+classes re-home to wherever load is lowest.
+
+Correctness argument (checked by tests/test_scheduler_conformance.py,
+the three-way differential harness in tests/test_indexed_differential.py,
+and repro.check): conflicting commands share a class; the later one
+enqueues — in the single delivery critical section, hence in delivery
+order — behind the earlier one in at least one common lane (a writer
+covers the class's whole worker set; a reader's one lane is inside it),
+and lanes are FIFO, so conflicting commands execute in delivery order.
+Early scheduling is *conservative*: commands of different classes that
+happen to share a lane are ordered even though independent, so its ready
+set is always a subset of the spec model's — never a superset.
+
+Deadlock-freedom: all of a command's lane appends happen in one critical
+section, so lane orders are mutually consistent (the earliest live
+command is at the head of every lane it belongs to, hence ready).
+
+Like every COS here, the algorithm is an effect generator: it runs
+unchanged on OS threads, the deterministic simulator, and the
+:mod:`repro.check` schedule-space explorer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.command import Command, ConflictRelation, stable_hash
+from repro.core.cos import COS, DEFAULT_MAX_SIZE, StructureCosts
+from repro.core.effects import Acquire, Down, Release, Up, Work
+from repro.core.runtime import EffectGen, Runtime
+from repro.obs.registry import NULL_REGISTRY
+from repro.obs.spans import span_key
+
+__all__ = ["EarlyConfig", "EarlySchedule", "EarlyCOS"]
+
+#: Lanes per scheduler when the caller does not say (tests, REPL use).
+DEFAULT_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class EarlyConfig:
+    """Configuration-time parameters of the early scheduler.
+
+    Attributes:
+        workers: Number of lanes (one per execution worker).
+        batched: Use the batched-index class→lane assignment (least-loaded
+            homing with periodic retirement of idle classes) instead of
+            the static ``stable_hash`` map.
+        batch_size: Removals between retirement sweeps of idle class
+            assignments (batched mode only).
+        spread: Lanes per class worker set; ``None`` derives it from the
+            relation's :meth:`~repro.core.command.ConflictRelation.
+            class_universe` (``max(1, workers // universe)``, or 1 when
+            the universe is unbounded).
+    """
+
+    workers: int = DEFAULT_WORKERS
+    batched: bool = False
+    batch_size: int = 64
+    spread: Optional[int] = None
+
+
+class EarlySchedule:
+    """The compiled class→worker-set map (the configuration-time step).
+
+    Pure bookkeeping — no effects, no synchronization of its own; the COS
+    calls it only inside the delivery critical section.
+    """
+
+    def __init__(self, conflicts: ConflictRelation, config: EarlyConfig):
+        if config.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {config.workers}")
+        self._workers = config.workers
+        self._batched = config.batched
+        self._batch_size = max(1, config.batch_size)
+        self.universe = conflicts.class_universe()
+        if config.spread is not None:
+            if config.spread < 1:
+                raise ValueError(f"spread must be >= 1, got {config.spread}")
+            self.spread = min(config.spread, config.workers)
+        elif self.universe:
+            self.spread = max(1, config.workers // self.universe)
+        else:
+            # Unbounded (per-key) classes, or no classes at all: exclusive
+            # lanes — the classic early-scheduling configuration.
+            self.spread = 1
+        #: Batched-index state: class -> home lane, pinned while live.
+        self._assign: Dict[Hashable, int] = {}
+        self._class_live: Dict[Hashable, int] = {}
+        self._lane_load: List[int] = [0] * self._workers
+        self._removals = 0
+        #: Reader round-robin cursor per class (spread > 1 only).
+        self._rr: Dict[Hashable, int] = {}
+        #: Idle class assignments retired so far (batched mode); each one
+        #: re-homes to the least-loaded lane on next sight.
+        self.rebalances = 0
+
+    @property
+    def policy(self) -> str:
+        return "batched-index" if self._batched else "static"
+
+    def _home(self, class_key: Hashable) -> int:
+        if not self._batched:
+            if self.universe:
+                # Tile the known classes into disjoint (when possible)
+                # blocks of ``spread`` lanes each.
+                return (stable_hash(class_key) % self.universe
+                        ) * self.spread % self._workers
+            return stable_hash(class_key) % self._workers
+        home = self._assign.get(class_key)
+        if home is None:
+            load = self._lane_load
+            home = min(range(self._workers), key=lambda i: (load[i], i))
+            self._assign[class_key] = home
+        return home
+
+    def worker_set(self, class_key: Hashable) -> Tuple[int, ...]:
+        """The lanes of ``class_key``, a contiguous block modulo workers."""
+        home = self._home(class_key)
+        return tuple((home + i) % self._workers for i in range(self.spread))
+
+    def mode_of(self, class_key: Hashable) -> str:
+        """``"exclusive"`` or ``"barrier"`` (write-mode of the class)."""
+        return "exclusive" if self.spread == 1 else "barrier"
+
+    def assign(self, footprint) -> Tuple[Tuple[int, ...], bool]:
+        """Lanes for one command: ``(sorted lane ids, is_barrier)``.
+
+        Writers take their class's whole worker set; readers take one
+        round-robin lane inside it.  An empty footprint yields no lanes
+        (the *free* mode).  Mutates the round-robin cursors and, in
+        batched mode, the live/load books — call once per insert, inside
+        the delivery critical section.
+        """
+        lanes = set()
+        for class_key, writes in footprint:
+            ws = self.worker_set(class_key)
+            if self._batched:
+                self._class_live[class_key] = (
+                    self._class_live.get(class_key, 0) + 1)
+                self._lane_load[ws[0]] += 1
+            if writes or len(ws) == 1:
+                lanes.update(ws)
+            else:
+                cursor = self._rr.get(class_key, 0)
+                self._rr[class_key] = cursor + 1
+                lanes.add(ws[cursor % len(ws)])
+        ordered = tuple(sorted(lanes))
+        return ordered, len(ordered) > 1
+
+    def retire(self, footprint) -> None:
+        """Account a removal; in batched mode, periodically retire idle
+        class assignments so returning classes re-home by load."""
+        if not self._batched:
+            return
+        for class_key, _writes in footprint:
+            live = self._class_live[class_key] - 1
+            self._class_live[class_key] = live
+            self._lane_load[self._assign[class_key]] -= 1
+        self._removals += 1
+        if self._removals % self._batch_size == 0:
+            idle = [key for key, live in self._class_live.items() if live == 0]
+            for key in idle:
+                del self._assign[key]
+                del self._class_live[key]
+                self._rr.pop(key, None)
+            self.rebalances += len(idle)
+
+    def describe(self) -> Dict[str, object]:
+        """Compile summary (docs, tests, ``repro.obs`` dashboards)."""
+        return {
+            "workers": self._workers,
+            "spread": self.spread,
+            "class_universe": self.universe,
+            "policy": self.policy,
+            "write_mode": self.mode_of(None),
+        }
+
+
+class EarlyNode:
+    """One delivered command sitting in its lanes."""
+
+    __slots__ = ("cmd", "footprint", "lanes", "pending", "barrier",
+                 "taken", "removed", "enqueued_at")
+
+    def __init__(self, cmd: Command, footprint, lanes: Tuple[int, ...],
+                 barrier: bool):
+        self.cmd = cmd
+        self.footprint = footprint
+        self.lanes = lanes
+        #: Lanes where this node is not yet at the head.
+        self.pending = 0
+        self.barrier = barrier
+        self.taken = False
+        self.removed = False
+        self.enqueued_at = 0.0
+
+    def __repr__(self) -> str:
+        return f"EarlyNode({self.cmd!r}, lanes={self.lanes})"
+
+
+class EarlyCOS(COS):
+    """COS whose scheduling was compiled at configuration time.
+
+    Delivery is O(|lanes|) deque appends under one short mutex — no
+    conflict tests, no shared graph, no edges.  The price is
+    conservatism: independent commands sharing a lane serialize (the
+    ready set is a subset of the DAG schedulers'), and a skewed class
+    distribution can pin all load on one lane — see
+    ``benchmarks/bench_early_scheduling.py`` for both sides of the trade.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        conflicts: ConflictRelation,
+        max_size: int = DEFAULT_MAX_SIZE,
+        costs: StructureCosts = StructureCosts.zero(),
+        config: Optional[EarlyConfig] = None,
+        obs=None,
+    ):
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        if not getattr(conflicts, "supports_footprint", False):
+            raise ValueError(
+                f"EarlyCOS requires a conflict relation that decomposes "
+                f"into classes (supports_footprint=True); "
+                f"{type(conflicts).__name__} does not")
+        self._runtime = runtime
+        self._conflicts = conflicts
+        self._costs = costs
+        self._config = config or EarlyConfig()
+        self._plan = EarlySchedule(conflicts, self._config)
+        self._mutex = runtime.mutex()
+        self._space = runtime.semaphore(max_size)
+        self._ready = runtime.semaphore(0)
+        self._lanes: List[Deque[EarlyNode]] = [
+            deque() for _ in range(self._config.workers)]
+        self._ready_queue: Deque[EarlyNode] = deque()
+        # Instrumentation (docs/observability.md); pure Python only — no
+        # effects are added, so simulated schedules do not change.
+        obs = obs if obs is not None else NULL_REGISTRY
+        self._obs = obs
+        self._obs_on = obs.enabled
+        self._m_occupancy = obs.gauge("cos_graph_size")
+        self._m_inserts = obs.counter("cos_inserts_total")
+        self._m_gets = obs.counter("cos_gets_total")
+        self._m_removes = obs.counter("cos_removes_total")
+        self._m_space_wait = obs.histogram("cos_space_wait_seconds")
+        self._m_ready_wait = obs.histogram("cos_ready_wait_seconds")
+        self._m_insert_visits = obs.counter("cos_insert_visits_total")
+        self._m_enqueue = obs.histogram("early_enqueue_seconds")
+        self._m_barrier_cmds = obs.counter("early_barrier_commands_total")
+        self._m_free_cmds = obs.counter("early_free_commands_total")
+        self._m_barrier_wait = obs.histogram("early_barrier_wait_seconds")
+        self._m_rebalances = obs.counter("early_rebalances_total")
+        self._m_lane_depth = [
+            obs.gauge("early_lane_depth", lane=i)
+            for i in range(self._config.workers)]
+        self._rebalances_seen = 0
+
+    # ------------------------------------------------------------------ API
+
+    def insert(self, cmd: Command) -> EffectGen:
+        """Wait for space, enqueue into the compiled lanes, publish."""
+        obs_on = self._obs_on
+        entered = self._obs.clock() if obs_on else 0.0
+        yield Down(self._space)
+        started = self._obs.clock() if obs_on else 0.0
+        freed = yield from self._early_insert(cmd)
+        if obs_on:
+            self._m_space_wait.observe(started - entered)
+            self._m_enqueue.observe(self._obs.clock() - started)
+            self._m_inserts.inc()
+            self._m_occupancy.inc()
+        if freed:
+            yield Up(self._ready, freed)
+
+    def get(self) -> EffectGen:
+        """Wait for a ready node, then pop it off the ready FIFO."""
+        obs_on = self._obs_on
+        entered = self._obs.clock() if obs_on else 0.0
+        yield Down(self._ready)
+        if obs_on:
+            self._m_ready_wait.observe(self._obs.clock() - entered)
+        if self._costs.get_visit:
+            yield Work(self._costs.get_visit)
+        yield Acquire(self._mutex)
+        node = self._ready_queue.popleft()
+        node.taken = True
+        yield Release(self._mutex)
+        if obs_on:
+            self._m_gets.inc()
+        return node
+
+    def remove(self, handle: EarlyNode) -> EffectGen:
+        """Pop the node off its lane heads, promote successors, publish."""
+        freed = yield from self._early_remove(handle)
+        if self._obs_on:
+            self._m_removes.inc()
+            self._m_occupancy.dec()
+        if freed:
+            yield Up(self._ready, freed)
+        yield Up(self._space)
+
+    # ------------------------------------------------------------ internals
+
+    def _barrier_lanes(self, lanes: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Lanes a multi-lane (worker-set barrier) command enqueues into.
+
+        A seam for seeded fault injection (:mod:`repro.check.mutants`);
+        the correct answer is all of them — skipping any lane lets the
+        command run concurrently with conflicting commands in it.
+        """
+        return lanes
+
+    def _early_insert(self, cmd: Command) -> EffectGen:
+        """Enqueue ``cmd``; returns 1 if it came out ready.
+
+        The whole decision runs in one critical section, so lane orders
+        are mutually consistent and match delivery order.
+        """
+        footprint = tuple(self._conflicts.footprint(cmd))
+        visit = self._costs.insert_visit
+        obs_on = self._obs_on
+        yield Acquire(self._mutex)
+        lanes, barrier = self._plan.assign(footprint)
+        if barrier:
+            lanes = self._barrier_lanes(lanes)
+        node = EarlyNode(cmd, footprint, lanes, barrier)
+        if obs_on:
+            node.enqueued_at = self._obs.clock()
+        for lane_id in lanes:
+            if visit:
+                yield Work(visit)
+            queue = self._lanes[lane_id]
+            if queue:
+                node.pending += 1  # someone ahead of us in this lane
+            queue.append(node)
+        is_ready = node.pending == 0
+        if is_ready:
+            self._ready_queue.append(node)
+        if obs_on:
+            self._m_insert_visits.inc(max(1, len(lanes)))
+            if barrier:
+                self._m_barrier_cmds.inc()
+            if not lanes:
+                self._m_free_cmds.inc()
+            for lane_id in lanes:
+                self._m_lane_depth[lane_id].set(len(self._lanes[lane_id]))
+            if is_ready:
+                self._note_ready(node)
+        yield Release(self._mutex)
+        return 1 if is_ready else 0
+
+    def _early_remove(self, node: EarlyNode) -> EffectGen:
+        """Dequeue ``node`` from its lane heads; returns #promoted."""
+        visit = self._costs.remove_visit
+        obs_on = self._obs_on
+        freed = 0
+        yield Acquire(self._mutex)
+        if node.removed:
+            yield Release(self._mutex)
+            raise LookupError(f"{node.cmd!r} removed twice")
+        if node.pending:
+            yield Release(self._mutex)
+            raise LookupError(f"{node.cmd!r} removed before it was ready")
+        if not node.taken:
+            # Differential drivers remove straight from the ready FIFO
+            # without a get(); drop the stale entry so it cannot be
+            # handed out later.
+            self._ready_queue.remove(node)
+        for lane_id in node.lanes:
+            if visit:
+                yield Work(visit)
+            queue = self._lanes[lane_id]
+            if not queue or queue[0] is not node:
+                yield Release(self._mutex)
+                raise LookupError(
+                    f"{node.cmd!r} is not at the head of lane {lane_id}")
+            queue.popleft()
+            if queue:
+                successor = queue[0]
+                successor.pending -= 1
+                if successor.pending == 0:
+                    self._ready_queue.append(successor)
+                    freed += 1
+                    if obs_on:
+                        self._note_ready(successor)
+        node.removed = True
+        self._plan.retire(node.footprint)
+        if obs_on:
+            for lane_id in node.lanes:
+                self._m_lane_depth[lane_id].set(len(self._lanes[lane_id]))
+            if self._plan.rebalances != self._rebalances_seen:
+                self._m_rebalances.inc(
+                    self._plan.rebalances - self._rebalances_seen)
+                self._rebalances_seen = self._plan.rebalances
+        yield Release(self._mutex)
+        return freed
+
+    def _note_ready(self, node: EarlyNode) -> None:
+        self._obs.span(span_key(node.cmd), "ready")
+        if node.barrier:
+            self._m_barrier_wait.observe(
+                self._obs.clock() - node.enqueued_at)
+
+    # ------------------------------------------------------------ inspection
+
+    def schedule(self) -> EarlySchedule:
+        """The compiled plan (configuration-time artifact)."""
+        return self._plan
+
+    def ready_uids_unsafe(self) -> Tuple[int, ...]:
+        """Uids currently in the ready FIFO (unsynchronized; tests only)."""
+        return tuple(node.cmd.uid for node in self._ready_queue
+                     if not node.taken)
+
+    def lane_stats_unsafe(self) -> Tuple[Tuple[int, ...], int]:
+        """(per-lane depths, ready-FIFO length); unsynchronized."""
+        return (tuple(len(queue) for queue in self._lanes),
+                len(self._ready_queue))

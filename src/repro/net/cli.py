@@ -40,7 +40,7 @@ def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--service", default="linked-list", choices=SERVICES)
     parser.add_argument("--protocol", default="paxos",
                         choices=("paxos", "sequencer"))
-    parser.add_argument("--algorithm", default="lock-free",
+    parser.add_argument("--algorithm", "--scheduler", default="lock-free",
                         choices=COS_ALGORITHMS)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--engine", default="threaded",

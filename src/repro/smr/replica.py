@@ -101,7 +101,7 @@ class ParallelReplica:
         self._runtime = ThreadedRuntime()
         self._cos = ThreadedCOS(
             make_cos(cos_algorithm, self._runtime, service.conflicts,
-                     max_size=max_graph_size, obs=obs),
+                     max_size=max_graph_size, obs=obs, workers=workers),
             self._runtime,
         )
         self._threads: List[threading.Thread] = []

@@ -294,6 +294,7 @@ def _build_executor(
         costs=structure_costs(),
         classes_of=classes_of,
         obs=registry,
+        workers=config.workers,
     )
     in_queue: Deque[Command] = deque()
     queued = runtime.semaphore(0)

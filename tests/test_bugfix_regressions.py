@@ -33,7 +33,13 @@ Each test fails against the pre-fix code:
 - **MpDispatcher._collector_loop broken pipe** (par/dispatcher.py): a
   broken reply-queue pipe raises from ``get()`` instantly, so the
   collector hot-spun a core forever; it now backs off (bounded) and
-  poisons the engine after repeated consecutive failures.
+  poisons the engine after repeated consecutive failures;
+- **make_cos footprint error** (core/__init__.py): asking for a
+  footprint-compiled scheduler (indexed / early / early-batched) with a
+  non-decomposable relation used to surface as IndexedCOS's generic
+  NotImplementedError naming only the indexed COS; the factory now
+  rejects it up front, naming the *requested* scheduler and listing the
+  pairwise schedulers that would work.
 """
 
 from __future__ import annotations
@@ -533,6 +539,36 @@ class TestCollectorBrokenPipe:
         assert dispatcher._crashed is None, (
             "a closing dispatcher's dead queue is not a crash")
         assert broken.calls == 1
+
+
+# --------------------------------------------------------------------------
+# make_cos: a non-decomposable relation names the scheduler you asked for.
+# --------------------------------------------------------------------------
+
+
+class TestFootprintSchedulerError:
+
+    @pytest.mark.parametrize("name", ["indexed", "early", "early-batched"])
+    def test_names_the_requested_scheduler_and_alternatives(self, name):
+        from repro.core import PredicateConflicts, make_cos
+
+        opaque = PredicateConflicts(lambda a, b: True)
+        with pytest.raises(ValueError) as excinfo:
+            make_cos(name, ThreadedRuntime(), opaque)
+        message = str(excinfo.value)
+        assert f"the {name!r} scheduler requires" in message
+        assert "PredicateConflicts" in message
+        assert "supports_footprint" in message
+        # Every pairwise alternative is offered; no footprint scheduler is.
+        for alternative in ("coarse-grained", "fine-grained", "lock-free"):
+            assert alternative in message
+        assert "'indexed'" not in message.split("scheduler requires")[1]
+
+    def test_decomposable_relation_passes_the_gate(self):
+        from repro.core import make_cos
+
+        cos = make_cos("early", ThreadedRuntime(), ReadWriteConflicts())
+        assert cos.schedule().describe()["policy"] == "static"
 
 
 # --------------------------------------------------------------------------

@@ -15,7 +15,8 @@ from repro.check.replay import load_replay, replay, save_replay
 from repro.cli import main
 from repro.errors import SimulationError
 
-ALL_CHECKED = GRAPH_ALGORITHMS + ("sequential", "class-based")
+ALL_CHECKED = GRAPH_ALGORITHMS + ("sequential", "class-based", "early",
+                                  "early-batched")
 
 
 @pytest.mark.parametrize("algorithm", ALL_CHECKED)

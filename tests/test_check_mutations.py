@@ -42,6 +42,16 @@ MUTANT_CASES = {
                     write_every=2, mutant="indexed-skip-reader-tracking"),
         "conflict-order",
     ),
+    # Under the read/write relation with 2 workers the early scheduler
+    # spreads reads round-robin over both lanes and barriers writes across
+    # them.  The mutant enqueues the leading write in lane 0 only, so the
+    # second read lands in an *empty* lane 1 and is gettable while the
+    # conflicting write still executes.
+    "early-skip-barrier": (
+        CheckConfig(algorithm="early", workers=2, commands=4, max_size=4,
+                    write_every=3, mutant="early-skip-barrier"),
+        "conflict-order",
+    ),
 }
 
 BUDGET = dict(max_schedules=2_000, max_steps=2_000)

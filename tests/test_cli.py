@@ -15,10 +15,16 @@ class TestStandalone:
         assert "kops/s" in out
 
     @pytest.mark.parametrize("algorithm", ("coarse-grained", "sequential",
-                                           "class-based"))
+                                           "class-based", "early",
+                                           "early-batched"))
     def test_all_algorithms_accepted(self, capsys, algorithm):
         assert main(["standalone", "--algorithm", algorithm,
                      "--workers", "2", "--measure-ops", "400"]) == 0
+
+    def test_scheduler_alias_selects_algorithm(self, capsys):
+        assert main(["standalone", "--scheduler", "early",
+                     "--workers", "2", "--measure-ops", "400"]) == 0
+        assert "algorithm=early" in capsys.readouterr().out
 
     def test_write_pct_flag(self, capsys):
         assert main(["standalone", "--write-pct", "50",

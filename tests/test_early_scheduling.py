@@ -1,0 +1,206 @@
+"""Unit tests for the early/static scheduler (repro.core.early).
+
+The shared contract lives in ``test_scheduler_conformance.py``; the
+three-way lockstep fuzz in ``test_indexed_differential.py``; what is
+covered here is the configuration-time compile step and the semantics
+specific to early scheduling: worker-set tiling, reader spread, the
+write barrier, free commands, the batched-index rebalancer, and the
+observability surface.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import (
+    EarlyConfig,
+    EarlyCOS,
+    KeyedConflicts,
+    NeverConflicts,
+    ReadWriteConflicts,
+    ThreadedCOS,
+    ThreadedRuntime,
+    make_cos,
+)
+from repro.core.command import Command
+from repro.core.early import EarlySchedule
+from repro.obs import MetricsRegistry
+
+
+def read(key=0):
+    return Command("contains", (key,), writes=False)
+
+
+def write(key=0):
+    return Command("add", (key,), writes=True)
+
+
+def make_early(conflicts, workers=4, max_size=64, batched=False, obs=None):
+    runtime = ThreadedRuntime()
+    cos = EarlyCOS(runtime, conflicts, max_size,
+                   config=EarlyConfig(workers=workers, batched=batched),
+                   obs=obs)
+    return ThreadedCOS(cos, runtime), cos
+
+
+class TestCompile:
+    def test_single_class_spreads_over_all_workers(self):
+        plan = EarlySchedule(ReadWriteConflicts(), EarlyConfig(workers=6))
+        assert plan.spread == 6
+        assert plan.worker_set("rw") == (0, 1, 2, 3, 4, 5)
+        assert plan.mode_of("rw") == "barrier"
+
+    def test_unbounded_classes_get_exclusive_lanes(self):
+        plan = EarlySchedule(KeyedConflicts(), EarlyConfig(workers=4))
+        assert plan.spread == 1
+        for key in range(16):
+            (lane,) = plan.worker_set(key)
+            assert 0 <= lane < 4
+        assert plan.mode_of(3) == "exclusive"
+
+    def test_known_universe_tiles_disjoint_blocks(self):
+        # 2 classes over 6 workers -> 3 lanes each, non-overlapping.
+        relation = KeyedConflicts()
+        relation.class_universe = lambda: 2
+        plan = EarlySchedule(relation, EarlyConfig(workers=6))
+        assert plan.spread == 3
+        sets = {plan.worker_set(c) for c in (0, 1)}
+        lanes = [lane for ws in sets for lane in ws]
+        assert len(lanes) == len(set(lanes)), "worker sets overlap"
+
+    def test_spread_override_and_validation(self):
+        plan = EarlySchedule(ReadWriteConflicts(),
+                             EarlyConfig(workers=4, spread=2))
+        assert plan.spread == 2
+        with pytest.raises(ValueError):
+            EarlySchedule(ReadWriteConflicts(),
+                          EarlyConfig(workers=4, spread=0))
+        with pytest.raises(ValueError):
+            EarlySchedule(ReadWriteConflicts(), EarlyConfig(workers=0))
+
+    def test_describe_names_the_policy(self):
+        static = EarlySchedule(ReadWriteConflicts(), EarlyConfig(workers=2))
+        batched = EarlySchedule(ReadWriteConflicts(),
+                                EarlyConfig(workers=2, batched=True))
+        assert static.describe()["policy"] == "static"
+        assert batched.describe()["policy"] == "batched-index"
+
+
+class TestSemantics:
+    def test_reads_of_one_class_run_concurrently(self):
+        # The property plain class-based scheduling gives up: with the
+        # read/write relation, reads spread round-robin over the worker
+        # set and are simultaneously gettable.
+        cos, _ = make_early(ReadWriteConflicts(), workers=4)
+        reads = [read(i) for i in range(4)]
+        for cmd in reads:
+            cos.insert(cmd)
+        handles = [cos.get() for _ in reads]
+        assert {cos.command_of(h).uid for h in handles} == {
+            c.uid for c in reads}
+        for handle in handles:
+            cos.remove(handle)
+
+    def test_write_barriers_across_the_worker_set(self):
+        cos, _ = make_early(ReadWriteConflicts(), workers=2)
+        r1, r2, w = read(1), read(2), write(3)
+        cos.insert(r1)   # lane 0
+        cos.insert(r2)   # lane 1
+        cos.insert(w)    # barrier: lanes {0, 1}
+        h1, h2 = cos.get(), cos.get()
+        cos.remove(h1)
+        got = []
+
+        def getter():
+            got.append(cos.command_of(cos.get()))
+
+        thread = threading.Thread(target=getter, daemon=True)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive(), "write ran before its whole worker set"
+        cos.remove(h2)
+        thread.join(timeout=5)
+        assert got == [w]
+
+    def test_free_commands_bypass_the_lanes(self):
+        cos, inner = make_early(NeverConflicts(), workers=2)
+        writes = [write(i) for i in range(5)]
+        for cmd in writes:
+            cos.insert(cmd)
+        assert inner.lane_stats_unsafe() == ((0, 0), 5)
+        handles = [cos.get() for _ in writes]
+        assert len(handles) == 5
+        for handle in handles:
+            cos.remove(handle)
+
+    def test_remove_twice_rejected(self):
+        cos, _ = make_early(ReadWriteConflicts(), workers=2)
+        cos.insert(read(1))
+        handle = cos.get()
+        cos.remove(handle)
+        with pytest.raises(LookupError):
+            cos.remove(handle)
+
+    def test_non_decomposable_relation_rejected(self):
+        from repro.core import PredicateConflicts
+        runtime = ThreadedRuntime()
+        with pytest.raises(ValueError, match="supports_footprint"):
+            EarlyCOS(runtime, PredicateConflicts(lambda a, b: True))
+
+
+class TestBatchedIndex:
+    def test_homes_go_to_least_loaded_lane(self):
+        plan = EarlySchedule(KeyedConflicts(),
+                             EarlyConfig(workers=3, batched=True))
+        lanes = [plan.assign(((key, True),))[0][0] for key in "abc"]
+        assert sorted(lanes) == [0, 1, 2], "classes not spread by load"
+
+    def test_idle_classes_rehome_after_a_batch(self):
+        plan = EarlySchedule(
+            KeyedConflicts(),
+            EarlyConfig(workers=2, batched=True, batch_size=2))
+        plan.assign((("hot", True),))
+        plan.retire((("hot", True),))
+        plan.assign((("other", True),))
+        plan.retire((("other", True),))   # second removal -> purge sweep
+        assert plan.rebalances >= 1
+        # "hot" is idle, so it may re-home; a *live* class keeps its home.
+        live_home = plan.assign((("pinned", True),))[0]
+        again = plan.assign((("pinned", True),))[0]
+        assert live_home == again, "live class re-homed mid-flight"
+
+    def test_batched_cos_end_to_end(self):
+        cos, inner = make_early(KeyedConflicts(), workers=2, batched=True)
+        for i in range(12):
+            cos.insert(write(i % 4))
+        for _ in range(12):
+            cos.remove(cos.get())
+        depths, ready = inner.lane_stats_unsafe()
+        assert depths == (0, 0) and ready == 0
+
+
+class TestObservability:
+    def test_lane_depth_and_barrier_metrics(self):
+        registry = MetricsRegistry()
+        cos, _ = make_early(ReadWriteConflicts(), workers=2, obs=registry)
+        cos.insert(read(1))
+        cos.insert(read(2))
+        cos.insert(write(3))
+        snapshot = registry.snapshot()
+        assert snapshot['early_lane_depth{lane="0"}']["value"] == 2
+        assert snapshot['early_lane_depth{lane="1"}']["value"] == 2
+        assert snapshot["early_barrier_commands_total"]["value"] == 1
+        assert snapshot["cos_inserts_total"]["value"] == 3
+        for _ in range(3):
+            cos.remove(cos.get())
+        snapshot = registry.snapshot()
+        assert snapshot['early_lane_depth{lane="0"}']["value"] == 0
+        assert snapshot["cos_removes_total"]["value"] == 3
+
+    def test_make_cos_obs_and_workers_plumbing(self):
+        registry = MetricsRegistry()
+        runtime = ThreadedRuntime()
+        cos = make_cos("early-batched", runtime, ReadWriteConflicts(),
+                       workers=3, obs=registry)
+        assert cos.schedule().describe()["workers"] == 3
+        assert cos.schedule().describe()["policy"] == "batched-index"

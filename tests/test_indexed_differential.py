@@ -1,4 +1,4 @@
-"""Differential fuzz: indexed COS vs lock-free COS vs a spec model.
+"""Differential fuzz: indexed / lock-free / early COS vs a spec model.
 
 The indexed structure (repro.core.indexed) claims its per-class index
 links the *transitive reduction* of the lock-free graph's "every live
@@ -16,6 +16,17 @@ running the two graph layers in lockstep over seeded random schedules:
   (b) the exact set of ready commands;
 - both observation streams must equal the model's prediction — and
   hence each other.
+
+The early/static scheduler (repro.core.early) joins as the third way,
+with a *weaker* contract: early scheduling is conservative (commands of
+different classes sharing a lane serialize), so its ready set must be a
+**subset** of the spec model's at every step — never a superset, which
+would mean a conflicting pair was left unordered.  Because removals must
+target ready commands and early's ready set is the smallest, the script
+is generated *online* against the early structure (every early-ready
+command is spec-ready, so the spec and the exact schedulers can follow
+the same script), then replayed through the spec model and the indexed
+COS.  Draining to empty doubles as the deadlock-freedom check.
 
 The edge-level claim is checked as a sandwich, per inserted command::
 
@@ -265,6 +276,138 @@ def test_index_edges_are_a_transitive_reduction(seed):
         assert lf_deps <= closure, (
             f"conflicting predecessor unordered for {arg!r}: "
             f"{lf_deps - closure} not reachable through the index edges")
+
+
+# --------------------------------------------------- three-way: early COS
+
+
+EARLY_WORKERS = 3
+
+
+def _find_early_node(cos, uid):
+    """A live early node sits in at least one of its lanes."""
+    for queue in cos._lanes:
+        for node in queue:
+            if node.cmd.uid == uid:
+                return node
+    raise AssertionError(f"uid {uid} not in any lane")
+
+
+def _drive_early_online(seed, conflicts, cos_cls):
+    """Generate and run one script *against the early structure*.
+
+    Removals are drawn from early's own ready set (the most conservative
+    of the three, so the spec model and the exact schedulers can replay
+    the identical script).  Returns the script plus early's ready set
+    observed after every operation.
+    """
+    from repro.core.early import EarlyConfig
+
+    sim = Simulator()
+    runtime = SimRuntime(sim)
+    cos = cos_cls(runtime, conflicts, MAX_SIZE,
+                  config=EarlyConfig(workers=EARLY_WORKERS))
+    rng = random.Random(seed)
+    script: List[Tuple[str, object]] = []
+    early_ready: List[FrozenSet[int]] = []
+
+    def program():
+        live = 0
+        while len(script) < STEPS or live:
+            ready = sorted(cos.ready_uids_unsafe())
+            draining = len(script) >= STEPS
+            can_insert = live < MAX_SIZE and not draining
+            if can_insert and (not ready or rng.random() < 0.55):
+                writes = rng.random() < 0.4
+                key = rng.randrange(KEY_SPACE)
+                cmd = Command("add" if writes else "contains", (key,),
+                              writes=writes)
+                yield from cos._early_insert(cmd)
+                script.append(("insert", cmd))
+                live += 1
+            else:
+                assert ready, "early COS deadlocked: live commands, none ready"
+                uid = rng.choice(ready)
+                yield from cos._early_remove(_find_early_node(cos, uid))
+                script.append(("remove", uid))
+                live -= 1
+            early_ready.append(frozenset(cos.ready_uids_unsafe()))
+
+    runtime.spawn(program(), "early-driver")
+    sim.run()
+    depths, ready_len = cos.lane_stats_unsafe()
+    assert set(depths) == {0} and ready_len == 0, (
+        "early structure not drained: the script lost a command")
+    return script, early_ready
+
+
+@pytest.mark.parametrize("relation", sorted(RELATIONS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_early_ready_sets_are_spec_subsets(relation, seed):
+    """Three-way lockstep: early ⊆ spec, indexed == spec, same script."""
+    from repro.core.early import EarlyCOS
+
+    conflicts = RELATIONS[relation]()
+    script, early_ready = _drive_early_online(seed, conflicts, EarlyCOS)
+
+    # Replay on the spec model: early admits only spec-legal states.
+    model = SpecModel(conflicts)
+    expected: List[Tuple[int, FrozenSet[int]]] = []
+    for step, ((action, arg), got_early) in enumerate(
+            zip(script, early_ready)):
+        label = f"step {step} ({action} {arg!r}) [{relation} seed {seed}]"
+        if action == "insert":
+            freed = model.insert(arg)
+        else:
+            assert arg in model.ready_uids(), (
+                f"early handed out a command the spec had not "
+                f"released at {label}")
+            freed = model.remove(arg)
+        expected.append((freed, model.ready_uids()))
+        assert got_early <= model.ready_uids(), (
+            f"early ready set is not a spec subset at {label}: "
+            f"{set(got_early) - model.ready_uids()} released too soon")
+    assert not model.live, "script did not drain the spec model"
+
+    # Replay on the exact indexed scheduler: full equality with the spec.
+    observed_indexed, _ = _run_indexed(script, conflicts)
+    for step, (want, got_idx) in enumerate(zip(expected, observed_indexed)):
+        action, arg = script[step]
+        assert got_idx == want, (
+            f"indexed diverged from spec at step {step} "
+            f"({action} {arg!r}) [{relation} seed {seed}]")
+
+
+def test_skip_barrier_mutant_breaks_the_subset_invariant():
+    """EarlySkipBarrierCOS releases commands the spec still orders.
+
+    Under the read/write relation every class spreads over all lanes, so
+    writes must barrier; the mutant enqueues them in one lane only and
+    its ready set stops being a subset of the spec's — exactly the
+    violation repro.check pins as conflict-order.
+    """
+    from repro.check.mutants import EarlySkipBarrierCOS
+
+    conflicts_cls = ReadWriteConflicts
+    diverged = 0
+    for seed in SEEDS:
+        script, early_ready = _drive_early_online(
+            seed, conflicts_cls(), EarlySkipBarrierCOS)
+        model = SpecModel(conflicts_cls())
+        for (action, arg), got_early in zip(script, early_ready):
+            if action == "insert":
+                model.insert(arg)
+            else:
+                if arg not in model.ready_uids():
+                    diverged += 1  # mutant released it before the spec did
+                    break
+                model.remove(arg)
+            if not got_early <= model.ready_uids():
+                diverged += 1
+                break
+    assert diverged > 0, (
+        "skip-barrier mutant indistinguishable from spec; "
+        "the subset check has no teeth")
 
 
 def test_mutant_breaks_the_differential_lockstep():

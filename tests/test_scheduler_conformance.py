@@ -1,0 +1,200 @@
+"""One shared conformance contract over every COS scheduler.
+
+Factored out of the per-scheduler assertions that used to be scattered
+across ``test_cos_spec.py`` / ``test_cos_properties.py`` /
+``test_class_based.py``: every scheduler — the paper's three graphs, the
+indexed graph, the sequential baseline, class-based, and the early/static
+schedulers — must satisfy the same externally observable contract,
+regardless of how much scheduling *freedom* it offers internally
+(freedom-specific tests stay in ``test_cos_spec.py``, which only the
+DAG-grade schedulers can pass):
+
+- basic lifecycle: ``insert`` → ``get`` → ``remove`` round-trips;
+- FIFO for independent commands drained one at a time;
+- **total order of writes**: all-write workloads execute in delivery
+  order on real threads;
+- **conflict ordering**: under the keyed relation, conflicting commands
+  never overlap and execute in delivery order;
+- **no lost or duplicated commands** across a threaded workload;
+- **bounded size**: ``insert`` blocks at capacity and is released by
+  ``remove``; invalid capacities are rejected;
+- ``get`` blocks on an empty structure until an insert arrives.
+
+The suite is parametrized over :data:`repro.core.COS_ALGORITHMS`, so a
+new backend registered with ``make_cos`` gets the full battery by
+construction — one fixture entry, nothing else.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from conftest import make_mixed_commands, make_threaded_cos, run_threaded_workload
+from repro.core import COS_ALGORITHMS, ConflictRelation, ReadWriteConflicts
+from repro.core.command import Command
+
+#: Every registered scheduler, including the early/static ones.
+SCHEDULERS = COS_ALGORITHMS
+
+
+class SmallKeyedConflicts(ConflictRelation):
+    """Keyed read/write conflicts over a finite key universe.
+
+    Commands without a key (the workload driver's stop pills) write
+    *every* class, so they conflict with everything and drain last — the
+    property ``run_threaded_workload`` needs to terminate cleanly.  The
+    finite universe also gives the footprint schedulers a compile-time
+    class count (cross-class writes take early scheduling's worker-set
+    barrier path).
+    """
+
+    supports_footprint = True
+
+    def __init__(self, keys: int = 4):
+        self._keys = keys
+
+    def _key_of(self, cmd):
+        return cmd.args[0] % self._keys if cmd.args else None
+
+    def conflicts(self, a, b):
+        if not (a.writes or b.writes):
+            return False
+        key_a, key_b = self._key_of(a), self._key_of(b)
+        return key_a is None or key_b is None or key_a == key_b
+
+    def footprint(self, cmd):
+        key = self._key_of(cmd)
+        if key is None:
+            return tuple((k, True) for k in range(self._keys))
+        return ((key, cmd.writes),)
+
+    def class_universe(self):
+        return self._keys
+
+
+def read(key=0):
+    return Command("contains", (key,), writes=False)
+
+
+def write(key=0):
+    return Command("add", (key,), writes=True)
+
+
+@pytest.fixture(params=SCHEDULERS)
+def scheduler(request):
+    return request.param
+
+
+@pytest.fixture
+def cos(scheduler):
+    return make_threaded_cos(scheduler, ReadWriteConflicts())
+
+
+class TestLifecycle:
+    def test_insert_get_remove(self, cos):
+        cmd = read(1)
+        cos.insert(cmd)
+        handle = cos.get()
+        assert cos.command_of(handle) is cmd
+        cos.remove(handle)
+
+    def test_fifo_for_independent_commands(self, cos):
+        commands = [read(i) for i in range(5)]
+        for cmd in commands:
+            cos.insert(cmd)
+        for expected in commands:
+            handle = cos.get()
+            assert cos.command_of(handle) is expected
+            cos.remove(handle)
+
+
+class TestThreadedContract:
+    """Algorithm 1 on real threads: ordering and completeness."""
+
+    def test_no_lost_or_duplicated_commands(self, scheduler):
+        commands = make_mixed_commands(48, write_every=4, key_space=6)
+        cos = make_threaded_cos(scheduler, ReadWriteConflicts())
+        log = run_threaded_workload(cos, commands, n_workers=4)
+        uids = [cmd.uid for cmd in commands]
+        assert sorted(log.order) == sorted(uids), "lost or duplicated"
+        assert len(set(log.order)) == len(log.order), "a command ran twice"
+
+    def test_writes_execute_in_total_delivery_order(self, scheduler):
+        # All-write workloads conflict pairwise under every relation any
+        # scheduler here derives, so execution start order must equal
+        # delivery order exactly.
+        commands = [write(i % 3) for i in range(24)]
+        cos = make_threaded_cos(scheduler, ReadWriteConflicts())
+        log = run_threaded_workload(cos, commands, n_workers=4)
+        assert log.order == [cmd.uid for cmd in commands]
+
+    def test_conflicting_commands_never_overlap(self, scheduler):
+        # Per-class (here: per-key) FIFO with read/write semantics: every
+        # conflicting pair finishes-before-starts in delivery order.
+        # Schedulers may be *more* conservative than the keyed relation
+        # (class-based and sequential order more pairs); never less.
+        conflicts = SmallKeyedConflicts(keys=4)
+        commands = make_mixed_commands(48, write_every=3, key_space=4)
+        cos = make_threaded_cos(scheduler, conflicts)
+        log = run_threaded_workload(cos, commands, n_workers=4,
+                                    execute_ns=20_000)
+        log.assert_conflicts_ordered(commands, conflicts)
+
+    def test_per_class_write_fifo(self, scheduler):
+        # Within one conflict class, writes are FIFO in delivery order.
+        conflicts = SmallKeyedConflicts(keys=3)
+        commands = [write(i % 3) for i in range(18)]
+        cos = make_threaded_cos(scheduler, conflicts)
+        log = run_threaded_workload(cos, commands, n_workers=3)
+        for key in range(3):
+            per_class = [cmd.uid for cmd in commands if cmd.args[0] == key]
+            started = [uid for uid in log.order if uid in set(per_class)]
+            assert started == per_class, f"class {key} not FIFO"
+
+
+class TestBoundedSize:
+    def test_insert_blocks_when_full_and_remove_releases(self, scheduler):
+        cos = make_threaded_cos(scheduler, ReadWriteConflicts(), max_size=3)
+        for i in range(3):
+            cos.insert(read(i))
+        blocked = threading.Event()
+        done = threading.Event()
+
+        def inserter():
+            blocked.set()
+            cos.insert(read(99))
+            done.set()
+
+        thread = threading.Thread(target=inserter, daemon=True)
+        thread.start()
+        blocked.wait(timeout=5)
+        assert not done.wait(timeout=0.2), "insert did not block on full graph"
+        handle = cos.get()
+        cos.remove(handle)
+        assert done.wait(timeout=5), "insert not released by remove"
+        # Drain what is left so worker threads cannot linger.
+        for _ in range(3):
+            cos.remove(cos.get())
+
+    def test_invalid_max_size_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            make_threaded_cos(scheduler, ReadWriteConflicts(), max_size=0)
+
+
+class TestBlockingGet:
+    def test_get_blocks_until_insert(self, cos):
+        got = []
+
+        def getter():
+            got.append(cos.command_of(cos.get()))
+
+        thread = threading.Thread(target=getter, daemon=True)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive(), "get returned from an empty structure"
+        cmd = read(1)
+        cos.insert(cmd)
+        thread.join(timeout=5)
+        assert got == [cmd]
