@@ -22,9 +22,9 @@ import sys
 
 sys.path.insert(0, os.path.dirname(__file__))  # conftest when run directly
 
-from conftest import RESULTS_DIR, emit
+from conftest import emit
 
-from repro.bench import FigureData, run_benchmark, write_bench_json
+from repro.bench import FigureData, run_benchmark
 from repro.par.bench import MpBenchConfig
 
 SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
@@ -38,7 +38,19 @@ MEASURE_OPS = 300 if SMOKE else 2_000
 WARM_OPS = 50 if SMOKE else 200
 
 
-def _point(engine: str, workers: int) -> dict:
+#: Measured series: the threaded baseline plus the mp engine with batched
+#: dispatch (ParallelReplica's default drain of the COS ready set — one
+#: pickle and one queue wakeup per same-shard batch) and with batching
+#: disabled (``dispatch_batch=1`` — one IPC round trip per command, the
+#: pre-batching behavior).
+SERIES = (
+    ("threaded", "threaded", None),
+    ("mp-batched", "mp", None),
+    ("mp-unbatched", "mp", 1),
+)
+
+
+def _point(label: str, engine: str, workers: int, dispatch_batch) -> dict:
     config = MpBenchConfig(
         engine=engine,
         mp_workers=workers,
@@ -47,17 +59,46 @@ def _point(engine: str, workers: int) -> dict:
         key_space=KEY_SPACE,
         warm_ops=WARM_OPS,
         measure_ops=MEASURE_OPS,
+        dispatch_batch=dispatch_batch,
     )
     result = run_benchmark("mp", config)
     return {
+        "series": label,
         "engine": engine,
         "workers": workers,
+        "dispatch_batch": dispatch_batch,
         "throughput": result.throughput,
         "dispatch_p50": result.dispatch_p50,
         "dispatch_p99": result.dispatch_p99,
         "shard_busy": result.shard_busy,
         "barrier_rounds": result.barrier_rounds,
     }
+
+
+def _crossover(mp_points: dict, threaded_points: dict):
+    """Worker count where the mp curve reaches the threaded baseline.
+
+    Returns the smallest measured worker count whose mp/threaded ratio is
+    >= 1.  When no measured point crosses (the single-CPU case: the mp
+    engine pays IPC overhead with no cores to win back), the ratio trend
+    of the last two points is extrapolated linearly to 1.0 — a *projected*
+    crossover, recorded as such.  A flat or falling trend projects to
+    ``None`` (never crosses).
+    """
+    counts = sorted(set(mp_points) & set(threaded_points))
+    ratios = [(w, mp_points[w] / threaded_points[w]) for w in counts]
+    for workers, ratio in ratios:
+        if ratio >= 1.0:
+            return {"workers": workers, "ratio": ratio,
+                    "projected": False, "ratios": ratios}
+    if len(ratios) >= 2:
+        (w_lo, r_lo), (w_hi, r_hi) = ratios[-2], ratios[-1]
+        slope = (r_hi - r_lo) / (w_hi - w_lo)
+        if slope > 0:
+            return {"workers": w_hi + (1.0 - r_hi) / slope,
+                    "ratio": 1.0, "projected": True, "ratios": ratios}
+    return {"workers": None, "ratio": ratios[-1][1] if ratios else 0.0,
+            "projected": True, "ratios": ratios}
 
 
 def mp_scaling() -> FigureData:
@@ -69,29 +110,31 @@ def mp_scaling() -> FigureData:
         y_label="cmds/s",
     )
     points = []
-    for engine in ("threaded", "mp"):
+    for label, engine, dispatch_batch in SERIES:
         for workers in WORKER_COUNTS:
-            point = _point(engine, workers)
+            point = _point(label, engine, workers, dispatch_batch)
             points.append(point)
-            figure.add_point("wall-clock", engine, workers,
+            figure.add_point("wall-clock", label, workers,
                              point["throughput"])
-    RESULTS_DIR.mkdir(exist_ok=True)
-    write_bench_json(
-        "mp_scaling",
-        {
-            "points": points,
-            "worker_counts": WORKER_COUNTS,
-            "key_space": KEY_SPACE,
-            "measure_ops": MEASURE_OPS,
-            "smoke": SMOKE,
-        },
-        str(RESULTS_DIR),
-    )
+    curves = {label: dict(figure.panels["wall-clock"][label])
+              for label, _, _ in SERIES}
+    crossovers = {
+        "batched": _crossover(curves["mp-batched"], curves["threaded"]),
+        "unbatched": _crossover(curves["mp-unbatched"], curves["threaded"]),
+    }
+    figure.extra = {
+        "points": points,
+        "worker_counts": WORKER_COUNTS,
+        "key_space": KEY_SPACE,
+        "measure_ops": MEASURE_OPS,
+        "smoke": SMOKE,
+        "crossover": crossovers,
+    }
     return figure
 
 
 def _check_scaling(figure: FigureData) -> None:
-    mp_points = dict(figure.panels["wall-clock"]["mp"])
+    mp_points = dict(figure.panels["wall-clock"]["mp-batched"])
     low, high = min(mp_points), max(mp_points)
     cores = os.cpu_count() or 1
     if cores >= 4 and high >= 4 and not SMOKE:
@@ -104,6 +147,32 @@ def _check_scaling(figure: FigureData) -> None:
     else:
         print(f"[mp_scaling] speedup assertion skipped "
               f"(cpu_count={cores}, max_workers={high}, smoke={SMOKE})")
+    _check_crossover(figure)
+
+
+def _check_crossover(figure: FigureData) -> None:
+    crossovers = figure.extra["crossover"]
+    batched = crossovers["batched"]
+    unbatched = crossovers["unbatched"]
+    for label, data in (("batched", batched), ("unbatched", unbatched)):
+        mark = "projected " if data["projected"] else ""
+        where = ("never" if data["workers"] is None
+                 else f"{data['workers']:.2f} workers")
+        print(f"[mp_scaling] {label} mp-vs-threaded crossover: "
+              f"{mark}{where} (last ratio {data['ratios'][-1][1]:.3f})")
+    if SMOKE:
+        return
+    # Batched dispatch amortizes the per-command IPC round trip, so the mp
+    # engine must reach (or project to reach) the threaded baseline at a
+    # strictly lower worker count than unbatched dispatch.  ``None`` means
+    # "never crosses" and compares as +inf.
+    inf = float("inf")
+    batched_at = batched["workers"] if batched["workers"] is not None else inf
+    unbatched_at = (unbatched["workers"]
+                    if unbatched["workers"] is not None else inf)
+    assert batched_at < unbatched_at, (
+        f"batched dispatch did not lower the mp-vs-threaded crossover "
+        f"(batched {batched_at}, unbatched {unbatched_at})")
 
 
 def test_mp_scaling(benchmark):
@@ -111,7 +180,8 @@ def test_mp_scaling(benchmark):
     emit(figure)
     _check_scaling(figure)
     # Engine sanity holds on any host: every configured point measured.
-    assert len(figure.panels["wall-clock"]["mp"]) == len(WORKER_COUNTS)
+    assert len(figure.panels["wall-clock"]["mp-batched"]) == \
+        len(WORKER_COUNTS)
 
 
 def main() -> int:

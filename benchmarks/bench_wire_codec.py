@@ -1,0 +1,195 @@
+"""Frames/sec and bytes-on-wire: binary codec vs tagged JSON.
+
+The mixed-message panel mirrors one consensus round of a loaded cluster —
+an 8-command ``Accept`` and its ``Accepted``/``Decide``, a ``Heartbeat``,
+a recovery ``Promise``, and the client-facing ``ClientRequest`` /
+``ClientResponse`` envelopes.  Each codec encodes and decodes the whole
+panel in a loop; the figure reports frames/sec per direction plus total
+bytes on the wire for one panel pass.
+
+This benchmark *gates* the binary codec's reason to exist: the combined
+encode+decode round trip must be at least 2x the JSON codec's on this
+panel (it is the hot path of every replica's network loop).  The byte
+ratio is reported alongside — compact framing is what shrinks the
+length-prefixed frames the transport shuttles.
+
+Run as a pytest benchmark (``pytest benchmarks/bench_wire_codec.py``) or
+directly (``python benchmarks/bench_wire_codec.py [--smoke]``).  Results
+land in ``benchmarks/results/wire_codec.txt`` and the machine-readable
+``BENCH_wire_codec.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))  # conftest when run directly
+
+from conftest import emit
+
+from repro.bench import FigureData
+from repro.broadcast.messages import (
+    Accept,
+    Accepted,
+    Decide,
+    Heartbeat,
+    Promise,
+)
+from repro.core.command import Command
+from repro.net.codec import WIRE_NAMES, wire_codec
+from repro.net.messages import ClientRequest, ClientResponse
+
+SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: Panel passes per timing sample.
+ITERATIONS = 50 if SMOKE else (2_000 if FULL else 500)
+#: Best-of-N timing samples (flattens scheduler noise on small hosts).
+SAMPLES = 3
+
+#: The ratio the binary codec must clear on the combined round trip.
+ROUNDTRIP_GATE = 2.0
+
+BATCH = 8
+
+
+def _commands(base: int) -> tuple:
+    return tuple(
+        Command(
+            op="put",
+            args=(f"key-{base + i}", base + i),
+            client_id=f"client-{i % 4}",
+            request_id=base + i,
+            uid=base + i,
+            writes=True,
+        )
+        for i in range(BATCH)
+    )
+
+
+def build_panel() -> list:
+    """(src, message) pairs for one consensus round plus client traffic."""
+    ballot = (3, 1)
+    batch = _commands(1000)
+    return [
+        (0, ClientRequest(batch, 17, "127.0.0.1", 52112, "client-0")),
+        (1, Accept(ballot, 42, batch)),
+        (2, Accepted(ballot, 42)),
+        (1, Decide(42, batch)),
+        (1, Heartbeat(ballot, 42)),
+        (2, Promise(ballot, {41: (ballot, _commands(2000))})),
+        *[(1, ClientResponse(command, None, 1)) for command in batch[:2]],
+    ]
+
+
+def _measure(codec, panel: list) -> dict:
+    frames = [codec.encode_frame(src, msg) for src, msg in panel]
+    bodies = [frame[codec.header_size:] for frame in frames]
+    n_frames = len(panel) * ITERATIONS
+
+    encode_best = decode_best = float("inf")
+    for _ in range(SAMPLES):
+        begun = time.perf_counter()
+        for _ in range(ITERATIONS):
+            for src, msg in panel:
+                codec.encode_frame(src, msg)
+        encode_best = min(encode_best, time.perf_counter() - begun)
+
+        begun = time.perf_counter()
+        for _ in range(ITERATIONS):
+            for body in bodies:
+                codec.decode_frame(body)
+        decode_best = min(decode_best, time.perf_counter() - begun)
+
+    encode_fps = n_frames / encode_best
+    decode_fps = n_frames / decode_best
+    return {
+        "codec": codec.name,
+        "encode_fps": encode_fps,
+        "decode_fps": decode_fps,
+        # One frame's full trip: encode once + decode once.
+        "roundtrip_fps": n_frames / (encode_best + decode_best),
+        "panel_bytes": sum(len(frame) for frame in frames),
+        "frame_bytes": {
+            type(msg).__name__: len(frame)
+            for (_, msg), frame in zip(panel, frames)
+        },
+    }
+
+
+def wire_codec_figure() -> FigureData:
+    figure = FigureData(
+        name="wire_codec",
+        title="Wire codec throughput (mixed consensus+client panel, "
+              f"{BATCH}-command batches)",
+        x_label="direction (0=encode, 1=decode, 2=roundtrip)",
+        y_label="frames/s",
+    )
+    panel = build_panel()
+    results = {}
+    for name in WIRE_NAMES:
+        results[name] = _measure(wire_codec(name), panel)
+        for x, key in enumerate(("encode_fps", "decode_fps",
+                                 "roundtrip_fps")):
+            figure.add_point("throughput", name, x, results[name][key])
+        figure.add_point("wire-size", name, 0, results[name]["panel_bytes"])
+    json_result, binary_result = results["json"], results["binary"]
+    figure.extra = {
+        "results": results,
+        "iterations": ITERATIONS,
+        "smoke": SMOKE,
+        "ratios": {
+            "encode": binary_result["encode_fps"] / json_result["encode_fps"],
+            "decode": binary_result["decode_fps"] / json_result["decode_fps"],
+            "roundtrip": (binary_result["roundtrip_fps"]
+                          / json_result["roundtrip_fps"]),
+            "bytes": (json_result["panel_bytes"]
+                      / binary_result["panel_bytes"]),
+        },
+        "roundtrip_gate": ROUNDTRIP_GATE,
+    }
+    return figure
+
+
+def _check_gate(figure: FigureData) -> None:
+    ratios = figure.extra["ratios"]
+    print(f"[wire_codec] binary/json: encode {ratios['encode']:.2f}x, "
+          f"decode {ratios['decode']:.2f}x, "
+          f"roundtrip {ratios['roundtrip']:.2f}x, "
+          f"bytes {ratios['bytes']:.2f}x smaller")
+    # Bytes-on-wire is deterministic: always gated.
+    assert ratios["bytes"] > 1.0, (
+        f"binary frames are not smaller than JSON "
+        f"({ratios['bytes']:.2f}x)")
+    if SMOKE:
+        # 50-iteration smoke timings are too noisy for a hard throughput
+        # gate; require the binary codec to at least beat JSON outright.
+        assert ratios["roundtrip"] > 1.0, (
+            f"binary codec is slower than JSON even in smoke "
+            f"({ratios['roundtrip']:.2f}x)")
+        return
+    assert ratios["roundtrip"] >= ROUNDTRIP_GATE, (
+        f"binary codec roundtrip is only {ratios['roundtrip']:.2f}x JSON "
+        f"on the mixed panel; the gate is {ROUNDTRIP_GATE}x")
+
+
+def test_wire_codec(benchmark):
+    figure = benchmark.pedantic(wire_codec_figure, rounds=1, iterations=1)
+    emit(figure)
+    _check_gate(figure)
+
+
+def main() -> int:
+    global SMOKE, ITERATIONS
+    if "--smoke" in sys.argv[1:]:
+        SMOKE, ITERATIONS = True, 50
+    figure = wire_codec_figure()
+    emit(figure)
+    _check_gate(figure)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

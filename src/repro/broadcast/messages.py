@@ -136,9 +136,17 @@ class CatchupReply:
 
 @dataclass(frozen=True)
 class Forward:
-    """A non-leader forwards a client payload to the current leader."""
+    """A non-leader forwards a client payload to the current leader.
+
+    ``hops`` counts relays so far: with three or more non-leaders holding
+    stale circular leader hints, a Forward could otherwise orbit the
+    cluster forever.  A relay re-sends with ``hops + 1``; a node whose
+    budget is exhausted queues the payload locally instead (see
+    ``MultiPaxos._on_forward``).
+    """
 
     payload: Any
+    hops: int = 0
 
 
 @dataclass(frozen=True)

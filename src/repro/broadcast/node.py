@@ -49,6 +49,7 @@ class ThreadedNode:
         self._inbox = transport.inbox(node_id)
         self._timers: List[Tuple[float, int, str]] = []
         self._timer_seq = itertools.count()
+        self._was_leader = False
         self._stopped = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name=name or f"node-{node_id}", daemon=True
@@ -81,7 +82,7 @@ class ThreadedNode:
     # ----------------------------------------------------------- event loop
 
     def _run(self) -> None:
-        self._perform(self.protocol.start())
+        self._step(self.protocol.start())
         while True:
             timeout = self._until_next_timer()
             try:
@@ -94,9 +95,9 @@ class ThreadedNode:
             if self._stopped.is_set():
                 return
             if src is _SUBMIT:
-                self._perform(self.protocol.submit(msg))
+                self._step(self.protocol.submit(msg))
             else:
-                self._perform(self.protocol.on_message(src, msg))
+                self._step(self.protocol.on_message(src, msg))
             self._fire_due_timers()
 
     def _until_next_timer(self) -> Optional[float]:
@@ -108,7 +109,26 @@ class ThreadedNode:
         now = time.monotonic()
         while self._timers and self._timers[0][0] <= now:
             _, _, timer_name = heapq.heappop(self._timers)
-            self._perform(self.protocol.on_timer(timer_name))
+            self._step(self.protocol.on_timer(timer_name))
+
+    def _step(self, actions: List[Any]) -> None:
+        """Perform one protocol call's actions, then watch for step-down.
+
+        Losing leadership strands any not-yet-proposed client payloads in
+        the protocol's ``pending`` queue — nothing would ever re-forward
+        them to the new leader (clients only recover by retrying into a
+        timeout).  Draining exactly on the observed was-leader → follower
+        transition re-forwards them once, without re-triggering on every
+        event while a follower (which could recirculate hop-exhausted
+        payloads forever).
+        """
+        self._perform(actions)
+        is_leader = bool(getattr(self.protocol, "is_leader", False))
+        if self._was_leader and not is_leader:
+            drain = getattr(self.protocol, "drain_pending_forwards", None)
+            if drain is not None:
+                self._perform(drain())
+        self._was_leader = is_leader
 
     def _perform(self, actions: List[Any]) -> None:
         for action in actions:

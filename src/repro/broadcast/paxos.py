@@ -51,11 +51,17 @@ from repro.broadcast.messages import (
 )
 from repro.errors import ConfigurationError
 
-__all__ = ["MultiPaxos", "NOOP"]
+__all__ = ["MultiPaxos", "NOOP", "FORWARD_HOP_LIMIT"]
 
 #: Filler value proposed for gap instances after a leader change.  Never
 #: delivered to the application.
 NOOP = "__paxos_noop__"
+
+#: Relays one Forward may take before the carrying node queues the payload
+#: locally instead of chasing another stale leader hint.  Any value >= the
+#: cluster size terminates a circular-hint cycle; generous slack keeps
+#: legitimate multi-hop chases (hint chains during a leader change) alive.
+FORWARD_HOP_LIMIT = 8
 
 #: Timer names used with SetTimer.
 HEARTBEAT_TIMER = "heartbeat"
@@ -255,10 +261,16 @@ class MultiPaxos:
             self.pending.append(msg.payload)
             return self._propose_batches()
         # Not the leader either: pass it along to our current hint, unless
-        # that would bounce it straight back.
+        # that would bounce it straight back — or the hop budget is spent
+        # (stale circular hints across >= 3 non-leaders would otherwise
+        # relay the same Forward forever).  An exhausted payload is queued
+        # locally: it is proposed if this node ever leads, and re-forwarded
+        # by drain_pending_forwards once a real leader emerges.
         hint = self.leader_hint()
-        if hint != src and hint != self.node_id:
-            return [Send(hint, msg)]
+        if (hint != src and hint != self.node_id
+                and msg.hops < FORWARD_HOP_LIMIT):
+            return [Send(hint, Forward(msg.payload, msg.hops + 1))]
+        self.pending.append(msg.payload)
         return []
 
     def _on_prepare(self, src: int, msg: Prepare) -> List[Action]:

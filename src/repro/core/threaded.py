@@ -125,8 +125,13 @@ class ThreadedRuntime(Runtime):
 
     def run(self, gen: EffectGen) -> Any:
         """Drive an effect generator to completion on the calling thread."""
+        return self.resume(gen, None)
+
+    def resume(self, gen: EffectGen, result: Any) -> Any:
+        """Continue a generator whose previous effect was performed by the
+        caller; ``result`` is that effect's result (``None`` for a fresh
+        generator)."""
         handlers = self._handlers
-        result: Any = None
         while True:
             try:
                 effect = gen.send(result)
@@ -162,6 +167,46 @@ class ThreadedCOS:
 
     def get(self) -> Any:
         return self._runtime.run(self._cos.get())
+
+    def try_get(self) -> Any:
+        """Non-blocking :meth:`get`: a ready handle, or ``None``.
+
+        The ready-counting algorithms (sequential, class-based,
+        fine-grained, lock-free, indexed, early) all open ``get()`` by
+        downing their ready semaphore, so the probe is a non-blocking
+        acquire on it: on success the rest of the generator runs to
+        completion exactly as under :meth:`get`.  An algorithm whose
+        first effect is anything else (mutex-first coarse-grained could
+        block while *holding* the graph mutex) is not probeable; no state
+        has been touched at that point, so the generator is simply closed
+        and ``None`` returned — callers degrade to batches of one.
+        """
+        gen = self._cos.get()
+        try:
+            effect = gen.send(None)
+        except StopIteration as stop:
+            return stop.value
+        if type(effect) is Down:
+            if not effect.semaphore.sem.acquire(blocking=False):
+                gen.close()
+                return None
+            # The blocking handler returns acquire()'s result (True).
+            return self._runtime.resume(gen, True)
+        gen.close()
+        return None
+
+    def get_batch(self, max_size: int) -> list:
+        """One blocking :meth:`get` plus up to ``max_size - 1`` ready
+        handles drained without blocking.  Commands behind the returned
+        handles are pairwise non-conflicting (they are all simultaneously
+        ready), so they may be executed in any order — or batched."""
+        handles = [self.get()]
+        while len(handles) < max_size:
+            handle = self.try_get()
+            if handle is None:
+                break
+            handles.append(handle)
+        return handles
 
     def remove(self, handle: Any) -> None:
         self._runtime.run(self._cos.remove(handle))

@@ -47,6 +47,7 @@ class NetBenchConfig:
     workers: int = 4
     engine: str = "threaded"        # "threaded" | "mp" (repro.par)
     mp_workers: int = 2             # shard processes per replica under mp
+    wire: str = "json"              # wire codec (docs/wire.md)
     seed: int = 1
     crash_replica: Optional[int] = None   # crash-stop this replica mid-run
     recover: bool = True                  # ...and restart it afterwards
@@ -100,6 +101,7 @@ def run_net_bench(config: NetBenchConfig,
         workers=config.workers,
         engine=config.engine,
         mp_workers=config.mp_workers,
+        wire=config.wire,
         client_timeout=config.client_timeout,
     )
     batches_per_client = max(

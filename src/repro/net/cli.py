@@ -25,6 +25,7 @@ from typing import List, Optional
 
 from repro.core import COS_ALGORITHMS
 from repro.net.bench import NetBenchConfig, run_net_bench
+from repro.net.codec import WIRE_NAMES
 from repro.net.client import NetClient
 from repro.net.config import SERVICES, NetConfig, loopback_config
 from repro.net.replica import ReplicaServer
@@ -49,6 +50,9 @@ def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
                              "worker processes (docs/parallel_execution.md)")
     parser.add_argument("--mp-workers", type=int, default=2,
                         help="shard processes per replica with --engine mp")
+    parser.add_argument("--wire", default="json", choices=WIRE_NAMES,
+                        help="wire codec on every TCP connection "
+                             "(docs/wire.md)")
 
 
 def add_net_parser(sub: argparse._SubParsersAction) -> None:
@@ -135,6 +139,7 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
         workers=args.workers,
         engine=args.engine,
         mp_workers=args.mp_workers,
+        wire=args.wire,
     )
     with open(args.config_out, "w") as handle:
         handle.write(config.to_json())
@@ -192,6 +197,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         engine=args.engine,
         mp_workers=args.mp_workers,
+        wire=args.wire,
         seed=args.seed,
         crash_replica=args.replicas - 1 if args.crash else None,
         trace=args.trace,

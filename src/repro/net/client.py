@@ -56,7 +56,7 @@ class NetClient:
         addresses[self.node_id] = (self._host, self._port)
         self.transport = TcpTransport(
             self.node_id, addresses, interceptor=self._on_message,
-            seed=self.node_id,
+            seed=self.node_id, wire=config.wire,
         ).start()
         self._client = Client(
             client_id,

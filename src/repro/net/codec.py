@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import struct
 from typing import Any, Dict, Tuple, Type
 
@@ -50,6 +51,7 @@ from repro.net.messages import ClientRequest, ClientResponse
 __all__ = [
     "CodecError",
     "WIRE_TYPES",
+    "WIRE_NAMES",
     "MAX_FRAME",
     "encode",
     "decode",
@@ -57,6 +59,7 @@ __all__ = [
     "loads",
     "encode_frame",
     "decode_frame",
+    "wire_codec",
 ]
 
 
@@ -98,6 +101,11 @@ def encode(obj: Any) -> Any:
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     if isinstance(obj, float):
+        if not math.isfinite(obj):
+            # json.dumps would happily emit bare ``NaN``/``Infinity`` tokens,
+            # which RFC 8259 forbids and many peers (and the binary codec)
+            # reject; fail at the source instead of on the wire.
+            raise CodecError(f"cannot encode non-finite float: {obj!r}")
         return obj
     if isinstance(obj, list):
         return [encode(item) for item in obj]
@@ -143,15 +151,25 @@ def dumps(obj: Any) -> bytes:
     return json.dumps(encode(obj), separators=(",", ":")).encode("utf-8")
 
 
+def _reject_constant(token: str) -> Any:
+    # Mirror of the encode-side finiteness check: a peer that does emit
+    # bare NaN/Infinity tokens is rejected rather than smuggling a
+    # non-finite float past both codecs' contracts.
+    raise CodecError(f"non-finite JSON constant on the wire: {token}")
+
+
 def loads(data: bytes) -> Any:
     try:
-        return decode(json.loads(data.decode("utf-8")))
+        return decode(json.loads(data.decode("utf-8"),
+                                 parse_constant=_reject_constant))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise CodecError(f"malformed frame body: {error}") from error
 
 
 def encode_frame(src: int, msg: Any) -> bytes:
     """Pack one ``(src, msg)`` pair into a length-prefixed frame."""
+    if isinstance(src, bool) or not isinstance(src, int):
+        raise CodecError(f"frame src must be an int, got {src!r}")
     body = dumps((src, msg))
     if len(body) > MAX_FRAME:
         raise CodecError(f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
@@ -164,6 +182,57 @@ def decode_frame(body: bytes) -> Tuple[int, Any]:
     if not isinstance(pair, tuple) or len(pair) != 2:
         raise CodecError(f"frame body is not an (src, msg) pair: {pair!r}")
     src, msg = pair
-    if not isinstance(src, int):
+    # bool passes ``isinstance(src, int)``; a ``True`` src would then be
+    # used as a node id (dict keys, peer routing) and silently alias node 1.
+    if isinstance(src, bool) or not isinstance(src, int):
         raise CodecError(f"frame src is not an int: {src!r}")
     return src, msg
+
+
+# ------------------------------------------------------------ wire codecs
+
+
+class _JsonWire:
+    """The tagged-JSON framing as a selectable wire codec.
+
+    Frame header: the bare 4-byte big-endian length prefix (no magic — this
+    is the v0 compatibility framing).  See :func:`wire_codec`.
+    """
+
+    name = "json"
+    header_size = _LEN.size
+    encode_frame = staticmethod(encode_frame)
+    decode_frame = staticmethod(decode_frame)
+    dumps = staticmethod(dumps)
+    loads = staticmethod(loads)
+
+    @staticmethod
+    def body_length(header: bytes) -> int:
+        """Parse a header; return the body length it announces."""
+        length = _LEN.unpack(header)[0]
+        if length > MAX_FRAME:
+            raise CodecError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+        return length
+
+
+#: Selectable wire codecs (``NetConfig.wire`` / ``TcpTransport(wire=)``).
+WIRE_NAMES = ("json", "binary")
+
+JSON_WIRE = _JsonWire()
+
+
+def wire_codec(name: str):
+    """Resolve a wire codec by name.
+
+    A codec object exposes ``name``, ``header_size``, ``body_length``,
+    ``encode_frame``/``decode_frame`` and ``dumps``/``loads``.  The binary
+    codec lives in :mod:`repro.net.bincodec` (imported lazily: this module
+    must stay importable from it).
+    """
+    if name == "json":
+        return JSON_WIRE
+    if name == "binary":
+        from repro.net import bincodec
+        return bincodec
+    raise CodecError(
+        f"unknown wire codec {name!r}; choose from {WIRE_NAMES}")

@@ -9,6 +9,7 @@ subprocesses as a file.
 from __future__ import annotations
 
 import json
+import os
 import socket
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Tuple
@@ -16,6 +17,7 @@ from typing import Dict, List, Tuple
 from repro.apps import SERVICES
 from repro.core.cos import DEFAULT_MAX_SIZE
 from repro.errors import ConfigurationError
+from repro.net.codec import WIRE_NAMES
 
 __all__ = ["NetConfig", "SERVICES", "free_port", "loopback_config"]
 
@@ -44,6 +46,10 @@ class NetConfig:
     engine: str = "threaded"
     #: Shard worker processes per replica when ``engine == "mp"``.
     mp_workers: int = 2
+    #: Wire codec on every TCP connection: "json" (tagged JSON, the v0
+    #: framing) or "binary" (compact framing; see docs/wire.md).  All
+    #: replicas and clients of one deployment must agree.
+    wire: str = "json"
     max_graph_size: int = DEFAULT_MAX_SIZE
     batch_size: int = 64
     heartbeat_interval: float = 0.05
@@ -79,6 +85,10 @@ class NetConfig:
         if self.engine == "mp" and self.mp_workers < 1:
             raise ConfigurationError(
                 f"mp_workers must be >= 1, got {self.mp_workers}")
+        if self.wire not in WIRE_NAMES:
+            raise ConfigurationError(
+                f"unknown wire codec {self.wire!r}; "
+                f"choose from {WIRE_NAMES}")
         if self.metrics_addresses and (
                 len(self.metrics_addresses) != self.n_replicas):
             raise ConfigurationError(
@@ -130,6 +140,10 @@ def loopback_config(n_replicas: int = 3, metrics: bool = False,
     if metrics and "metrics_addresses" not in overrides:
         overrides["metrics_addresses"] = tuple(
             ("127.0.0.1", free_port()) for _ in range(n_replicas))
+    # REPRO_NET_WIRE lets CI run the same deployment tests once per codec
+    # without threading a flag through every fixture.
+    if "wire" not in overrides:
+        overrides["wire"] = os.environ.get("REPRO_NET_WIRE", "json")
     config = NetConfig(addresses=addresses, **overrides)
     config.validate()
     return config

@@ -80,6 +80,7 @@ class ReplicaServer:
             interceptor=self._intercept,
             seed=replica_id,
             registry=self.registry,
+            wire=config.wire,
         )
         self.node = ThreadedNode(
             replica_id,

@@ -28,7 +28,7 @@ import threading
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError, ShutdownError
-from repro.net.codec import CodecError, MAX_FRAME, decode_frame, encode_frame
+from repro.net.codec import CodecError, wire_codec
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 
 __all__ = ["TcpTransport"]
@@ -53,6 +53,7 @@ class TcpTransport:
         backoff_max: float = 2.0,
         seed: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        wire: str = "json",
     ):
         if node_id not in addresses:
             raise ConfigurationError(
@@ -60,11 +61,22 @@ class TcpTransport:
         if queue_limit < 1:
             raise ConfigurationError("queue_limit must be >= 1")
         self.node_id = node_id
+        # Both endpoints of a connection must be configured with the same
+        # wire codec; see docs/wire.md for the (non-)negotiation rules.
+        self._codec = wire_codec(wire)
         self._obs = registry if registry is not None else NULL_REGISTRY
         self._obs_on = self._obs.enabled
         self._peer_obs: Dict[int, Tuple[Any, Any, Any]] = {}
         self._m_recv_frames = self._obs.counter("net_frames_received_total")
         self._m_recv_bytes = self._obs.counter("net_bytes_received_total")
+        self._m_codec_rx_frames = self._obs.counter(
+            "net_codec_frames_total", codec=self._codec.name, direction="rx")
+        self._m_codec_rx_bytes = self._obs.counter(
+            "net_codec_bytes_total", codec=self._codec.name, direction="rx")
+        self._m_codec_tx_frames = self._obs.counter(
+            "net_codec_frames_total", codec=self._codec.name, direction="tx")
+        self._m_codec_tx_bytes = self._obs.counter(
+            "net_codec_bytes_total", codec=self._codec.name, direction="tx")
         self._addresses = dict(addresses)
         self._interceptor = interceptor
         self._queue_limit = queue_limit
@@ -217,7 +229,11 @@ class TcpTransport:
             return
         if dst not in self._addresses:
             raise ConfigurationError(f"unknown peer {dst}")
-        frame = encode_frame(src, msg)  # codec errors surface to the sender
+        # Codec errors surface to the sender.
+        frame = self._codec.encode_frame(src, msg)
+        if self._obs_on:
+            self._m_codec_tx_frames.inc()
+            self._m_codec_tx_bytes.inc(len(frame))
         try:
             self._loop.call_soon_threadsafe(self._enqueue, dst, frame)
         except RuntimeError as error:  # loop already closed
@@ -266,20 +282,27 @@ class TcpTransport:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         self._connections.add(writer)
+        codec = self._codec
+        header_size = codec.header_size
         try:
             while True:
-                header = await reader.readexactly(4)
-                length = int.from_bytes(header, "big")
-                if length > MAX_FRAME:
-                    break  # corrupt prefix: drop the connection
+                header = await reader.readexactly(header_size)
+                try:
+                    length = codec.body_length(header)
+                except CodecError:
+                    # Corrupt prefix — or a peer speaking the other wire
+                    # codec (the binary magic/version check lands here).
+                    break
                 body = await reader.readexactly(length)
                 try:
-                    src, msg = decode_frame(body)
+                    src, msg = codec.decode_frame(body)
                 except CodecError:
                     break  # corrupt peer: drop the connection
                 if self._obs_on:
                     self._m_recv_frames.inc()
-                    self._m_recv_bytes.inc(4 + length)
+                    self._m_recv_bytes.inc(header_size + length)
+                    self._m_codec_rx_frames.inc()
+                    self._m_codec_rx_bytes.inc(header_size + length)
                 self._dispatch(src, msg)
         except (asyncio.IncompleteReadError, ConnectionError, OSError):
             pass

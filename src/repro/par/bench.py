@@ -57,6 +57,9 @@ class MpBenchConfig:
     warm_ops: int = 200
     measure_ops: int = 2_000
     deliver_batch: int = 32
+    #: Max ready commands one worker hands the engine per dispatch
+    #: (``None`` → ParallelReplica's default; 1 disables batching).
+    dispatch_batch: Optional[int] = None
     seed: int = 1
     timeout: float = 120.0
     start_method: Optional[str] = None
@@ -140,6 +143,7 @@ def run_mp_bench(config: MpBenchConfig,
         cos_algorithm=config.cos_algorithm,
         workers=config.workers,
         registry=registry,
+        dispatch_batch=config.dispatch_batch,
     )
 
     def feeder() -> None:

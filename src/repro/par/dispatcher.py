@@ -27,6 +27,7 @@ from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.par.config import MpEngineConfig
 from repro.par.worker import (
     ERR,
+    EXEC_MANY,
     INSTALL,
     OK,
     PING,
@@ -50,14 +51,21 @@ _REPLY_FAILURE_BACKOFF = 0.05
 
 
 class _Slot:
-    """One outstanding request: a slot the collector thread fills."""
+    """One outstanding request: a slot the collector thread fills.
 
-    __slots__ = ("event", "value", "error")
+    ``shard`` and ``weight`` (commands carried — > 1 for a batch) exist so
+    the ``mp_queue_depth`` gauges can be reconciled exactly on every exit
+    path, including :meth:`MpDispatcher._poison`.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("event", "value", "error", "shard", "weight")
+
+    def __init__(self, shard: int, weight: int = 1) -> None:
         self.event = threading.Event()
         self.value: Any = None
         self.error: Optional[BaseException] = None
+        self.shard = shard
+        self.weight = weight
 
 
 class MpDispatcher:
@@ -80,6 +88,7 @@ class MpDispatcher:
             registry.gauge("mp_queue_depth", shard=str(shard))
             for shard in range(n_shards)
         ]
+        self._m_batch_size = registry.histogram("mp_batch_size")
         self._seq = itertools.count(1)
         self._pending: Dict[int, _Slot] = {}
         self._pending_lock = threading.Lock()
@@ -166,6 +175,28 @@ class MpDispatcher:
         """Send a request without waiting; returns its seq for :meth:`wait`."""
         return self._submit(shard, tag, payload)
 
+    def submit_many(self, shard: int, commands: List[Any]) -> int:
+        """Queue a batch of commands for ``shard`` in ONE queue hop.
+
+        The whole batch is one pickle and one worker wakeup; the reply
+        (see :meth:`wait`) is ``(outcomes, busy_seconds)`` with one
+        ``("ok", response)`` / ``("err", (type, message, trace))`` outcome
+        per command, in submission order.  Commands in one batch must be
+        pairwise non-conflicting — the caller takes them from a COS ready
+        set, which guarantees exactly that.
+        """
+        if not commands:
+            raise ShardError("submit_many needs at least one command")
+        self._m_batch_size.observe(len(commands))
+        return self._submit(shard, EXEC_MANY, list(commands),
+                            weight=len(commands))
+
+    def request_many(self, shard: int, commands: List[Any],
+                     timeout: Optional[float] = None) -> Any:
+        """Batched :meth:`request`: one hop out, one reply back."""
+        seq = self.submit_many(shard, commands)
+        return self._await(seq, shard, timeout)
+
     def wait(self, seq: int, shard: int,
              timeout: Optional[float] = None) -> Any:
         return self._await(seq, shard, timeout)
@@ -174,7 +205,8 @@ class MpDispatcher:
         """Release a barred shard (no reply; FIFO does the sequencing)."""
         self._request_queues[shard].put((INSTALL, seq, shard, fragment))
 
-    def _submit(self, shard: int, tag: str, payload: Any) -> int:
+    def _submit(self, shard: int, tag: str, payload: Any,
+                weight: int = 1) -> int:
         if not self._started:
             raise ShutdownError("dispatcher not started")
         if self._stopped and tag != STOP:
@@ -182,10 +214,10 @@ class MpDispatcher:
         if self._crashed is not None:
             raise self._crashed
         seq = next(self._seq)
-        slot = _Slot()
+        slot = _Slot(shard, weight)
         with self._pending_lock:
             self._pending[seq] = slot
-        self._depth_gauges[shard].inc()
+        self._depth_gauges[shard].inc(weight)
         self._request_queues[shard].put((tag, seq, shard, payload))
         return seq
 
@@ -206,7 +238,7 @@ class MpDispatcher:
         with self._pending_lock:
             self._pending.pop(seq, None)
         if not fulfilled:
-            self._depth_gauges[shard].dec()
+            self._depth_gauges[shard].dec(slot.weight)
             error = ShardCrashed(
                 f"shard {shard} did not answer request {seq} within "
                 f"{timeout}s")
@@ -252,7 +284,7 @@ class MpDispatcher:
                 slot = self._pending.get(seq)
             if slot is None:
                 continue  # abandoned (timeout/crash cleanup)
-            self._depth_gauges[shard].dec()
+            self._depth_gauges[shard].dec(slot.weight)
             if tag == ERR:
                 error_type, message, trace = payload
                 slot.error = ShardError(
@@ -273,11 +305,22 @@ class MpDispatcher:
                 return
 
     def _poison(self, error: ShardCrashed) -> None:
-        """Fail every outstanding request and refuse new ones."""
+        """Fail every outstanding request and refuse new ones.
+
+        The pending map is cleared under the lock so neither a late reply
+        (collector) nor a waiter's own cleanup can decrement a gauge this
+        method already reconciled; each waiter still holds its slot
+        reference and sees the error through it.
+        """
         self._crashed = error
         with self._pending_lock:
             pending = list(self._pending.values())
+            self._pending.clear()
         for slot in pending:
             if not slot.event.is_set():  # answered slots keep their reply
+                # The collector will never answer this slot, so its depth
+                # contribution must be retired here — otherwise the
+                # mp_queue_depth gauges read N forever after a crash.
+                self._depth_gauges[slot.shard].dec(slot.weight)
                 slot.error = error
                 slot.event.set()

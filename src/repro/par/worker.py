@@ -31,6 +31,10 @@ __all__ = ["shard_worker_main"]
 #: Request tags (parent → worker).
 EXEC, COLLECT, INSTALL, SNAPSHOT, RESTORE, PING, STOP = (
     "exec", "collect", "install", "snapshot", "restore", "ping", "stop")
+#: Batched execution: payload is a list of commands, reply is one
+#: ``(outcomes, busy_seconds)`` pair — one pickle and one queue wakeup in
+#: each direction no matter how many commands ride along.
+EXEC_MANY = "exec_many"
 #: Reply tags (worker → parent).
 RESP, FRAG, OK, ERR = "resp", "frag", "ok", "err"
 
@@ -81,6 +85,23 @@ def shard_worker_main(shard: int, n_shards: int, service_name: str,
                     continue
                 busy = time.perf_counter() - started
                 reply_queue.put((RESP, seq, shard, (response, busy)))
+            elif tag == EXEC_MANY:
+                # A batch only carries pairwise non-conflicting commands
+                # (the COS ready-set invariant), so executing them in
+                # payload order is as good as any order.  Per-command
+                # failures are data, not batch failures: each outcome is
+                # ("ok", response) or ("err", (type, message, trace)).
+                started = time.perf_counter()
+                outcomes = []
+                for command in payload:
+                    try:
+                        outcomes.append(("ok", service.execute(command)))
+                    except Exception as error:  # noqa: BLE001 - forwarded
+                        outcomes.append(("err", (
+                            type(error).__name__, str(error),
+                            traceback.format_exc())))
+                busy = time.perf_counter() - started
+                reply_queue.put((RESP, seq, shard, (outcomes, busy)))
             elif tag == COLLECT:
                 reply_queue.put((FRAG, seq, shard,
                                  service.snapshot_shard(shard, n_shards)))

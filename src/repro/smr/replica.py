@@ -77,9 +77,19 @@ class ParallelReplica:
         max_graph_size: int = DEFAULT_MAX_SIZE,
         on_response: Optional[ResponseCallback] = None,
         registry: Optional[MetricsRegistry] = None,
+        dispatch_batch: Optional[int] = None,
     ):
+        """``dispatch_batch`` caps how many simultaneously-ready commands
+        one worker drains from the COS and hands to the service in a
+        single ``execute_many`` call (engines that implement it — the mp
+        engine moves the whole batch over one queue hop).  ``None`` picks
+        16 when the service supports batching, else 1; services without
+        ``execute_many`` always run command-at-a-time."""
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if dispatch_batch is not None and dispatch_batch < 1:
+            raise ValueError(
+                f"dispatch_batch must be >= 1, got {dispatch_batch}")
         # An engine-backed service (repro.par.MpService) wants more worker
         # threads than CPU-bound execution would: its threads spend their
         # time blocked on shard queues (GIL released) and must outnumber the
@@ -91,6 +101,11 @@ class ParallelReplica:
         self.replica_id = replica_id
         self.service = service
         self.workers = workers
+        if getattr(service, "execute_many", None) is None:
+            self.dispatch_batch = 1
+        else:
+            self.dispatch_batch = (16 if dispatch_batch is None
+                                   else dispatch_batch)
         self._on_response = on_response
         self.registry = registry if registry is not None else NULL_REGISTRY
         obs = self.registry
@@ -227,6 +242,8 @@ class ParallelReplica:
         service = self.service
         obs = self.registry
         obs_on = self._obs_on
+        batch_limit = self.dispatch_batch
+        execute_many = getattr(service, "execute_many", None)
         if obs_on:
             worker = str(index)
             m_busy = obs.histogram("worker_busy_seconds", worker=worker)
@@ -237,28 +254,55 @@ class ParallelReplica:
             if command.op == STOP_OP:
                 cos.remove(handle)
                 return
+            batch = [(handle, command)]
+            stop_handle = None
+            while stop_handle is None and len(batch) < batch_limit:
+                # Drain whatever else is ready right now: simultaneously
+                # ready commands are pairwise non-conflicting, so they can
+                # ride to the engine in one execute_many batch.
+                extra = cos.try_get()
+                if extra is None:
+                    break
+                extra_command = cos.command_of(extra)
+                if extra_command.op == STOP_OP:
+                    # A stop pill conflicts with everything, so it cannot
+                    # normally be ready alongside live work; handle it
+                    # anyway — finish the batch, then retire.
+                    stop_handle = extra
+                else:
+                    batch.append((extra, extra_command))
             if obs_on:
-                obs.span(span_key(command), "executing")
                 started = obs.clock()
-            response = service.execute(command)
+                for _, cmd in batch:
+                    obs.span(span_key(cmd), "executing")
+            if execute_many is not None and len(batch) > 1:
+                responses = execute_many([cmd for _, cmd in batch])
+            else:
+                responses = [service.execute(cmd) for _, cmd in batch]
             if obs_on:
                 m_busy.observe(obs.clock() - started)
-                m_commands.inc()
-                self._m_executed.inc()
-                obs.span(span_key(command), "responded")
+                m_commands.inc(len(batch))
+                self._m_executed.inc(len(batch))
+                for _, cmd in batch:
+                    obs.span(span_key(cmd), "responded")
             with self._state_lock:
-                self._executed += 1
-                if command.client_id is not None:
-                    cached = self._dedup.get(command.client_id)
-                    # Only fill the cache slot this command reserved; a newer
-                    # request from the same client may already own it.
-                    if cached is not None and cached[0] == command.request_id:
-                        self._dedup[command.client_id] = (
-                            command.request_id, response,
-                        )
-            if self._on_response is not None:
-                self._on_response(command, response, self.replica_id)
-            cos.remove(handle)
+                self._executed += len(batch)
+                for (_, cmd), response in zip(batch, responses):
+                    if cmd.client_id is not None:
+                        cached = self._dedup.get(cmd.client_id)
+                        # Only fill the cache slot this command reserved; a
+                        # newer request from the same client may own it.
+                        if cached is not None and cached[0] == cmd.request_id:
+                            self._dedup[cmd.client_id] = (
+                                cmd.request_id, response,
+                            )
+            for (h, cmd), response in zip(batch, responses):
+                if self._on_response is not None:
+                    self._on_response(cmd, response, self.replica_id)
+                cos.remove(h)
+            if stop_handle is not None:
+                cos.remove(stop_handle)
+                return
 
     # ------------------------------------------------------------ inspection
 
@@ -338,4 +382,7 @@ class SequentialReplica(ParallelReplica):
             max_graph_size=max_queue_size,
             on_response=on_response,
             registry=registry,
+            # Strict delivery order: the FIFO's queued commands may
+            # conflict, so draining several at once is never legal here.
+            dispatch_batch=1,
         )

@@ -44,6 +44,7 @@ Each test fails against the pre-fix code:
 
 from __future__ import annotations
 
+import queue
 import statistics
 import sys
 import threading
@@ -52,6 +53,9 @@ from collections import Counter
 
 import pytest
 
+from repro.broadcast.messages import Forward, Prepare
+from repro.broadcast.node import ThreadedNode
+from repro.broadcast.paxos import FORWARD_HOP_LIMIT, MultiPaxos
 from repro.broadcast.transport import FaultPlan, ThreadedTransport
 from repro.core.command import Command, ReadWriteConflicts
 from repro.core.threaded import ThreadedRuntime
@@ -457,7 +461,7 @@ class TestAwaitTimeoutRace:
     def test_fulfilled_slot_wins_over_timed_out_wait(self):
         dispatcher = _dispatcher()
         dispatcher._started = True
-        slot = _Slot()
+        slot = _Slot(0)
         slot.value = "late-but-valid"
         slot.event.set()
         # Simulate the race: the wait call reports expiry even though the
@@ -473,7 +477,7 @@ class TestAwaitTimeoutRace:
     def test_genuine_timeout_still_poisons(self):
         dispatcher = _dispatcher()
         dispatcher._started = True
-        dispatcher._pending[9] = _Slot()  # never fulfilled
+        dispatcher._pending[9] = _Slot(0)  # never fulfilled
         with pytest.raises(ShardCrashed):
             dispatcher._await(9, shard=0, timeout=0.01)
         assert isinstance(dispatcher._crashed, ShardCrashed)
@@ -519,7 +523,7 @@ class TestCollectorBrokenPipe:
     def test_broken_pipe_fails_outstanding_requests(self):
         dispatcher = _dispatcher()
         dispatcher._reply_queue = _BrokenQueue(OSError)
-        slot = _Slot()
+        slot = _Slot(0)
         dispatcher._pending[3] = slot
         thread = threading.Thread(target=dispatcher._collector_loop,
                                   daemon=True)
@@ -606,3 +610,177 @@ def test_span_keys_survive_uid_collisions_across_clients():
     for key in ("alice#1", "bob#1"):
         for stage in ("delivered", "scheduled", "executing", "responded"):
             assert stage in spans[key], f"{key} missing stage {stage}"
+
+
+# --------------------------------------------------------------------------
+# Step-down liveness: pending payloads must chase the new leader.
+# --------------------------------------------------------------------------
+
+
+class TestStepDownDrainsPending:
+
+    def test_deposed_node_reforwards_stranded_payloads(self):
+        # pipeline=1, batch_size=1: the second submit is parked in
+        # ``pending`` while the first instance is in flight.  When a
+        # higher ballot deposes the node, nothing used to re-forward the
+        # parked payload — the protocol grew drain_pending_forwards, but
+        # no adapter called it, so live clusters still leaked commands
+        # until the client timed out and retried.
+        transport = ThreadedTransport(3, FaultPlan(min_delay=0, max_delay=0))
+        protocol = MultiPaxos(0, 3, pipeline=1, batch_size=1)
+        node = ThreadedNode(0, protocol, transport, lambda inst, payload: None)
+        node.start()
+        try:
+            node.submit("proposed")
+            node.submit("stranded")
+            deadline = time.monotonic() + 5
+            while not protocol.pending and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert list(protocol.pending) == ["stranded"]
+            # Node 1 starts an election with a higher ballot; node 0 steps
+            # down on the Prepare and must hand "stranded" to the new hint.
+            transport.send(1, 0, Prepare((5, 1)))
+            inbox = transport.inbox(1)
+            forwarded = []
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                try:
+                    _, msg = inbox.get(timeout=0.1)
+                except queue.Empty:
+                    continue
+                if isinstance(msg, Forward):
+                    forwarded.append(msg.payload)
+                    break
+            assert forwarded == ["stranded"], (
+                "step-down stranded a pending payload: nothing forwarded "
+                "it to the new leader")
+        finally:
+            node.stop()
+            node.join(5.0)
+            transport.close()
+
+
+# --------------------------------------------------------------------------
+# Forward routing: stale circular hints must not relay forever.
+# --------------------------------------------------------------------------
+
+
+class TestForwardHopBudget:
+
+    @staticmethod
+    def _follower(node_id: int, hint: int) -> MultiPaxos:
+        node = MultiPaxos(node_id, 5)
+        # Observing a higher-ballot Prepare from ``hint`` both cancels any
+        # leadership and points leader_hint() at that node.
+        node.on_message(hint, Prepare((7, hint)))
+        assert not node.is_leader and node.leader_hint() == hint
+        return node
+
+    def test_circular_hints_terminate_within_hop_budget(self):
+        # 0 -> 1 -> 2 -> 0: every relay target is itself a non-leader
+        # pointing at the next one.  Pre-fix (no hop budget) the Forward
+        # orbited these three nodes forever, burning bandwidth and never
+        # landing the payload anywhere.
+        nodes = {
+            0: self._follower(0, 1),
+            1: self._follower(1, 2),
+            2: self._follower(2, 0),
+        }
+        src, current, msg = 4, 0, Forward("orbit-me")
+        hops = 0
+        while True:
+            actions = nodes[current].on_message(src, msg)
+            forwards = [a for a in actions
+                        if isinstance(getattr(a, "msg", None), Forward)]
+            if not forwards:
+                break
+            (action,) = forwards
+            src, current, msg = current, action.dst, action.msg
+            hops += 1
+            assert hops <= FORWARD_HOP_LIMIT + len(nodes), (
+                "Forward relayed past the hop budget — circular stale "
+                "hints would orbit forever")
+        stranded = [payload
+                    for node in nodes.values()
+                    for payload in node.pending]
+        assert stranded == ["orbit-me"], (
+            "hop-exhausted Forward must queue locally, not vanish")
+
+
+# --------------------------------------------------------------------------
+# Codec strictness: non-finite floats and bool frame sources.
+# --------------------------------------------------------------------------
+
+
+def _codecs():
+    from repro.net import bincodec, codec
+    return [pytest.param(codec, id="json"),
+            pytest.param(bincodec, id="binary")]
+
+
+class TestCodecStrictness:
+
+    @pytest.mark.parametrize("mod", _codecs())
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"),
+                                       float("-inf")])
+    def test_non_finite_floats_rejected_on_encode(self, mod, value):
+        from repro.net.codec import CodecError
+
+        # Pre-fix json.dumps emitted bare NaN/Infinity tokens — frames the
+        # decoder (or any strict JSON peer) could not parse back.
+        with pytest.raises(CodecError):
+            mod.dumps(value)
+        with pytest.raises(CodecError):
+            mod.dumps((1, {"x": value}))
+
+    def test_json_decoder_rejects_non_finite_tokens(self):
+        from repro.net.codec import CodecError, loads
+
+        for wire in (b"NaN", b"Infinity", b"[1, -Infinity]"):
+            with pytest.raises(CodecError):
+                loads(wire)
+
+    @pytest.mark.parametrize("mod", _codecs())
+    def test_bool_frame_src_rejected_on_encode(self, mod):
+        from repro.net.codec import CodecError
+
+        # bool is an int subclass: a True src used to slip through and
+        # arrive as node id 1 on the wire, silently misrouting replies.
+        with pytest.raises(CodecError):
+            mod.encode_frame(True, "payload")
+
+    def test_json_bool_frame_src_rejected_on_decode(self):
+        from repro.net.codec import CodecError, decode_frame
+
+        with pytest.raises(CodecError):
+            decode_frame(b'[true, "payload"]')
+
+
+# --------------------------------------------------------------------------
+# _poison must reconcile the mp_queue_depth gauges.
+# --------------------------------------------------------------------------
+
+
+class TestPoisonGaugeReconciliation:
+
+    def test_poison_returns_queue_depth_gauges_to_zero(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        dispatcher = MpDispatcher("kv", {}, 2, MpEngineConfig(), registry)
+        dispatcher._started = True
+        # In-memory request queues: no worker ever answers, so wait()
+        # times out and poisons every outstanding slot.
+        dispatcher._request_queues = [queue.Queue(), queue.Queue()]
+        first = dispatcher.submit(0, "exec", read(1))
+        dispatcher.submit(1, "exec", read(2))
+        dispatcher.submit_many(0, [read(3), read(4)])
+        gauge_0 = registry.gauge("mp_queue_depth", shard="0")
+        gauge_1 = registry.gauge("mp_queue_depth", shard="1")
+        assert gauge_0.value == 3 and gauge_1.value == 1
+        with pytest.raises(ShardCrashed):
+            dispatcher.wait(first, 0, timeout=0.05)
+        # Pre-fix _poison failed the waiters but never decremented the
+        # gauges, so a crashed engine reported phantom queue depth forever.
+        assert gauge_0.value == 0, "shard 0 gauge stuck after poison"
+        assert gauge_1.value == 0, "shard 1 gauge stuck after poison"
