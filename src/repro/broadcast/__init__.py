@@ -5,7 +5,11 @@ Pure protocol state machines (:class:`MultiPaxos`, fault tolerant;
 injection, and a threaded event-loop adapter.
 """
 
-from repro.broadcast.failure_detector import TimeoutTracker
+from repro.broadcast.failure_detector import (
+    LeaseGrant,
+    QuorumLease,
+    TimeoutTracker,
+)
 from repro.broadcast.messages import (
     Accept,
     Accepted,
@@ -14,8 +18,10 @@ from repro.broadcast.messages import (
     CatchupRequest,
     Decide,
     Deliver,
+    DeliverRead,
     Forward,
     Heartbeat,
+    HeartbeatAck,
     Nack,
     Prepare,
     Promise,
@@ -34,6 +40,8 @@ __all__ = [
     "NOOP",
     "SequencerBroadcast",
     "TimeoutTracker",
+    "LeaseGrant",
+    "QuorumLease",
     "ThreadedNode",
     "ThreadedTransport",
     "FaultPlan",
@@ -43,6 +51,7 @@ __all__ = [
     "Ballot",
     "Send",
     "Deliver",
+    "DeliverRead",
     "SetTimer",
     "Prepare",
     "Promise",
@@ -54,5 +63,6 @@ __all__ = [
     "CatchupReply",
     "Forward",
     "Heartbeat",
+    "HeartbeatAck",
     "SequencerStamp",
 ]

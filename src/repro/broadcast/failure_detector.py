@@ -5,11 +5,26 @@ the paper's BFT-SMaRt substrate, we rely on an unreliable failure detector:
 followers suspect the leader after a period with no leader activity, then
 try to take over with a higher ballot.  Suspicions may be wrong — safety
 never depends on them, only liveness.
+
+This module also holds the lease bookkeeping for the Multi-Paxos fast read
+path (see docs/ordering.md): :class:`LeaseGrant` is a follower's record of
+the lease it granted to the current leader, :class:`QuorumLease` the
+leader's view of the grants a quorum gave back via heartbeat acks.  Unlike
+timeout suspicions, lease *safety* does depend on clocks — but only on
+bounded clock-rate drift over one lease window, which ``lease_margin``
+absorbs; no absolute clock synchronization is assumed.
 """
 
 from __future__ import annotations
 
-__all__ = ["TimeoutTracker"]
+from typing import Dict, Optional
+
+__all__ = ["TimeoutTracker", "LeaseGrant", "QuorumLease"]
+
+#: LeaseGrant holder value meaning "some leader, identity unknown" — used by
+#: a rejoining replica to sit out one lease window before voting, since it
+#: cannot remember whom (if anyone) it granted a lease before crashing.
+UNKNOWN_HOLDER = -1
 
 
 class TimeoutTracker:
@@ -42,3 +57,74 @@ class TimeoutTracker:
         """Restart monitoring (e.g. after a leader change)."""
         self._active_since_check = False
         self._ever_checked = False
+
+
+class LeaseGrant:
+    """Follower-side lease: the promise not to elect anyone else for a while.
+
+    Granting node ``holder`` a lease until ``until`` (local clock) commits
+    this follower to (a) not campaigning itself and (b) answering other
+    candidates' ``Prepare``s with a Nack until the grant expires.  Both are
+    pure local-clock checks; the grant is refreshed by every heartbeat.
+    """
+
+    __slots__ = ("holder", "until")
+
+    def __init__(self) -> None:
+        self.holder: Optional[int] = None
+        self.until = float("-inf")
+
+    def grant(self, holder: int, now: float, duration: float) -> None:
+        """(Re)grant the lease to ``holder`` for ``duration`` from ``now``."""
+        self.holder = holder
+        self.until = now + duration
+
+    def active(self, now: float) -> bool:
+        return self.holder is not None and now < self.until
+
+    def blocks(self, candidate: int, now: float) -> bool:
+        """True if an active grant forbids promising/campaigning for
+        ``candidate``.  The current holder itself is never blocked (it may
+        re-prepare at a higher ballot, e.g. after a partial network hiccup).
+        """
+        return self.active(now) and candidate != self.holder
+
+
+class QuorumLease:
+    """Leader-side lease: valid while a quorum's grants are unexpired.
+
+    Every grant expiry is computed on the *leader's* clock: the follower
+    echoes the heartbeat's ``sent_at`` (a leader-clock reading) and the
+    leader holds the grant until ``sent_at + duration - margin``.  The
+    follower blocks elections until ``receive_time + duration`` on its own
+    clock, and ``receive_time >= sent_at`` in real time, so the follower's
+    blocking window outlasts the leader's serving window as long as relative
+    clock-*rate* drift over one window stays under ``margin``.
+    """
+
+    __slots__ = ("quorum", "duration", "margin", "_grants")
+
+    def __init__(self, quorum: int, duration: float, margin: float) -> None:
+        self.quorum = quorum
+        self.duration = duration
+        self.margin = margin
+        self._grants: Dict[int, float] = {}
+
+    def record_ack(self, src: int, sent_at: float) -> None:
+        """A follower acked the heartbeat we sent at ``sent_at``."""
+        expiry = sent_at + self.duration - self.margin
+        if expiry > self._grants.get(src, float("-inf")):
+            self._grants[src] = expiry
+
+    def valid(self, now: float) -> bool:
+        """True while this node plus unexpired grants form a quorum.
+
+        The leader always counts itself (it does not suspect itself), so a
+        single-node cluster holds a permanent lease.
+        """
+        live = 1 + sum(1 for expiry in self._grants.values() if expiry > now)
+        return live >= self.quorum
+
+    def reset(self) -> None:
+        """Drop all grants (ballot changed: old-ballot acks are void)."""
+        self._grants.clear()

@@ -18,6 +18,7 @@ __all__ = [
     "Ballot",
     "Send",
     "Deliver",
+    "DeliverRead",
     "SetTimer",
     "Prepare",
     "Promise",
@@ -29,6 +30,7 @@ __all__ = [
     "CatchupReply",
     "Forward",
     "Heartbeat",
+    "HeartbeatAck",
     "SequencerStamp",
 ]
 
@@ -58,6 +60,18 @@ class Deliver:
 
 
 @dataclass(frozen=True)
+class DeliverRead:
+    """Serve ``payload`` as a leaseholder-local read, outside the total order.
+
+    Emitted only by ``MultiPaxos.submit_read`` while the node holds a valid
+    quorum lease: the payload is executed against the local state without a
+    consensus round and is never assigned an instance number.
+    """
+
+    payload: Any
+
+
+@dataclass(frozen=True)
 class SetTimer:
     """Ask the adapter to call ``on_timer(name)`` after ``delay`` seconds."""
 
@@ -70,9 +84,16 @@ class SetTimer:
 
 @dataclass(frozen=True)
 class Prepare:
-    """Phase-1a: a would-be leader asks acceptors to promise ``ballot``."""
+    """Phase-1a: a would-be leader asks acceptors to promise ``ballot``.
+
+    ``from_instance`` is the candidate's delivery frontier: acceptors
+    report their decided values at or above it in the Promise, so the new
+    leader cannot re-propose a fresh value at an instance that was already
+    decided (and possibly executed) elsewhere.
+    """
 
     ballot: Ballot
+    from_instance: int = 0
 
 
 @dataclass(frozen=True)
@@ -80,7 +101,11 @@ class Promise:
     """Phase-1b: acceptor promises ``ballot``.
 
     ``accepted`` carries, per undecided instance, the highest-ballot value
-    this acceptor has accepted, which the new leader must re-propose.
+    this acceptor has accepted, which the new leader must re-propose; plus,
+    tagged with the promised ballot itself, the acceptor's *decided* values
+    at or above the candidate's ``from_instance`` frontier (a decided
+    instance may survive only in the ``decided`` map — the accepted entry
+    is pruned on learn — and may be known to no other quorum member).
     """
 
     ballot: Ballot
@@ -89,19 +114,34 @@ class Promise:
 
 @dataclass(frozen=True)
 class Accept:
-    """Phase-2a: the leader proposes ``value`` for ``instance`` at ``ballot``."""
+    """Phase-2a: the leader proposes ``value`` for ``instance`` at ``ballot``.
+
+    ``commit_up_to`` piggybacks the leader's decided frontier (the largest
+    instance below which everything is decided): a follower that accepted
+    instances in that prefix at the same ballot learns them without a
+    separate ``Decide`` round (cumulative-ack mode).  ``-1`` means "no
+    frontier information".
+    """
 
     ballot: Ballot
     instance: int
     value: Any
+    commit_up_to: int = -1
 
 
 @dataclass(frozen=True)
 class Accepted:
-    """Phase-2b: acceptor accepted ``value`` for ``instance`` at ``ballot``."""
+    """Phase-2b: acceptor accepted ``value`` for ``instance`` at ``ballot``.
+
+    ``accepted_up_to`` is cumulative: every instance up to and including it
+    is decided or accepted at this ballot on the sender, so one ack can
+    cover a whole batch window of instances.  ``-1`` means "no cumulative
+    information" (pre-fastpath peers).
+    """
 
     ballot: Ballot
     instance: int
+    accepted_up_to: int = -1
 
 
 @dataclass(frozen=True)
@@ -129,9 +169,15 @@ class CatchupRequest:
 
 @dataclass(frozen=True)
 class CatchupReply:
-    """Decided instances a peer was missing."""
+    """Decided instances a peer was missing.
+
+    Replies are chunked (``CATCHUP_CHUNK`` instances max) so a replica
+    pulling a long prefix never receives one giant frame; ``more`` tells the
+    requester to re-request from its new ``next_deliver``.
+    """
 
     decided: Dict[int, Any]
+    more: bool = False
 
 
 @dataclass(frozen=True)
@@ -155,10 +201,29 @@ class Heartbeat:
 
     Also carries the leader's contiguous delivery frontier so lagging or
     freshly recovered followers can request a catch-up (anti-entropy).
+    ``sent_at`` is the leader's local clock reading at send time; followers
+    echo it in :class:`HeartbeatAck` so the leader can compute its lease
+    expiry purely on its own clock (no cross-node clock comparison).
     """
 
     ballot: Ballot
     decided_up_to: int = 0
+    sent_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    """Follower response to a :class:`Heartbeat`: lease grant + cumulative ack.
+
+    ``sent_at`` echoes the heartbeat's leader-clock timestamp (the grant is
+    anchored there on the leader's clock); ``accepted_up_to`` doubles as a
+    cumulative acknowledgement so heartbeat-retransmitted ``Accept``s are
+    acked even when the original ``Accepted`` was lost.
+    """
+
+    ballot: Ballot
+    sent_at: float
+    accepted_up_to: int = -1
 
 
 # ---------------------------------------------------------- sequencer messages

@@ -19,16 +19,18 @@ import threading
 import time
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.broadcast.messages import Deliver, Send, SetTimer
+from repro.broadcast.messages import Deliver, DeliverRead, Send, SetTimer
 from repro.broadcast.transport import ThreadedTransport
 from repro.errors import ShutdownError
 
 __all__ = ["ThreadedNode"]
 
-_SUBMIT = object()  # inbox sentinel: client payload
-_STOP = object()    # inbox sentinel: shut down
+_SUBMIT = object()       # inbox sentinel: client payload
+_SUBMIT_READ = object()  # inbox sentinel: read-only client payload
+_STOP = object()         # inbox sentinel: shut down
 
 DeliverCallback = Callable[[int, Any], None]
+ReadCallback = Callable[[Any], None]
 
 
 class ThreadedNode:
@@ -41,15 +43,18 @@ class ThreadedNode:
         transport: ThreadedTransport,
         on_deliver: DeliverCallback,
         name: Optional[str] = None,
+        on_read: Optional[ReadCallback] = None,
     ):
         self.node_id = node_id
         self.protocol = protocol
         self._transport = transport
         self._on_deliver = on_deliver
+        self._on_read = on_read
         self._inbox = transport.inbox(node_id)
         self._timers: List[Tuple[float, int, str]] = []
         self._timer_seq = itertools.count()
         self._was_leader = False
+        self._last_hint: Optional[int] = None
         self._stopped = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name=name or f"node-{node_id}", daemon=True
@@ -65,6 +70,17 @@ class ThreadedNode:
         if self._stopped.is_set():
             raise ShutdownError(f"node {self.node_id} is stopped")
         self._inbox.put((_SUBMIT, payload))
+
+    def submit_read(self, payload: Any) -> None:
+        """Hand a read-only payload to the protocol (thread-safe).
+
+        Eligible for the leaseholder's local fast path; falls back to the
+        ordered path when the protocol has no read support or no read
+        callback was wired.
+        """
+        if self._stopped.is_set():
+            raise ShutdownError(f"node {self.node_id} is stopped")
+        self._inbox.put((_SUBMIT_READ, payload))
 
     def stop(self) -> None:
         """Stop the event loop; idempotent."""
@@ -96,9 +112,17 @@ class ThreadedNode:
                 return
             if src is _SUBMIT:
                 self._step(self.protocol.submit(msg))
+            elif src is _SUBMIT_READ:
+                self._step(self._submit_read_actions(msg))
             else:
                 self._step(self.protocol.on_message(src, msg))
             self._fire_due_timers()
+
+    def _submit_read_actions(self, payload: Any) -> List[Any]:
+        submit_read = getattr(self.protocol, "submit_read", None)
+        if submit_read is None or self._on_read is None:
+            return self.protocol.submit(payload)
+        return submit_read(payload)
 
     def _until_next_timer(self) -> Optional[float]:
         if not self._timers:
@@ -114,21 +138,33 @@ class ThreadedNode:
     def _step(self, actions: List[Any]) -> None:
         """Perform one protocol call's actions, then watch for step-down.
 
-        Losing leadership strands any not-yet-proposed client payloads in
-        the protocol's ``pending`` queue — nothing would ever re-forward
-        them to the new leader (clients only recover by retrying into a
-        timeout).  Draining exactly on the observed was-leader → follower
-        transition re-forwards them once, without re-triggering on every
-        event while a follower (which could recirculate hop-exhausted
-        payloads forever).
+        Losing leadership — or, on a node that never led, learning of a new
+        leader — strands any not-yet-proposed client payloads in the
+        protocol's ``pending`` queue: nothing would ever re-forward them to
+        the new leader (clients only recover by retrying into a timeout).
+        Draining on the observed was-leader → follower transition and on
+        every observed leader-hint change re-forwards them exactly once per
+        new information, without re-triggering on every event (which could
+        recirculate hop-exhausted payloads forever); the payloads carry
+        their consumed hop budget, so even repeated hint churn is bounded.
         """
         self._perform(actions)
         is_leader = bool(getattr(self.protocol, "is_leader", False))
-        if self._was_leader and not is_leader:
+        hint_of = getattr(self.protocol, "leader_hint", None)
+        hint = hint_of() if hint_of is not None else None
+        stepped_down = self._was_leader and not is_leader
+        hint_changed = (
+            not is_leader
+            and hint is not None
+            and self._last_hint is not None
+            and hint != self._last_hint
+        )
+        if stepped_down or hint_changed:
             drain = getattr(self.protocol, "drain_pending_forwards", None)
             if drain is not None:
                 self._perform(drain())
         self._was_leader = is_leader
+        self._last_hint = hint
 
     def _perform(self, actions: List[Any]) -> None:
         for action in actions:
@@ -137,6 +173,12 @@ class ThreadedNode:
                 self._transport.send(self.node_id, action.dst, action.msg)
             elif kind is Deliver:
                 self._on_deliver(action.instance, action.payload)
+            elif kind is DeliverRead:
+                if self._on_read is None:  # pragma: no cover - defensive
+                    raise TypeError(
+                        "protocol emitted DeliverRead but no on_read "
+                        "callback is wired")
+                self._on_read(action.payload)
             elif kind is SetTimer:
                 heapq.heappush(
                     self._timers,

@@ -30,6 +30,14 @@ class StableStore:
     def get(self, key: Any, default: Any = None) -> Any:
         raise NotImplementedError
 
+    def delete(self, key: Any) -> None:
+        """Remove ``key`` if present (no-op otherwise).
+
+        Used to prune ``("accepted", instance)`` entries once the instance
+        is decided — without it the store grows without bound.
+        """
+        raise NotImplementedError
+
     def items(self) -> Iterator[Tuple[Any, Any]]:
         raise NotImplementedError
 
@@ -42,6 +50,9 @@ class InMemoryStableStore(StableStore):
 
     def put(self, key: Any, value: Any) -> None:
         self._data[key] = value
+
+    def delete(self, key: Any) -> None:
+        self._data.pop(key, None)
 
     def get(self, key: Any, default: Any = None) -> Any:
         return self._data.get(key, default)

@@ -31,6 +31,12 @@ from repro.check.harness import (
 from repro.check.independence import independent
 from repro.check.mutants import MUTANTS, make_mutant
 from repro.check.oracle import SpecOracle, Violation
+from repro.check.paxos_lease import (
+    LEASE_MUTANTS,
+    LeaseCheckConfig,
+    LeaseCheckReport,
+    run_lease_check,
+)
 from repro.check.replay import load_replay, replay, save_replay
 from repro.check.shrink import ShrinkResult, shrink
 
@@ -39,6 +45,9 @@ __all__ = [
     "CheckExecution",
     "CheckReport",
     "ExploreResult",
+    "LEASE_MUTANTS",
+    "LeaseCheckConfig",
+    "LeaseCheckReport",
     "MUTANTS",
     "ShrinkResult",
     "SpecOracle",
@@ -50,6 +59,7 @@ __all__ = [
     "make_mutant",
     "replay",
     "run_check",
+    "run_lease_check",
     "run_with_decisions",
     "save_replay",
     "shrink",

@@ -114,7 +114,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="systematic schedule-space model check against the COS spec")
     check.add_argument("--algorithm", "--scheduler", default="lock-free",
                        help="COS algorithm (underscores accepted, e.g. "
-                            "lock_free; --scheduler is an alias)")
+                            "lock_free; --scheduler is an alias), or "
+                            "paxos-lease for the leader-lease harness "
+                            "(docs/ordering.md)")
     check.add_argument("--workers", type=int, default=3)
     check.add_argument("--commands", type=int, default=5)
     check.add_argument("--max-size", type=int, default=4,
@@ -130,8 +132,10 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--seed", type=int, default=0,
                        help="seed for the random-walk exploration stage")
     check.add_argument("--mutant", default=None,
-                       help="check a seeded-bug variant (see repro.check."
-                            "mutants) instead of the real implementation")
+                       help="check a seeded-bug variant (repro.check."
+                            "mutants, or a lease mutant from repro.check."
+                            "paxos_lease) instead of the real "
+                            "implementation")
     check.add_argument("--replay", metavar="FILE",
                        help="re-run a recorded counterexample file instead "
                             "of exploring")
@@ -291,12 +295,22 @@ def _cmd_smr_wallclock(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.check import CheckConfig, run_check
+    from repro.check.paxos_lease import (
+        LEASE_MUTANTS,
+        replay_harness_kind,
+        replay_lease,
+    )
     from repro.check.replay import replay as replay_file
     from repro.check.replay import save_replay
 
     if args.replay:
         try:
-            violation = replay_file(args.replay, max_steps=args.max_steps)
+            # Lease-harness replays carry a "harness" key; COS replays
+            # (version-1 format) have none — dispatch on it.
+            if replay_harness_kind(args.replay) == "paxos-lease":
+                violation = replay_lease(args.replay)
+            else:
+                violation = replay_file(args.replay, max_steps=args.max_steps)
         except (OSError, ValueError, KeyError) as error:
             print(f"error: cannot replay {args.replay}: {error}",
                   file=sys.stderr)
@@ -306,6 +320,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
             return 0
         print(f"replay {args.replay}: reproduced {violation.describe()}")
         return 1
+
+    algorithm = args.algorithm.replace("_", "-")
+    if algorithm == "paxos-lease" or args.mutant in LEASE_MUTANTS:
+        return _cmd_check_lease(args)
 
     config = CheckConfig(
         algorithm=args.algorithm.replace("_", "-"),
@@ -340,6 +358,44 @@ def _cmd_check(args: argparse.Namespace) -> int:
               f"({shrunk.candidates_tried} candidates tried)")
         save_replay(args.replay_out, config, shrunk.decisions,
                     shrunk.violation)
+        print(f"replay file written to {args.replay_out} "
+              f"(re-run with: python -m repro check --replay "
+              f"{args.replay_out})")
+    return 1
+
+
+def _cmd_check_lease(args: argparse.Namespace) -> int:
+    """The paxos-lease harness branch of ``repro check``.
+
+    Selected by ``--algorithm paxos-lease`` or any ``--mutant`` from the
+    lease registry; explores seeded random-walk schedules over the lease
+    protocol instead of COS thread interleavings (repro.check.paxos_lease).
+    """
+    from repro.check.paxos_lease import (
+        LeaseCheckConfig,
+        run_lease_check,
+        save_lease_replay,
+    )
+
+    config = LeaseCheckConfig(mutant=args.mutant)
+    try:
+        report = run_lease_check(
+            config, max_schedules=args.max_schedules, seed=args.seed)
+    except ValueError as error:  # unknown mutant
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    mutant = f" mutant={config.mutant}" if config.mutant else ""
+    print(f"check algorithm=paxos-lease{mutant} nodes={config.n_nodes} "
+          f"lease={config.lease_duration}s margin={config.lease_margin}s "
+          f"skew={config.clock_skew}")
+    print(report.describe())
+    if report.ok:
+        return 0
+    if report.shrunk_decisions is not None:
+        print(f"shrunk counterexample: {len(report.shrunk_decisions)} "
+              f"decisions ({report.shrink_candidates} candidates tried)")
+        save_lease_replay(args.replay_out, config, report.shrunk_decisions,
+                          report.violation)
         print(f"replay file written to {args.replay_out} "
               f"(re-run with: python -m repro check --replay "
               f"{args.replay_out})")

@@ -48,6 +48,11 @@ class NetBenchConfig:
     engine: str = "threaded"        # "threaded" | "mp" (repro.par)
     mp_workers: int = 2             # shard processes per replica under mp
     wire: str = "json"              # wire codec (docs/wire.md)
+    propose_linger: Optional[float] = None  # None -> heartbeat/10
+    cumulative_acks: bool = True
+    lease_duration: Optional[float] = None  # None -> 0.8x leader timeout
+    lease_margin: Optional[float] = None
+    lease_reads: bool = True
     seed: int = 1
     crash_replica: Optional[int] = None   # crash-stop this replica mid-run
     recover: bool = True                  # ...and restart it afterwards
@@ -102,6 +107,11 @@ def run_net_bench(config: NetBenchConfig,
         engine=config.engine,
         mp_workers=config.mp_workers,
         wire=config.wire,
+        propose_linger=config.propose_linger,
+        cumulative_acks=config.cumulative_acks,
+        lease_duration=config.lease_duration,
+        lease_margin=config.lease_margin,
+        lease_reads=config.lease_reads,
         client_timeout=config.client_timeout,
     )
     batches_per_client = max(

@@ -53,6 +53,23 @@ def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--wire", default="json", choices=WIRE_NAMES,
                         help="wire codec on every TCP connection "
                              "(docs/wire.md)")
+    parser.add_argument("--propose-linger", type=float, default=None,
+                        help="Nagle-style proposer linger in seconds; "
+                             "default is a tenth of the heartbeat interval "
+                             "(docs/ordering.md)")
+    parser.add_argument("--lease-duration", type=float, default=None,
+                        help="leader-lease window in seconds; default is "
+                             "0.8x the leader timeout, 0 disables leases "
+                             "(docs/ordering.md)")
+    parser.add_argument("--lease-margin", type=float, default=None,
+                        help="clock-skew safety margin subtracted from "
+                             "each lease grant (docs/ordering.md)")
+    parser.add_argument("--no-lease-reads", action="store_true",
+                        help="order read-only batches instead of serving "
+                             "them locally at the leaseholder")
+    parser.add_argument("--no-cumulative-acks", action="store_true",
+                        help="broadcast a Decide per instance instead of "
+                             "piggybacking cumulative acks")
 
 
 def add_net_parser(sub: argparse._SubParsersAction) -> None:
@@ -140,6 +157,11 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
         engine=args.engine,
         mp_workers=args.mp_workers,
         wire=args.wire,
+        propose_linger=args.propose_linger,
+        cumulative_acks=not args.no_cumulative_acks,
+        lease_duration=args.lease_duration,
+        lease_margin=args.lease_margin,
+        lease_reads=not args.no_lease_reads,
     )
     with open(args.config_out, "w") as handle:
         handle.write(config.to_json())
@@ -198,6 +220,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         engine=args.engine,
         mp_workers=args.mp_workers,
         wire=args.wire,
+        propose_linger=args.propose_linger,
+        cumulative_acks=not args.no_cumulative_acks,
+        lease_duration=args.lease_duration,
+        lease_margin=args.lease_margin,
+        lease_reads=not args.no_lease_reads,
         seed=args.seed,
         crash_replica=args.replicas - 1 if args.crash else None,
         trace=args.trace,

@@ -102,6 +102,7 @@ class NetClient:
             reply_host=self._host,
             reply_port=self._port,
             client_id=self.client_id,
+            read_only=bool(payload) and all(not c.writes for c in payload),
         )
         self.transport.send(
             self.node_id, contact % self.config.n_replicas, request)

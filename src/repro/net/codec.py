@@ -39,6 +39,7 @@ from repro.broadcast.messages import (
     Decide,
     Forward,
     Heartbeat,
+    HeartbeatAck,
     Nack,
     Prepare,
     Promise,
@@ -87,6 +88,7 @@ WIRE_TYPES: Dict[str, Type[Any]] = {
         CatchupReply,
         Forward,
         Heartbeat,
+        HeartbeatAck,
         SequencerStamp,
         ClientRequest,
         ClientResponse,

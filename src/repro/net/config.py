@@ -12,7 +12,7 @@ import json
 import os
 import socket
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.apps import SERVICES
 from repro.core.cos import DEFAULT_MAX_SIZE
@@ -54,6 +54,22 @@ class NetConfig:
     batch_size: int = 64
     heartbeat_interval: float = 0.05
     leader_timeout: float = 0.25
+    #: Nagle-style proposer linger (paxos only): a sub-full batch waits this
+    #: long for more arrivals while earlier instances are in flight.
+    #: ``None`` picks a tenth of the heartbeat interval; 0 disables.
+    propose_linger: Optional[float] = None
+    #: One cumulative ack per batch window instead of per-instance Decide
+    #: broadcasts (docs/ordering.md); saves ~a third of ordering messages.
+    cumulative_acks: bool = True
+    #: Leader-lease window (paxos only).  ``None`` picks 0.8x the leader
+    #: timeout; 0 disables leases and local lease reads.
+    lease_duration: Optional[float] = None
+    #: Clock-skew margin subtracted from the leader's lease hold time.
+    #: ``None`` picks an eighth of the lease duration.
+    lease_margin: Optional[float] = None
+    #: Serve all-read client batches at the leaseholder without a
+    #: consensus round (requires leases).
+    lease_reads: bool = True
     client_timeout: float = 2.0
     #: ``metrics_addresses[i]`` is replica ``i``'s /metrics HTTP endpoint
     #: (see docs/observability.md); empty disables the endpoint.
@@ -98,6 +114,12 @@ class NetConfig:
         if self.metrics_snapshot_interval <= 0:
             raise ConfigurationError(
                 "metrics_snapshot_interval must be > 0")
+        if self.propose_linger is not None and self.propose_linger < 0:
+            raise ConfigurationError("propose_linger must be >= 0")
+        if self.lease_duration is not None and self.lease_duration < 0:
+            raise ConfigurationError("lease_duration must be >= 0")
+        if self.lease_margin is not None and self.lease_margin < 0:
+            raise ConfigurationError("lease_margin must be >= 0")
 
     # ------------------------------------------------------------- JSON I/O
 

@@ -26,6 +26,9 @@ class ClientRequest:
         reply_host / reply_port: Where the client listens for responses;
             the replica registers this endpoint as a dynamic peer.
         client_id: The submitting client's identifier (response routing).
+        read_only: True when every command in the batch is a read — the
+            contact replica may then serve the batch locally under a leader
+            lease instead of ordering it (docs/ordering.md).
     """
 
     payload: Tuple[Command, ...]
@@ -33,6 +36,7 @@ class ClientRequest:
     reply_host: str
     reply_port: int
     client_id: str
+    read_only: bool = False
 
 
 @dataclass(frozen=True)

@@ -88,6 +88,7 @@ class ReplicaServer:
             self.transport,
             self.replica.on_deliver,
             name=f"net-node-{replica_id}",
+            on_read=self.replica.on_local_read,
         )
         # client_id -> transport node id of the client's response endpoint.
         self._reply_to: Dict[str, int] = {}
@@ -120,6 +121,9 @@ class ReplicaServer:
             return SequencerBroadcast(self.replica_id, self.config.n_replicas)
         # Same leader-timeout staggering as ThreadedCluster: campaigns
         # rarely collide because followers time out at different moments.
+        linger = self.config.propose_linger
+        if linger is None:
+            linger = self.config.heartbeat_interval / 10
         return MultiPaxos(
             self.replica_id,
             self.config.n_replicas,
@@ -128,6 +132,12 @@ class ReplicaServer:
             leader_timeout=self.config.leader_timeout
             * (1 + 0.35 * self.replica_id),
             first_instance=first_instance,
+            propose_linger=linger,
+            cumulative_acks=self.config.cumulative_acks,
+            lease_duration=self.config.lease_duration,
+            lease_margin=self.config.lease_margin,
+            lease_reads=self.config.lease_reads,
+            registry=self.registry,
         )
 
     # -------------------------------------------------------------- lifecycle
@@ -198,7 +208,12 @@ class ReplicaServer:
         with self._reply_lock:
             self._reply_to[msg.client_id] = msg.reply_to
         try:
-            self.node.submit(msg.payload)
+            if msg.read_only and self.config.lease_reads:
+                # All-read batch: eligible for the leaseholder-local fast
+                # path; a non-leaseholder orders it normally.
+                self.node.submit_read(msg.payload)
+            else:
+                self.node.submit(msg.payload)
         except ShutdownError:
             pass  # stopping; the client will retry elsewhere
         return True

@@ -63,6 +63,17 @@ class ClusterConfig:
     batch_size: int = 64
     heartbeat_interval: float = 0.05
     leader_timeout: float = 0.25
+    #: Nagle-style proposer linger (paxos only).  ``None`` picks a tenth of
+    #: the heartbeat interval; 0 proposes immediately.
+    propose_linger: Optional[float] = None
+    #: One cumulative ack per batch window instead of Decide broadcasts.
+    cumulative_acks: bool = True
+    #: Leader-lease window (paxos only).  ``None`` picks 0.8x the leader
+    #: timeout; 0 disables leases (and with them local lease reads).
+    lease_duration: Optional[float] = None
+    lease_margin: Optional[float] = None
+    #: Serve all-read batches at the leaseholder without a consensus round.
+    lease_reads: bool = True
     client_timeout: float = 2.0
     #: Persist acceptor state per node so crashed replicas can rejoin
     #: safely (see repro.broadcast.storage).
@@ -121,6 +132,7 @@ class ThreadedCluster:
                     self._build_protocol(replica_id),
                     self._transport,
                     replica.on_deliver,
+                    on_read=replica.on_local_read,
                 )
             )
         self._started = False
@@ -171,6 +183,9 @@ class ThreadedCluster:
             store = InMemoryStableStore(
                 self._stores.setdefault(replica_id, {}))
         # Stagger leader timeouts so campaigns rarely collide.
+        linger = self.config.propose_linger
+        if linger is None:
+            linger = self.config.heartbeat_interval / 10
         return MultiPaxos(
             replica_id,
             self.config.n_replicas,
@@ -179,6 +194,11 @@ class ThreadedCluster:
             leader_timeout=self.config.leader_timeout * (1 + 0.35 * replica_id),
             first_instance=first_instance,
             stable_store=store,
+            propose_linger=linger,
+            cumulative_acks=self.config.cumulative_acks,
+            lease_duration=self.config.lease_duration,
+            lease_margin=self.config.lease_margin,
+            lease_reads=self.config.lease_reads,
         )
 
     # -------------------------------------------------------------- lifecycle
@@ -238,7 +258,13 @@ class ThreadedCluster:
             node = next((n for n in self.nodes if n.running), None)
             if node is None:
                 raise ShutdownError("no replica is running")
-        node.submit(payload)
+        if (self.config.lease_reads and payload
+                and all(not c.writes for c in payload)):
+            # All-read batches may be served locally by a leaseholder; any
+            # non-leaseholder falls back to the ordered path transparently.
+            node.submit_read(payload)
+        else:
+            node.submit(payload)
 
     def _route_response(self, command: Command, response: Any,
                         replica_id: int) -> None:
@@ -289,7 +315,8 @@ class ThreadedCluster:
         protocol = self._build_protocol(
             replica_id, first_instance=checkpoint.instance + 1)
         node = ThreadedNode(replica_id, protocol, self._transport,
-                            replica.on_deliver)
+                            replica.on_deliver,
+                            on_read=replica.on_local_read)
         self.nodes[replica_id] = node
         engine = self._engines.get(replica_id)
         if engine is not None:

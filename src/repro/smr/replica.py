@@ -199,22 +199,89 @@ class ParallelReplica:
         command, a client batch, or a protocol batch of client batches; the
         nesting is flattened in order.
         """
+        with self._deliver_lock:
+            self._schedule_payload(payload)
+            self._last_instance = max(self._last_instance, instance)
+
+    def on_local_read(self, payload: Any) -> None:
+        """Leaseholder-local read delivery (no consensus instance).
+
+        Scheduled through the same conflict-ordered set as ordered
+        commands, so a read is executed after every conflicting write
+        already delivered here — which, at a valid leaseholder, is every
+        write completed anywhere (see docs/ordering.md).  The read never
+        advances ``last_instance``: it has no position in the total order.
+
+        When the execution pipeline is idle the read skips the COS and
+        executes inline on the delivering thread: ``executed == scheduled``
+        under ``_state_lock`` means every inserted command has finished
+        executing (workers bump the counter after the service call), and
+        holding ``_deliver_lock`` keeps new deliveries out until the read
+        completes — so the read is still serialized after every
+        conflicting write, without paying two worker handoffs.
+        """
+        with self._deliver_lock:
+            commands = [command for command in _flatten_commands(payload)
+                        if not self._is_duplicate(command)]
+            if not commands:
+                return
+            with self._state_lock:
+                idle = self._executed >= self._scheduled
+            if idle:
+                self._scheduled += len(commands)
+                self._execute_inline(commands)
+            else:
+                self._schedule_commands(commands)
+
+    def _schedule_payload(self, payload: Any) -> None:
+        self._schedule_commands(
+            command for command in _flatten_commands(payload)
+            if not self._is_duplicate(command))
+
+    def _schedule_commands(self, commands: Iterable[Command]) -> None:
         obs_on = self._obs_on
         obs = self.registry
-        with self._deliver_lock:
-            for command in _flatten_commands(payload):
-                if self._is_duplicate(command):
-                    continue
-                self._scheduled += 1
-                if obs_on:
-                    obs.span(span_key(command), "delivered")
-                    entered = obs.clock()
-                self._cos.insert(command)
-                if obs_on:
-                    self._m_insert_latency.observe(obs.clock() - entered)
-                    self._m_scheduled.inc()
-                    obs.span(span_key(command), "scheduled")
-            self._last_instance = max(self._last_instance, instance)
+        for command in commands:
+            self._scheduled += 1
+            if obs_on:
+                obs.span(span_key(command), "delivered")
+                entered = obs.clock()
+            self._cos.insert(command)
+            if obs_on:
+                self._m_insert_latency.observe(obs.clock() - entered)
+                self._m_scheduled.inc()
+                obs.span(span_key(command), "scheduled")
+
+    def _execute_inline(self, commands: List[Command]) -> None:
+        """Execute an idle-pipeline read batch on the calling thread."""
+        obs = self.registry
+        obs_on = self._obs_on
+        if obs_on:
+            started = obs.clock()
+            for command in commands:
+                obs.span(span_key(command), "delivered")
+                obs.span(span_key(command), "executing")
+        responses = [self.service.execute(command) for command in commands]
+        if obs_on:
+            self._m_executed.inc(len(commands))
+            self._m_scheduled.inc(len(commands))
+            self._m_insert_latency.observe(obs.clock() - started)
+            for command in commands:
+                obs.span(span_key(command), "responded")
+        with self._state_lock:
+            self._executed += len(commands)
+            for command, response in zip(commands, responses):
+                if command.client_id is not None:
+                    cached = self._dedup.get(command.client_id)
+                    # Only fill the slot this command reserved (see the
+                    # worker loop): a newer request may own it by now.
+                    if cached is not None and cached[0] == command.request_id:
+                        self._dedup[command.client_id] = (
+                            command.request_id, response,
+                        )
+        if self._on_response is not None:
+            for command, response in zip(commands, responses):
+                self._on_response(command, response, self.replica_id)
 
     def _is_duplicate(self, command: Command) -> bool:
         if command.client_id is None:

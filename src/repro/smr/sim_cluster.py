@@ -20,7 +20,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional
 
-from repro.broadcast.messages import Deliver, Send, SetTimer
+from repro.broadcast.messages import Deliver, DeliverRead, Send, SetTimer
 from repro.broadcast.paxos import MultiPaxos
 from repro.core import make_cos
 from repro.core.command import Command
@@ -134,6 +134,10 @@ class _SimProtocolNode:
                 )
             elif kind is Deliver:
                 self._on_deliver(action.payload)
+            elif kind is DeliverRead:
+                # The sim drives only the ordered path today; a lease read
+                # is simply a local delivery without an instance number.
+                self._on_deliver(action.payload)
             elif kind is SetTimer:
                 self._sim.schedule(
                     action.delay,
@@ -206,6 +210,7 @@ def run_sim_cluster(config: SimClusterConfig,
             batch_size=config.batch_size,
             heartbeat_interval=0.05,
             leader_timeout=0.2 * (1 + 0.35 * replica_id),
+            clock=lambda: sim.now,  # leases measured in simulated time
         )
         nodes.append(
             _SimProtocolNode(

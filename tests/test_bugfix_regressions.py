@@ -39,7 +39,19 @@ Each test fails against the pre-fix code:
   non-decomposable relation used to surface as IndexedCOS's generic
   NotImplementedError naming only the indexed COS; the factory now
   rejects it up front, naming the *requested* scheduler and listing the
-  pairwise schedulers that would work.
+  pairwise schedulers that would work;
+- **hint-change drain** (broadcast/node.py): a hop-exhausted Forward
+  parked at a *never-leader* follower used to sit in ``pending`` forever —
+  only the was-leader step-down transition drained the queue;
+- **drain hop budget** (broadcast/paxos.py): drain_pending_forwards used
+  to re-emit Forwards with ``hops=0``, handing circularly-hinted payloads
+  a fresh budget on every drain and defeating FORWARD_HOP_LIMIT;
+- **catch-up chunking** (broadcast/paxos.py): a CatchupReply used to pack
+  the requester's *entire* missing suffix into one frame, which could blow
+  transport frame caps or be dropped whole by drop-oldest queues;
+- **accepted-state pruning** (broadcast/paxos.py): decided instances kept
+  their ``accepted`` entries and ``("accepted", i)`` stable-store keys
+  forever, growing both with history instead of the in-flight window.
 """
 
 from __future__ import annotations
@@ -784,3 +796,169 @@ class TestPoisonGaugeReconciliation:
         # gauges, so a crashed engine reported phantom queue depth forever.
         assert gauge_0.value == 0, "shard 0 gauge stuck after poison"
         assert gauge_1.value == 0, "shard 1 gauge stuck after poison"
+
+
+# --------------------------------------------------------------------------
+# Hint-change drain: never-leader nodes must not strand exhausted Forwards.
+# --------------------------------------------------------------------------
+
+
+class TestHintChangeDrainsPending:
+
+    def test_follower_reforwards_on_observed_hint_change(self):
+        # A hop-exhausted Forward parks its payload in a *never-leader*
+        # follower's ``pending``.  Pre-fix only the was-leader -> follower
+        # transition drained that queue, so on a node that never led the
+        # payload sat there until the client timed out: learning a new
+        # leader hint must drain it too.
+        transport = ThreadedTransport(5, FaultPlan(min_delay=0, max_delay=0))
+        protocol = MultiPaxos(3, 5)
+        node = ThreadedNode(3, protocol, transport, lambda inst, payload: None)
+        node.start()
+        try:
+            # Hint moves to 1, then an exhausted Forward arrives and parks.
+            transport.send(1, 3, Prepare((7, 1)))
+            transport.send(4, 3, Forward("parked", FORWARD_HOP_LIMIT))
+            deadline = time.monotonic() + 5
+            while not protocol.pending and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert list(protocol.pending) == ["parked"]
+            # Node 2 campaigns: node 3's observed hint flips 1 -> 2, which
+            # must re-forward "parked" toward the new hint.
+            transport.send(2, 3, Prepare((9, 2)))
+            inbox = transport.inbox(2)
+            forwarded = []
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                try:
+                    _, msg = inbox.get(timeout=0.1)
+                except queue.Empty:
+                    continue
+                if isinstance(msg, Forward):
+                    forwarded.append(msg)
+                    break
+            assert [m.payload for m in forwarded] == ["parked"], (
+                "hint change left a hop-exhausted payload stranded at a "
+                "never-leader follower")
+        finally:
+            node.stop()
+            node.join(5.0)
+            transport.close()
+
+
+# --------------------------------------------------------------------------
+# Drained Forwards must keep their consumed hop budget.
+# --------------------------------------------------------------------------
+
+
+class TestDrainKeepsHopBudget:
+
+    def test_drained_forward_carries_remaining_budget(self):
+        # Pre-fix drain_pending_forwards re-emitted ``Forward(payload)``
+        # with hops=0: under circular stale hints each drain handed the
+        # payload a fresh budget, defeating FORWARD_HOP_LIMIT — three
+        # churning followers could orbit it forever.
+        follower = MultiPaxos(3, 5)
+        follower.on_message(1, Prepare((7, 1)))          # hint -> 1
+        follower.on_message(4, Forward("p", FORWARD_HOP_LIMIT))
+        assert list(follower.pending) == ["p"]           # budget exhausted
+        follower.on_message(2, Prepare((9, 2)))          # hint -> 2
+        actions = follower.drain_pending_forwards()
+        forwards = [a for a in actions
+                    if isinstance(getattr(a, "msg", None), Forward)]
+        assert len(forwards) == 1 and forwards[0].dst == 2
+        assert forwards[0].msg.hops == FORWARD_HOP_LIMIT, (
+            "drain reset the hop budget: re-forwarded payloads would "
+            "orbit circular hints forever")
+        assert not follower.pending and not follower._pending_hops
+
+
+# --------------------------------------------------------------------------
+# Catch-up replies must be chunked, not one giant frame.
+# --------------------------------------------------------------------------
+
+
+class TestCatchupChunking:
+
+    def test_long_suffix_is_served_in_bounded_chunks(self):
+        from repro.broadcast.messages import (
+            Accepted,
+            CatchupReply,
+            CatchupRequest,
+        )
+        from repro.broadcast.paxos import CATCHUP_CHUNK
+
+        total = 3 * CATCHUP_CHUNK + 57          # several chunks + remainder
+        leader = MultiPaxos(0, 3, batch_size=1, pipeline=total)
+        for index in range(total):
+            leader.submit(f"v{index}")
+        # One cumulative ack decides the whole range at once.
+        leader.on_message(1, Accepted((0, 0), total - 1, total - 1))
+        assert leader.next_deliver == total
+        # A blank replica pulls the history.  Pre-fix the first reply
+        # packed all ``total`` instances into one frame — beyond frame
+        # caps and drop-oldest queues, that reply just vanished.
+        follower = MultiPaxos(1, 3)
+        request = CatchupRequest(0)
+        replies = 0
+        while True:
+            actions = leader.on_message(1, request)
+            reply = next(a.msg for a in actions
+                         if isinstance(a.msg, CatchupReply))
+            assert len(reply.decided) <= CATCHUP_CHUNK, (
+                "catch-up reply exceeds the per-frame chunk cap")
+            replies += 1
+            follow_up = [
+                a.msg for a in follower.on_message(0, reply)
+                if isinstance(getattr(a, "msg", None), CatchupRequest)
+            ]
+            if not follow_up:
+                break
+            (request,) = follow_up
+            assert request.from_instance == follower.next_deliver
+        assert follower.next_deliver == total
+        assert replies == -(-total // CATCHUP_CHUNK)  # ceil division
+
+
+# --------------------------------------------------------------------------
+# Accepted entries (and their stable-store keys) must be pruned on learn.
+# --------------------------------------------------------------------------
+
+
+class TestAcceptedPruning:
+
+    def test_decided_instances_leave_accepted_and_store(self):
+        from repro.broadcast.messages import Accept, Accepted
+        from repro.broadcast.storage import InMemoryStableStore
+
+        total = 200
+        backing = {}
+        leader = MultiPaxos(0, 3, batch_size=1, pipeline=total,
+                            stable_store=InMemoryStableStore(backing))
+        for index in range(total):
+            leader.submit(f"v{index}")
+        assert len(leader.accepted) == total     # all in flight
+        leader.on_message(1, Accepted((0, 0), total - 1, total - 1))
+        # Pre-fix every decided instance kept its accepted entry and its
+        # ("accepted", i) store key forever — both grew with history, not
+        # with the in-flight window.
+        assert leader.accepted == {}, "accepted map grew with history"
+        stale = [key for key in backing
+                 if isinstance(key, tuple) and key[0] == "accepted"]
+        assert stale == [], "stable store kept pruned accepted keys"
+
+    def test_follower_prunes_as_the_commit_frontier_advances(self):
+        from repro.broadcast.messages import Accept
+
+        total = 64
+        follower = MultiPaxos(1, 3)
+        for index in range(total):
+            follower.on_message(0, Accept((0, 0), index, (f"v{index}",)))
+        assert len(follower.accepted) == total
+        # The next Accept carries the leader's commit frontier covering
+        # everything so far; learning must prune the covered entries.
+        follower.on_message(
+            0, Accept((0, 0), total, ("tail",), total - 1))
+        assert follower.next_deliver == total
+        assert set(follower.accepted) == {total}, (
+            "follower kept accepted entries for learned instances")

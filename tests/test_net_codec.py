@@ -91,11 +91,12 @@ class TestProtocolMessages:
         assert set(result.decided) == {3}
 
     def test_forward_roundtrip(self):
-        fields = {f.name for f in dataclasses.fields(Forward)}
+        # Construct by keyword: `payload` is the one required field, any
+        # later additions (e.g. `hops`) carry defaults.
         payload = (Command("add", (2,), writes=True),)
-        forward = (Forward(payload=payload) if fields == {"payload"}
-                   else Forward(**{next(iter(fields)): payload}))
+        forward = Forward(payload=payload)
         assert roundtrip(forward) == forward
+        assert roundtrip(Forward(payload=payload, hops=3)).hops == 3
 
     def test_client_envelope_roundtrip(self):
         request = ClientRequest(

@@ -87,6 +87,15 @@ class TestNormalCase:
         leader.submit("v")
         actions = leader.on_message(1, Accepted((0, 0), 0))
         assert delivers(actions) == [(0, ("v",))]
+        # Cumulative-ack mode (the default) replaces the Decide round with
+        # the commit_up_to frontier piggybacked on later Accepts/heartbeats.
+        assert sends(actions, Decide) == []
+
+    def test_per_instance_mode_broadcasts_decide(self):
+        leader = MultiPaxos(0, 3, cumulative_acks=False)
+        leader.submit("v")
+        actions = leader.on_message(1, Accepted((0, 0), 0))
+        assert delivers(actions) == [(0, ("v",))]
         decides = sends(actions, Decide)
         assert {d.dst for d in decides} == {1, 2}
 
@@ -167,6 +176,22 @@ class TestLeaderChange:
         actions = nodes[1].on_message(2, promise_from_2[0].msg)
         accepts = sends(actions, Accept)
         assert any(a.msg.instance == 0 and a.msg.value == ("old",)
+                   for a in accepts)
+
+    def test_promise_reports_decided_suffix(self):
+        """Regression: a decided instance known only to one promiser (its
+        accepted entry is pruned on learn) must still constrain the new
+        leader, or it would re-propose a fresh value at a decided slot."""
+        nodes = make_trio()
+        nodes[1].on_message(0, Accept((0, 0), 0, ("w",)))
+        nodes[1].on_message(0, Decide(0, ("w",)))  # pruned from accepted
+        assert 0 not in nodes[1].accepted
+        self._campaign(nodes[2])
+        reply = sends(nodes[1].on_message(2, Prepare((1, 2), 0)), Promise)
+        assert reply[0].msg.accepted[0] == ((1, 2), ("w",))
+        actions = nodes[2].on_message(1, reply[0].msg)
+        accepts = sends(actions, Accept)
+        assert any(a.msg.instance == 0 and a.msg.value == ("w",)
                    for a in accepts)
 
     def test_gap_filled_with_noop(self):

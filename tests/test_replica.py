@@ -178,3 +178,71 @@ class TestSequentialReplica:
     def test_has_single_worker(self):
         replica = SequentialReplica(0, KVStoreService())
         assert replica.workers == 1
+
+
+class _GatedWriteService(LinkedListService):
+    """Writes block on an event so tests can hold the pipeline busy."""
+
+    def __init__(self):
+        super().__init__(initial_size=5)
+        self.release = threading.Event()
+
+    def execute(self, command):
+        if command.writes:
+            assert self.release.wait(5.0), "gated write never released"
+        return super().execute(command)
+
+
+class TestLocalReads:
+    def test_idle_pipeline_executes_read_inline(self, responses):
+        replica = ParallelReplica(0, LinkedListService(initial_size=5),
+                                  workers=2, on_response=responses)
+        replica.start()
+        try:
+            replica.on_local_read((read(1), read(99)))
+            # Inline execution is synchronous: responses are already
+            # delivered when the call returns, no worker handoff happened.
+            assert [r for _, r, _ in responses.collected] == [True, False]
+            assert replica.executed == 2
+            # A local read has no position in the total order.
+            assert replica.last_instance == -1
+        finally:
+            replica.stop()
+
+    def test_busy_pipeline_orders_read_after_conflicting_write(
+            self, responses):
+        service = _GatedWriteService()
+        replica = ParallelReplica(0, service, workers=2,
+                                  on_response=responses)
+        replica.start()
+        try:
+            replica.on_deliver(0, (write(50),))
+            assert wait_for(lambda: replica._scheduled == 1)
+            # The write is parked in a worker: the read must take the COS
+            # path and wait behind it (contains/add conflict).
+            replica.on_local_read((read(50),))
+            time.sleep(0.05)
+            assert responses.collected == []
+            service.release.set()
+            assert wait_for(lambda: len(responses.collected) == 2)
+            # The read executed after the write it conflicts with.
+            assert responses.collected[1][1] is True
+        finally:
+            service.release.set()
+            replica.stop()
+
+    def test_inline_read_fills_dedup_cache(self, responses):
+        replica = ParallelReplica(0, LinkedListService(initial_size=5),
+                                  workers=1, on_response=responses)
+        replica.start()
+        try:
+            command = Command("contains", (2,), client_id="c", request_id=7,
+                              writes=False)
+            replica.on_local_read((command,))
+            assert replica.cached_response("c") == (7, True)
+            # Retransmission is answered from the cache, not re-executed.
+            replica.on_local_read((command,))
+            assert replica.executed == 1
+            assert len(responses.collected) == 2
+        finally:
+            replica.stop()
