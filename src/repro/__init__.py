@@ -20,6 +20,7 @@ from repro.core import (
     EarlyConfig,
     FineGrainedCOS,
     KeyedConflicts,
+    MultiKeyedConflicts,
     LockFreeCOS,
     NeverConflicts,
     PredicateConflicts,
@@ -48,6 +49,7 @@ __all__ = [
     "ConflictRelation",
     "ReadWriteConflicts",
     "KeyedConflicts",
+    "MultiKeyedConflicts",
     "NeverConflicts",
     "AlwaysConflicts",
     "PredicateConflicts",

@@ -27,6 +27,11 @@ _SERVICE_FACTORIES: Dict[str, Callable[..., Service]] = {
     # something to scan (the historical `repro.net` default).
     "linked-list": lambda **kwargs: LinkedListService(
         **{"initial_size": 50, **kwargs}),
+    # Per-key conflict relation: the variant partitioned ordering
+    # (repro.groups) deploys, since its conflict classes can be split
+    # across consensus groups (docs/partitioning.md).
+    "linked-list-keyed": lambda **kwargs: LinkedListService(
+        **{"initial_size": 50, "keyed_conflicts": True, **kwargs}),
     "kv": lambda **kwargs: KVStoreService(**kwargs),
     "bank": lambda **kwargs: BankService(**kwargs),
 }

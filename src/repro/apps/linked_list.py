@@ -4,11 +4,20 @@ A readers-and-writers service over a singly linked list of integers:
 
 - ``contains(i)`` — true iff ``i`` is in the list (read);
 - ``add(i)`` — insert ``i`` if absent, returning whether it was inserted
-  (write).
+  (write);
+- ``contains-all(i, j, ...)`` / ``add-all(i, j, ...)`` — the multi-key
+  forms, one membership test / insert per argument (used as the
+  partition-crossing commands of :mod:`repro.groups` experiments).
 
 Conflict model: ``contains`` commands do not conflict with each other but
 conflict with ``add`` commands, which conflict with everything —
-:class:`~repro.core.command.ReadWriteConflicts`.
+:class:`~repro.core.command.ReadWriteConflicts`.  Because the observable
+state is a *set* (operations on different values commute), the service
+also supports the finer per-key relation
+(:class:`~repro.core.command.MultiKeyedConflicts`) via
+``keyed_conflicts=True`` — the mode partitioned ordering requires, since a
+single global conflict class cannot be split across groups
+(docs/partitioning.md).
 
 The list is a real pointer-chained structure and operations walk it node by
 node, so execution cost genuinely scales with the initial population (1k /
@@ -23,11 +32,17 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.core.command import (
     Command,
     ConflictRelation,
+    MultiKeyedConflicts,
     ReadWriteConflicts,
     stable_hash,
 )
 from repro.smr.service import ShardableService
-from repro.workload.generator import READ_OP, WRITE_OP
+from repro.workload.generator import (
+    MULTI_READ_OP,
+    MULTI_WRITE_OP,
+    READ_OP,
+    WRITE_OP,
+)
 
 __all__ = ["LinkedListService"]
 
@@ -43,16 +58,22 @@ class _ListNode:
 class LinkedListService(ShardableService):
     """Singly linked list with ``contains``/``add`` commands."""
 
-    def __init__(self, initial_size: int = 0, execution_cost: float = 0.0):
+    def __init__(self, initial_size: int = 0, execution_cost: float = 0.0,
+                 keyed_conflicts: bool = False):
         """Initialize with entries ``0 .. initial_size - 1`` (paper §7.2).
 
         Args:
             initial_size: Pre-populated entries.
             execution_cost: Mean per-command cost charged in simulation runs.
+            keyed_conflicts: Use the per-key conflict relation (sound for
+                the set semantics; required by partitioned ordering)
+                instead of the paper's coarse readers/writers relation.
         """
         self._head: Optional[_ListNode] = None
         self._size = 0
-        self._conflicts = ReadWriteConflicts()
+        self._conflicts: ConflictRelation = (
+            MultiKeyedConflicts() if keyed_conflicts
+            else ReadWriteConflicts())
         self._execution_cost = execution_cost
         # Build back-to-front so the list reads 0, 1, 2, ...
         for value in range(initial_size - 1, -1, -1):
@@ -66,6 +87,10 @@ class LinkedListService(ShardableService):
             return self._contains(command.args[0])
         if command.op == WRITE_OP:
             return self._add(command.args[0])
+        if command.op == MULTI_READ_OP:
+            return tuple(self._contains(value) for value in command.args)
+        if command.op == MULTI_WRITE_OP:
+            return tuple(self._add(value) for value in command.args)
         raise ValueError(f"unknown linked-list operation {command.op!r}")
 
     @property
@@ -94,14 +119,15 @@ class LinkedListService(ShardableService):
     # ------------------------------------------------------------- sharding
 
     def shards_of(self, command: Command, n_shards: int) -> Tuple[int, ...]:
-        """Both ``contains(i)`` and ``add(i)`` touch only key ``i``'s shard.
+        """Every operation touches exactly its argument keys' shards.
 
-        The conflict relation stays the coarse readers/writers one (an
-        ``add`` still *schedules* against everything), but the state
-        footprint is single-shard, so the multiprocess engine never needs a
-        barrier for this service.
+        Under the default coarse relation an ``add`` still *schedules*
+        against everything, but the state footprint is per-key, so the
+        multiprocess engine never needs a barrier for this service; the
+        multi-key forms span one shard per distinct argument.
         """
-        return (stable_hash(command.args[0]) % n_shards,)
+        return tuple(sorted({stable_hash(value) % n_shards
+                             for value in command.args}))
 
     def snapshot_shard(self, shard: int, n_shards: int) -> List[int]:
         return sorted(value for value in self._iter_values()

@@ -114,9 +114,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="systematic schedule-space model check against the COS spec")
     check.add_argument("--algorithm", "--scheduler", default="lock-free",
                        help="COS algorithm (underscores accepted, e.g. "
-                            "lock_free; --scheduler is an alias), or "
+                            "lock_free; --scheduler is an alias), "
                             "paxos-lease for the leader-lease harness "
-                            "(docs/ordering.md)")
+                            "(docs/ordering.md), or groups-rendezvous for "
+                            "the cross-partition merge harness "
+                            "(docs/partitioning.md)")
     check.add_argument("--workers", type=int, default=3)
     check.add_argument("--commands", type=int, default=5)
     check.add_argument("--max-size", type=int, default=4,
@@ -133,9 +135,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seed for the random-walk exploration stage")
     check.add_argument("--mutant", default=None,
                        help="check a seeded-bug variant (repro.check."
-                            "mutants, or a lease mutant from repro.check."
-                            "paxos_lease) instead of the real "
-                            "implementation")
+                            "mutants, a lease mutant from repro.check."
+                            "paxos_lease, or a groups mutant from "
+                            "repro.check.groups_rendezvous) instead of the "
+                            "real implementation")
     check.add_argument("--replay", metavar="FILE",
                        help="re-run a recorded counterexample file instead "
                             "of exploring")
@@ -295,6 +298,7 @@ def _cmd_smr_wallclock(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.check import CheckConfig, run_check
+    from repro.check.groups_rendezvous import GROUPS_MUTANTS, replay_groups
     from repro.check.paxos_lease import (
         LEASE_MUTANTS,
         replay_harness_kind,
@@ -305,10 +309,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     if args.replay:
         try:
-            # Lease-harness replays carry a "harness" key; COS replays
-            # (version-1 format) have none — dispatch on it.
-            if replay_harness_kind(args.replay) == "paxos-lease":
+            # Lease/groups-harness replays carry a "harness" key; COS
+            # replays (version-1 format) have none — dispatch on it.
+            kind = replay_harness_kind(args.replay)
+            if kind == "paxos-lease":
                 violation = replay_lease(args.replay)
+            elif kind == "groups-rendezvous":
+                violation = replay_groups(args.replay)
             else:
                 violation = replay_file(args.replay, max_steps=args.max_steps)
         except (OSError, ValueError, KeyError) as error:
@@ -324,6 +331,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     algorithm = args.algorithm.replace("_", "-")
     if algorithm == "paxos-lease" or args.mutant in LEASE_MUTANTS:
         return _cmd_check_lease(args)
+    if algorithm == "groups-rendezvous" or args.mutant in GROUPS_MUTANTS:
+        return _cmd_check_groups(args)
 
     config = CheckConfig(
         algorithm=args.algorithm.replace("_", "-"),
@@ -396,6 +405,46 @@ def _cmd_check_lease(args: argparse.Namespace) -> int:
               f"decisions ({report.shrink_candidates} candidates tried)")
         save_lease_replay(args.replay_out, config, report.shrunk_decisions,
                           report.violation)
+        print(f"replay file written to {args.replay_out} "
+              f"(re-run with: python -m repro check --replay "
+              f"{args.replay_out})")
+    return 1
+
+
+def _cmd_check_groups(args: argparse.Namespace) -> int:
+    """The groups-rendezvous harness branch of ``repro check``.
+
+    Selected by ``--algorithm groups-rendezvous`` or any ``--mutant`` from
+    the groups registry; explores seeded random walks over per-replica
+    interleavings of the partitions' consensus logs and checks that the
+    rendezvous merge rule yields one deterministic total order
+    (repro.check.groups_rendezvous, docs/partitioning.md).
+    """
+    from repro.check.groups_rendezvous import (
+        GroupsCheckConfig,
+        run_groups_check,
+        save_groups_replay,
+    )
+
+    config = GroupsCheckConfig(mutant=args.mutant)
+    try:
+        report = run_groups_check(
+            config, max_schedules=args.max_schedules, seed=args.seed)
+    except ValueError as error:  # unknown mutant
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    mutant = f" mutant={config.mutant}" if config.mutant else ""
+    print(f"check algorithm=groups-rendezvous{mutant} "
+          f"groups={config.n_groups} replicas={config.n_replicas} "
+          f"keys={config.key_space} length={config.schedule_length}")
+    print(report.describe())
+    if report.ok:
+        return 0
+    if report.shrunk_decisions is not None:
+        print(f"shrunk counterexample: {len(report.shrunk_decisions)} "
+              f"decisions ({report.shrink_candidates} candidates tried)")
+        save_groups_replay(args.replay_out, config, report.shrunk_decisions,
+                           report.violation)
         print(f"replay file written to {args.replay_out} "
               f"(re-run with: python -m repro check --replay "
               f"{args.replay_out})")

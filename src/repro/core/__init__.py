@@ -12,6 +12,7 @@ from repro.core.command import (
     Command,
     ConflictRelation,
     KeyedConflicts,
+    MultiKeyedConflicts,
     NeverConflicts,
     PredicateConflicts,
     ReadWriteConflicts,
@@ -43,6 +44,7 @@ __all__ = [
     "ConflictRelation",
     "ReadWriteConflicts",
     "KeyedConflicts",
+    "MultiKeyedConflicts",
     "NeverConflicts",
     "AlwaysConflicts",
     "PredicateConflicts",

@@ -22,6 +22,7 @@ __all__ = [
     "ConflictRelation",
     "ReadWriteConflicts",
     "KeyedConflicts",
+    "MultiKeyedConflicts",
     "NeverConflicts",
     "AlwaysConflicts",
     "PredicateConflicts",
@@ -179,6 +180,41 @@ class KeyedConflicts(ConflictRelation):
     def footprint(self, cmd: Command) -> Tuple[FootprintEntry, ...]:
         # One class per key; readers of a key commute with each other.
         return ((self._key_of(cmd), cmd.writes),)
+
+
+class MultiKeyedConflicts(ConflictRelation):
+    """Keyed read/write conflicts for commands that touch *several* keys.
+
+    Generalizes :class:`KeyedConflicts` to commands whose footprint spans
+    more than one key (multi-key writes, cross-partition transactions):
+    two commands conflict iff they share at least one key and at least one
+    of them writes.  ``keys_of`` defaults to treating every argument as a
+    key, which matches the multi-key operations of the example services
+    (``add-all(k1, k2, ...)``).
+
+    This is the relation partitioned ordering (:mod:`repro.groups`) is
+    built for: the footprint's keys are exactly the partitions a command
+    must be ordered in.
+    """
+
+    supports_footprint = True
+
+    def __init__(self, keys_of: Optional[
+            Callable[[Command], Tuple[Hashable, ...]]] = None):
+        self._keys_of = keys_of or (lambda cmd: tuple(cmd.args))
+
+    def keys_of(self, cmd: Command) -> Tuple[Hashable, ...]:
+        """The distinct keys ``cmd`` touches, in first-seen order."""
+        seen = dict.fromkeys(self._keys_of(cmd))
+        return tuple(seen)
+
+    def conflicts(self, a: Command, b: Command) -> bool:
+        if not (a.writes or b.writes):
+            return False
+        return bool(set(self.keys_of(a)) & set(self.keys_of(b)))
+
+    def footprint(self, cmd: Command) -> Tuple[FootprintEntry, ...]:
+        return tuple((key, cmd.writes) for key in self.keys_of(cmd))
 
 
 class NeverConflicts(ConflictRelation):

@@ -1,0 +1,318 @@
+"""Threaded partitioned-SMR cluster: N groups x R replicas in one process.
+
+The grouped analogue of :class:`~repro.smr.cluster.ThreadedCluster`: every
+replica hosts one broadcast node *per group* (each group gets its own
+:class:`~repro.broadcast.transport.ThreadedTransport` — groups never
+exchange messages, the rendezvous is replica-local), and all of a
+replica's group streams feed its :class:`~repro.groups.replica
+.GroupedReplica`.
+
+The cluster is also the partition-aware router: client batches are split
+by :class:`~repro.groups.partition.PartitionMap` — each single-partition
+sub-batch goes straight to its owning group's contact node, each
+cross-partition command is wrapped in a
+:class:`~repro.groups.messages.Rendezvous` marker and submitted to every
+involved group.  Per-group fault plans let the differential suite inject
+seeded loss/delay into one group's ordering traffic only.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.broadcast import (
+    FaultPlan,
+    MultiPaxos,
+    SequencerBroadcast,
+    ThreadedNode,
+    ThreadedTransport,
+)
+from repro.core.command import Command
+from repro.core.cos import DEFAULT_MAX_SIZE
+from repro.errors import ConfigurationError, ShutdownError
+from repro.groups.messages import Rendezvous, rendezvous_xid
+from repro.groups.partition import PartitionMap
+from repro.groups.replica import DEFAULT_DEDUP_WINDOW, GroupedReplica
+from repro.smr.client import Client
+from repro.smr.service import Service
+
+__all__ = ["GroupsConfig", "GroupedCluster"]
+
+ServiceFactory = Callable[[], Service]
+
+
+@dataclass
+class GroupsConfig:
+    """Parameters of a threaded grouped deployment."""
+
+    n_groups: int = 2
+    n_replicas: int = 3
+    service_factory: Optional[ServiceFactory] = None
+    #: Registered service name (repro.apps.SERVICES) + factory kwargs, as
+    #: an alternative to ``service_factory``.
+    service: Optional[str] = None
+    service_kwargs: Dict[str, Any] = field(default_factory=dict)
+    protocol: str = "paxos"            # "paxos" | "sequencer"
+    cos_algorithm: str = "lock-free"
+    workers: int = 4
+    max_graph_size: int = DEFAULT_MAX_SIZE
+    batch_size: int = 64
+    heartbeat_interval: float = 0.05
+    leader_timeout: float = 0.25
+    propose_linger: Optional[float] = None
+    cumulative_acks: bool = True
+    lease_duration: Optional[float] = None
+    lease_margin: Optional[float] = None
+    lease_reads: bool = True
+    client_timeout: float = 2.0
+    #: Windowed dedup size per client (see repro.smr.replica).
+    dedup_window: int = DEFAULT_DEDUP_WINDOW
+    #: Record merged positions + per-class release order on every replica
+    #: (differential suites; grows with the run).
+    record_history: bool = False
+    #: ``fault_plans[g]`` shapes group ``g``'s transport; shorter lists are
+    #: padded with the last entry, empty means no faults anywhere.
+    fault_plans: Tuple[FaultPlan, ...] = ()
+
+    def validate(self) -> None:
+        if self.n_groups < 1:
+            raise ConfigurationError(
+                f"n_groups must be >= 1, got {self.n_groups}")
+        if self.protocol not in ("paxos", "sequencer"):
+            raise ConfigurationError(f"unknown protocol {self.protocol!r}")
+        if self.protocol == "paxos" and self.n_replicas % 2 == 0:
+            raise ConfigurationError(
+                f"paxos needs an odd replica count, got {self.n_replicas}")
+        if self.n_replicas < 1:
+            raise ConfigurationError("need at least one replica")
+        if self.service_factory is None and self.service is None:
+            raise ConfigurationError(
+                "need a service_factory or a service name")
+
+    def build_service(self) -> Service:
+        if self.service_factory is not None:
+            return self.service_factory()
+        from repro.apps import build_service
+
+        return build_service(self.service, **self.service_kwargs)
+
+    def plan_for(self, group: int) -> FaultPlan:
+        if not self.fault_plans:
+            return FaultPlan(min_delay=0.0, max_delay=0.0)
+        return self.fault_plans[min(group, len(self.fault_plans) - 1)]
+
+
+class GroupedCluster:
+    """A running in-process partitioned replicated service."""
+
+    def __init__(self, config: GroupsConfig):
+        config.validate()
+        self.config = config
+        probe = config.build_service()
+        self.partition_map = PartitionMap(probe.conflicts, config.n_groups)
+        self._clients: Dict[str, Client] = {}
+        self._clients_lock = threading.Lock()
+        self._client_counter = itertools.count(1)
+        self.transports: List[ThreadedTransport] = [
+            ThreadedTransport(config.n_replicas, config.plan_for(group))
+            for group in range(config.n_groups)
+        ]
+        self.grouped: List[GroupedReplica] = []
+        #: nodes[group][replica] — one broadcast node per (group, replica).
+        self.nodes: List[List[ThreadedNode]] = [
+            [] for _ in range(config.n_groups)]
+        for replica_id in range(config.n_replicas):
+            service = probe if replica_id == 0 else config.build_service()
+            grouped = GroupedReplica(
+                replica_id,
+                service,
+                self.partition_map,
+                cos_algorithm=config.cos_algorithm,
+                workers=config.workers,
+                max_graph_size=config.max_graph_size,
+                on_response=self._route_response,
+                dedup_window=config.dedup_window,
+                record_history=config.record_history,
+            )
+            self.grouped.append(grouped)
+            for group in range(config.n_groups):
+                self.nodes[group].append(self._build_node(
+                    group, replica_id, grouped))
+        self._started = False
+
+    # --------------------------------------------------------------- builders
+
+    def _build_protocol(self, replica_id: int) -> Any:
+        if self.config.protocol == "sequencer":
+            return SequencerBroadcast(replica_id, self.config.n_replicas)
+        linger = self.config.propose_linger
+        if linger is None:
+            linger = self.config.heartbeat_interval / 10
+        # Same leader-timeout staggering as ThreadedCluster.  Every group
+        # staggers identically, so group leaderships co-locate on the same
+        # replica in the steady state — one leader machine, as in a
+        # single-group deployment; groups still fail over independently.
+        return MultiPaxos(
+            replica_id,
+            self.config.n_replicas,
+            batch_size=self.config.batch_size,
+            heartbeat_interval=self.config.heartbeat_interval,
+            leader_timeout=self.config.leader_timeout
+            * (1 + 0.35 * replica_id),
+            propose_linger=linger,
+            cumulative_acks=self.config.cumulative_acks,
+            lease_duration=self.config.lease_duration,
+            lease_margin=self.config.lease_margin,
+            lease_reads=self.config.lease_reads,
+        )
+
+    def _build_node(self, group: int, replica_id: int,
+                    grouped: GroupedReplica) -> ThreadedNode:
+        def on_deliver(instance: int, payload: Any,
+                       _group: int = group) -> None:
+            grouped.on_group_deliver(_group, instance, payload)
+
+        def on_read(payload: Any, _group: int = group) -> None:
+            grouped.on_group_read(_group, payload)
+
+        return ThreadedNode(
+            replica_id,
+            self._build_protocol(replica_id),
+            self.transports[group],
+            on_deliver,
+            name=f"group{group}-node-{replica_id}",
+            on_read=on_read,
+        )
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> "GroupedCluster":
+        if self._started:
+            raise ShutdownError("cluster already started")
+        self._started = True
+        for grouped in self.grouped:
+            grouped.start()
+        for group_nodes in self.nodes:
+            for node in group_nodes:
+                node.start()
+        return self
+
+    def stop(self) -> None:
+        for group_nodes in self.nodes:
+            for node in group_nodes:
+                node.stop()
+        for transport in self.transports:
+            transport.close()
+        for grouped in self.grouped:
+            grouped.stop()
+
+    def __enter__(self) -> "GroupedCluster":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ client
+
+    def client(self, client_id: Optional[str] = None, contact: int = 0,
+               timeout: Optional[float] = None) -> Client:
+        """Create (and register) a partition-aware client of this cluster."""
+        if client_id is None:
+            client_id = f"client-{next(self._client_counter)}"
+        client = Client(
+            client_id,
+            self._submit,
+            self.config.n_replicas,
+            contact=contact,
+            timeout=(timeout if timeout is not None
+                     else self.config.client_timeout),
+        )
+        with self._clients_lock:
+            if client_id in self._clients:
+                raise ConfigurationError(f"duplicate client id {client_id!r}")
+            self._clients[client_id] = client
+        return client
+
+    def _live_node(self, group: int, contact: int) -> ThreadedNode:
+        group_nodes = self.nodes[group]
+        node = group_nodes[contact % len(group_nodes)]
+        if not node.running:
+            node = next((n for n in group_nodes if n.running), None)
+            if node is None:
+                raise ShutdownError(f"no replica of group {group} is running")
+        return node
+
+    def _submit(self, payload: Tuple[Command, ...], contact: int) -> None:
+        """Router: split a client batch by owning group (tentpole path)."""
+        singles: Dict[int, List[Command]] = {}
+        cross: List[Tuple[Tuple[int, ...], Command]] = []
+        for command in payload:
+            groups = self.partition_map.groups_of(command)
+            if len(groups) == 1:
+                singles.setdefault(groups[0], []).append(command)
+            else:
+                cross.append((groups, command))
+        for group, commands in singles.items():
+            node = self._live_node(group, contact)
+            batch = tuple(commands)
+            if (self.config.lease_reads
+                    and all(not c.writes for c in commands)):
+                node.submit_read(batch)
+            else:
+                node.submit(batch)
+        for groups, command in cross:
+            marker = Rendezvous(rendezvous_xid(command), groups, command)
+            for group in groups:
+                self._live_node(group, contact).submit((marker,))
+
+    def _route_response(self, command: Command, response: Any,
+                        replica_id: int) -> None:
+        with self._clients_lock:
+            client = self._clients.get(command.client_id)
+        if client is not None:
+            client.deliver_response(command, response)
+
+    # ------------------------------------------------------------------ faults
+
+    def crash(self, replica_id: int) -> None:
+        """Crash-stop one replica in every group (crash model)."""
+        for transport in self.transports:
+            transport.crash(replica_id)
+        for group_nodes in self.nodes:
+            group_nodes[replica_id].stop()
+        self.grouped[replica_id].stop(timeout=1.0)
+
+    # --------------------------------------------------------------- helpers
+
+    def services(self) -> List[Service]:
+        return [grouped.service for grouped in self.grouped]
+
+    def total_executed(self) -> List[int]:
+        return [grouped.executed for grouped in self.grouped]
+
+    def merged_positions(self) -> List[Dict[Hashable, Tuple[int, int]]]:
+        return [grouped.merged_positions() for grouped in self.grouped]
+
+    def class_histories(self) -> List[Dict[Hashable, List[Hashable]]]:
+        return [grouped.class_histories() for grouped in self.grouped]
+
+    def wait_converged(self, expected: int, timeout: float = 10.0,
+                       replicas: Optional[List[int]] = None) -> bool:
+        """Poll until the given replicas executed ``expected`` commands and
+        their mergers drained; False on timeout (callers assert details)."""
+        targets = (replicas if replicas is not None
+                   else list(range(self.config.n_replicas)))
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            done = all(
+                self.grouped[r].executed >= expected
+                and self.grouped[r].merge_idle()
+                for r in targets)
+            if done:
+                return True
+            time.sleep(0.01)
+        return False

@@ -1,0 +1,275 @@
+"""Deterministic merge of N ordered group streams into one execution feed.
+
+Each replica runs one :class:`GroupMerger`.  The merger consumes every
+group's consensus output in order (``offer``) and releases commands to the
+replica's Conflict-Ordered Set:
+
+- a single-partition command is released immediately — its group's
+  consensus order *is* its class order;
+- a cross-partition :class:`~repro.groups.messages.Rendezvous` marker
+  **holds** its group's stream.  The command is released exactly once, when
+  every involved group's copy of the marker has reached the head of its
+  stream; its merged position is the marker's sequence in the *lowest*
+  involved group — a pure function of the groups' consensus orders, so all
+  replicas agree without exchanging a single message.
+
+Safety: the release rule never lets any group's stream overtake a hold, so
+within each group the released order equals the consensus order; since
+conflicting commands always share a group (or a rendezvous covering both —
+see :class:`~repro.groups.partition.PartitionMap`), every pair of
+conflicting commands is released in the same order at every replica.
+Liveness requires each marker to be ordered in *all* its groups; that is
+the submitter's at-least-once obligation (client retransmission), and
+per-group xid dedup makes the extra copies harmless
+(docs/partitioning.md).
+
+The merger is pure and single-threaded by design: callers serialize
+``offer`` calls (the grouped replica holds one lock across all group
+streams), and the model-checking harness
+(:mod:`repro.check.groups_rendezvous`) drives it directly.
+:class:`SkipHoldMerger` is that harness's seeded mutant.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.command import Command, ConflictRelation
+from repro.errors import ConfigurationError, SimulationError
+from repro.groups.messages import Rendezvous
+
+__all__ = ["Emission", "GroupMerger", "SkipHoldMerger", "command_key"]
+
+#: Per-group window of recently seen rendezvous xids: extra copies of a
+#: marker (client retransmission racing its own success) are dropped on
+#: arrival instead of waiting for partners that will never come.
+DEFAULT_XID_WINDOW = 1024
+
+
+def command_key(command: Command) -> Hashable:
+    """A cross-process identity for a command (uids are process-local)."""
+    if command.client_id is not None:
+        return (command.client_id, command.request_id)
+    return ("uid", command.uid)
+
+
+@dataclass(frozen=True)
+class Emission:
+    """One command released by the merger.
+
+    ``position`` is the merged position all replicas agree on:
+    ``(group, sequence in that group's stream)`` — the owning group for a
+    single-partition command, the lowest involved group for a rendezvous.
+    """
+
+    command: Command
+    position: Tuple[int, int]
+    groups: Tuple[int, ...] = ()
+    xid: Optional[str] = None
+
+    @property
+    def cross_partition(self) -> bool:
+        return self.xid is not None
+
+
+@dataclass
+class _Queued:
+    item: Any
+    index: int
+
+
+class GroupMerger:
+    """Merges per-group consensus streams under the rendezvous rule."""
+
+    def __init__(
+        self,
+        n_groups: int,
+        record_history: bool = False,
+        conflicts: Optional[ConflictRelation] = None,
+        xid_window: int = DEFAULT_XID_WINDOW,
+    ):
+        if n_groups < 1:
+            raise ConfigurationError(
+                f"n_groups must be >= 1, got {n_groups}")
+        self.n_groups = n_groups
+        self._queues: List[Deque[_Queued]] = [deque()
+                                              for _ in range(n_groups)]
+        #: Items offered per group so far == next sequence number.
+        self._offered = [0] * n_groups
+        #: Recently seen marker xids per group (arrival dedup).
+        self._recent: List[OrderedDict] = [OrderedDict()
+                                           for _ in range(n_groups)]
+        self._xid_window = xid_window
+        #: xid -> groups whose copy of an already-released marker is still
+        #: in flight and must be discarded when it surfaces.
+        self._released: Dict[str, Set[int]] = {}
+        self.emitted = 0
+        self.emitted_cross = 0
+        #: Recording (tests, harness, differential suites) — off by
+        #: default, it grows with the run.
+        self._record = record_history
+        self._conflicts = conflicts
+        #: command key -> merged position of its (latest) release.
+        self.positions: Dict[Hashable, Tuple[int, int]] = {}
+        #: conflict class -> command keys in release order.
+        self.class_history: Dict[Hashable, List[Hashable]] = {}
+
+    # ------------------------------------------------------------- feeding
+
+    def offer(self, group: int, item: Any) -> List[Emission]:
+        """Feed the next consensus item of ``group``; return releases.
+
+        ``item`` is a :class:`Command` or a :class:`Rendezvous`.  Calls
+        must follow each group's consensus order; the caller serializes
+        calls across groups (any interleaving of the per-group orders
+        yields the same per-class release order — that is the point).
+        """
+        if not 0 <= group < self.n_groups:
+            raise ConfigurationError(
+                f"group {group} out of range for {self.n_groups} groups")
+        index = self._offered[group]
+        self._offered[group] = index + 1
+        if isinstance(item, Rendezvous):
+            if group not in item.groups:
+                raise SimulationError(
+                    f"marker {item.xid} for groups {item.groups} was "
+                    f"ordered in group {group}")
+            if item.command is None:
+                raise SimulationError(
+                    f"marker {item.xid} carries no command")
+            recent = self._recent[group]
+            if item.xid in recent:
+                # Duplicate ordering of the same rendezvous in this group
+                # (at-least-once submission); it still consumed a sequence
+                # number, but must not wait for partners.
+                return []
+            recent[item.xid] = None
+            while len(recent) > self._xid_window:
+                recent.popitem(last=False)
+        elif not isinstance(item, Command):
+            raise SimulationError(
+                f"group streams carry Command or Rendezvous items, got "
+                f"{type(item).__name__}")
+        self._queues[group].append(_Queued(item, index))
+        return self._drain()
+
+    # ------------------------------------------------------------- release
+
+    def _hold_ready(self, group: int, marker: Rendezvous) -> bool:
+        """True when ``marker`` (head of ``group``) may be released.
+
+        The correct rule: every involved group's head is this marker.
+        """
+        for involved in marker.groups:
+            queue = self._queues[involved]
+            if not queue:
+                return False
+            head = queue[0].item
+            if not isinstance(head, Rendezvous) or head.xid != marker.xid:
+                return False
+        return True
+
+    def _drain(self) -> List[Emission]:
+        emissions: List[Emission] = []
+        progress = True
+        while progress:
+            progress = False
+            for group, queue in enumerate(self._queues):
+                while queue:
+                    queued = queue[0]
+                    if not isinstance(queued.item, Rendezvous):
+                        queue.popleft()
+                        self._emit(emissions, queued.item,
+                                   (group, queued.index), (group,), None)
+                        progress = True
+                        continue
+                    marker = queued.item
+                    owed = self._released.get(marker.xid)
+                    if owed is not None and group in owed:
+                        # Straggler copy of an already-released marker
+                        # (skip-hold mutants leave these behind).
+                        queue.popleft()
+                        owed.discard(group)
+                        if not owed:
+                            del self._released[marker.xid]
+                        progress = True
+                        continue
+                    if not self._hold_ready(group, marker):
+                        break
+                    self._release(emissions, marker)
+                    progress = True
+        return emissions
+
+    def _release(self, emissions: List[Emission],
+                 marker: Rendezvous) -> None:
+        """Release a ready rendezvous: emit once, pop every copy at head."""
+        position: Optional[Tuple[int, int]] = None
+        remaining: Set[int] = set()
+        anchor = min(marker.groups)
+        for involved in sorted(marker.groups):
+            queue = self._queues[involved]
+            if (queue and isinstance(queue[0].item, Rendezvous)
+                    and queue[0].item.xid == marker.xid):
+                queued = queue.popleft()
+                if involved == anchor:
+                    position = (anchor, queued.index)
+            else:
+                remaining.add(involved)
+        if position is None:
+            # The anchor group's copy was not at head (only possible under
+            # a mutated release rule); fall back to any popped copy so the
+            # bug surfaces as divergence, not a crash.
+            position = (anchor, -1)
+        if remaining:
+            self._released[marker.xid] = remaining
+        self._emit(emissions, marker.command, position,
+                   tuple(sorted(marker.groups)), marker.xid)
+
+    def _emit(self, emissions: List[Emission], command: Command,
+              position: Tuple[int, int], groups: Tuple[int, ...],
+              xid: Optional[str]) -> None:
+        self.emitted += 1
+        if xid is not None:
+            self.emitted_cross += 1
+        emission = Emission(command, position, groups, xid)
+        emissions.append(emission)
+        if self._record:
+            key = command_key(command)
+            self.positions[key] = position
+            if self._conflicts is not None:
+                for class_key, _writes in self._conflicts.footprint(command):
+                    self.class_history.setdefault(class_key, []).append(key)
+
+    # ---------------------------------------------------------- inspection
+
+    def pending(self, group: int) -> int:
+        """Items queued behind ``group``'s current hold (its merge lag)."""
+        return len(self._queues[group])
+
+    def held(self) -> int:
+        """Groups currently blocked on an incomplete rendezvous."""
+        return sum(
+            1 for queue in self._queues
+            if queue and isinstance(queue[0].item, Rendezvous))
+
+    def idle(self) -> bool:
+        """True when no stream has queued (unreleased) items."""
+        return all(not queue for queue in self._queues)
+
+
+class SkipHoldMerger(GroupMerger):
+    """Seeded bug: release a rendezvous as soon as *any* copy surfaces.
+
+    Dropping the wait-for-all-partners condition reintroduces the classic
+    partitioned-ordering race: a replica that receives group A's marker
+    first executes the cross command before the commands preceding its
+    marker in group B, while a replica receiving B first executes them
+    after — conflicting-order divergence.  The
+    ``repro check --algorithm groups-rendezvous`` harness must catch this
+    (tests/test_groups_check.py).
+    """
+
+    def _hold_ready(self, group: int, marker: Rendezvous) -> bool:
+        return True

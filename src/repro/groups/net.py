@@ -1,0 +1,286 @@
+"""Partitioned replica process: N consensus groups behind one TCP endpoint.
+
+:class:`GroupedReplicaServer` is the grouped counterpart of
+:class:`~repro.net.replica.ReplicaServer`: one OS process per replica, but
+hosting one protocol node *per consensus group*, all of them sharing a
+single :class:`~repro.net.transport.TcpTransport` endpoint.  On the wire
+every protocol message travels wrapped in a
+:class:`~repro.net.messages.GroupEnvelope`; the transport interceptor
+demultiplexes inbound envelopes into per-group inbox queues, and a
+per-group channel adapter wraps outbound messages symmetrically.  The
+group streams feed one :class:`~repro.groups.replica.GroupedReplica`,
+which merges them deterministically (docs/partitioning.md).
+
+Client traffic: the interceptor is also the partition-aware router — an
+incoming :class:`~repro.net.messages.ClientRequest` batch is split by
+:class:`~repro.groups.partition.PartitionMap`; single-partition sub-batches
+are submitted to the owning group's node (read-only sub-batches through
+the lease fast path), and each cross-partition command becomes a
+:class:`~repro.groups.messages.Rendezvous` marker submitted to every
+involved group.  The marker rides each group's normal ordering: no extra
+consensus round is introduced.
+
+Run one as a process with ``python -m repro net replica`` against a config
+whose ``n_groups > 1``, or spawn a fleet with ``python -m repro net
+group-supervise``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps import build_service
+from repro.broadcast import MultiPaxos, SequencerBroadcast, ThreadedNode
+from repro.core.command import Command
+from repro.errors import ConfigurationError, ShutdownError
+from repro.groups.messages import Rendezvous, rendezvous_xid
+from repro.groups.partition import PartitionMap
+from repro.groups.replica import GroupedReplica
+from repro.net.config import NetConfig
+from repro.net.messages import ClientRequest, ClientResponse, GroupEnvelope
+from repro.net.transport import TcpTransport
+from repro.obs import MetricsHTTPServer, MetricsRegistry, SnapshotWriter
+
+__all__ = ["GroupedReplicaServer"]
+
+
+class _GroupChannel:
+    """One group's transport view over the replica's shared TCP transport.
+
+    Satisfies exactly the contract :class:`ThreadedNode` needs — an
+    ``inbox(node_id)`` queue and a ``send(src, dst, msg)`` — while the
+    actual socket work happens on the shared transport.  Outbound messages
+    are wrapped in a :class:`GroupEnvelope`; inbound ones arrive already
+    unwrapped via :meth:`deliver` (the server's interceptor).
+    """
+
+    def __init__(self, transport: TcpTransport, group: int):
+        self._transport = transport
+        self.group = group
+        self._inbox: "queue.Queue[Tuple[int, Any]]" = queue.Queue()
+
+    def inbox(self, node_id: int) -> "queue.Queue[Tuple[int, Any]]":
+        del node_id  # one node per (group, process); no routing needed
+        return self._inbox
+
+    def send(self, src: int, dst: int, msg: Any) -> None:
+        self._transport.send(src, dst, GroupEnvelope(self.group, msg))
+
+    def deliver(self, src: int, msg: Any) -> None:
+        self._inbox.put((src, msg))
+
+
+class GroupedReplicaServer:
+    """N protocol nodes + one merged execution engine on a TCP endpoint."""
+
+    def __init__(self, replica_id: int, config: NetConfig):
+        config.validate()
+        if config.n_groups < 2:
+            raise ConfigurationError(
+                "GroupedReplicaServer needs n_groups >= 2; use "
+                "ReplicaServer for single-group deployments")
+        if not 0 <= replica_id < config.n_replicas:
+            raise ConfigurationError(
+                f"replica_id {replica_id} out of range for "
+                f"{config.n_replicas} replicas")
+        self.replica_id = replica_id
+        self.config = config
+        self.registry = MetricsRegistry(trace=config.trace)
+        self.service = build_service(config.service)
+        # Raises ConfigurationError when the service's conflict relation
+        # cannot provide footprints (routing soundness; docs/partitioning.md).
+        self.partition_map = PartitionMap(
+            self.service.conflicts, config.n_groups)
+        self.grouped = GroupedReplica(
+            replica_id,
+            self.service,
+            self.partition_map,
+            cos_algorithm=config.cos_algorithm,
+            workers=config.workers,
+            max_graph_size=config.max_graph_size,
+            record_history=config.record_merge_history,
+            on_response=self._respond,
+            registry=self.registry,
+        )
+        self._metrics_server: Optional[MetricsHTTPServer] = None
+        self._snapshot_writer: Optional[SnapshotWriter] = None
+        self.transport = TcpTransport(
+            replica_id,
+            config.address_map(),
+            interceptor=self._intercept,
+            seed=replica_id,
+            registry=self.registry,
+            wire=config.wire,
+        )
+        self._channels: List[_GroupChannel] = [
+            _GroupChannel(self.transport, group)
+            for group in range(config.n_groups)
+        ]
+        self.nodes: List[ThreadedNode] = [
+            self._build_node(group) for group in range(config.n_groups)
+        ]
+        # client_id -> transport node id of the client's response endpoint.
+        self._reply_to: Dict[str, int] = {}
+        self._reply_lock = threading.Lock()
+        self._started = False
+
+    # --------------------------------------------------------------- builders
+
+    def _build_protocol(self) -> Any:
+        if self.config.protocol == "sequencer":
+            return SequencerBroadcast(self.replica_id, self.config.n_replicas)
+        linger = self.config.propose_linger
+        if linger is None:
+            linger = self.config.heartbeat_interval / 10
+        # Same staggering as ReplicaServer; every group staggers alike, so
+        # group leaderships co-locate in steady state but fail over
+        # independently (docs/partitioning.md).
+        return MultiPaxos(
+            self.replica_id,
+            self.config.n_replicas,
+            batch_size=self.config.batch_size,
+            heartbeat_interval=self.config.heartbeat_interval,
+            leader_timeout=self.config.leader_timeout
+            * (1 + 0.35 * self.replica_id),
+            propose_linger=linger,
+            cumulative_acks=self.config.cumulative_acks,
+            lease_duration=self.config.lease_duration,
+            lease_margin=self.config.lease_margin,
+            lease_reads=self.config.lease_reads,
+            registry=self.registry,
+        )
+
+    def _build_node(self, group: int) -> ThreadedNode:
+        def on_deliver(instance: int, payload: Any,
+                       _group: int = group) -> None:
+            self.grouped.on_group_deliver(_group, instance, payload)
+
+        def on_read(payload: Any, _group: int = group) -> None:
+            self.grouped.on_group_read(_group, payload)
+
+        return ThreadedNode(
+            self.replica_id,
+            self._build_protocol(),
+            self._channels[group],
+            on_deliver,
+            name=f"net-group{group}-node-{self.replica_id}",
+            on_read=on_read,
+        )
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> "GroupedReplicaServer":
+        if self._started:
+            raise ShutdownError("replica server already started")
+        self._started = True
+        self.transport.start()
+        if self.config.metrics_addresses:
+            host, port = self.config.metrics_addresses[self.replica_id]
+            self._metrics_server = MetricsHTTPServer(
+                self.registry, host=host, port=port).start()
+        if self.config.metrics_snapshot_dir:
+            path = os.path.join(
+                self.config.metrics_snapshot_dir,
+                f"replica-{self.replica_id}-metrics.json")
+            self._snapshot_writer = SnapshotWriter(
+                self.registry, path,
+                interval=self.config.metrics_snapshot_interval).start()
+        self.grouped.start()
+        for node in self.nodes:
+            node.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful teardown: event loops, sockets, then workers."""
+        for node in self.nodes:
+            node.stop()
+        self.transport.close()
+        self.grouped.stop(timeout=2.0)
+        if self._snapshot_writer is not None:
+            self._snapshot_writer.stop()
+            self._snapshot_writer = None
+        if self._metrics_server is not None:
+            self._metrics_server.stop()
+            self._metrics_server = None
+
+    def __enter__(self) -> "GroupedReplicaServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._started and all(node.running for node in self.nodes)
+
+    @property
+    def replica(self) -> GroupedReplica:
+        """Execution engine (TcpCluster helper parity with ReplicaServer)."""
+        return self.grouped
+
+    @property
+    def metrics_address(self) -> Optional[Any]:
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.address
+
+    # ------------------------------------------------------------ client path
+
+    def _intercept(self, src: int, msg: Any) -> bool:
+        """Transport hook: demux group envelopes, route client batches."""
+        if isinstance(msg, GroupEnvelope):
+            if 0 <= msg.group < len(self._channels):
+                self._channels[msg.group].deliver(src, msg.msg)
+            return True  # out-of-range group: corrupt peer, drop
+        if not isinstance(msg, ClientRequest):
+            return False
+        self.transport.add_peer(msg.reply_to, msg.reply_host, msg.reply_port)
+        with self._reply_lock:
+            self._reply_to[msg.client_id] = msg.reply_to
+        try:
+            self._route(msg.payload)
+        except ShutdownError:
+            pass  # stopping; the client will retry elsewhere
+        return True
+
+    def _route(self, payload: Tuple[Command, ...]) -> None:
+        """Partition-aware submit: split a client batch by owning group."""
+        singles: Dict[int, List[Command]] = {}
+        cross: List[Tuple[Tuple[int, ...], Command]] = []
+        for command in payload:
+            groups = self.partition_map.groups_of(command)
+            if len(groups) == 1:
+                singles.setdefault(groups[0], []).append(command)
+            else:
+                cross.append((groups, command))
+        for group, commands in singles.items():
+            batch = tuple(commands)
+            if (self.config.lease_reads
+                    and all(not c.writes for c in commands)):
+                self.nodes[group].submit_read(batch)
+            else:
+                self.nodes[group].submit(batch)
+        for groups, command in cross:
+            marker = Rendezvous(rendezvous_xid(command), groups, command)
+            for group in groups:
+                self.nodes[group].submit((marker,))
+
+    def _respond(self, command: Command, response: Any,
+                 replica_id: int) -> None:
+        if command.client_id is None:
+            return
+        with self._reply_lock:
+            reply_to = self._reply_to.get(command.client_id)
+        if reply_to is None:
+            # This replica never saw the client directly; the contact
+            # replica — which has the mapping — answers instead.
+            return
+        try:
+            self.transport.send(
+                self.replica_id, reply_to,
+                ClientResponse(command, response, self.replica_id))
+        except ShutdownError:
+            pass

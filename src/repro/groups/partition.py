@@ -1,0 +1,65 @@
+"""Command-to-group routing.
+
+A :class:`PartitionMap` is the ordering-layer analogue of
+:class:`repro.par.shard.ShardRouter`: where the shard router maps a
+command's *state* footprint to executor shards inside one replica, the
+partition map maps its *conflict* footprint to consensus groups.  Both use
+:func:`~repro.core.command.stable_hash` so every process in a deployment
+agrees, and for the example services the two coincide (their conflict
+classes are their state keys).
+
+Routing by conflict classes is what makes the partitioned order safe: two
+conflicting commands always share a class, so they are either ordered by
+the same group (same class hash) or forced through a rendezvous covering
+both (docs/partitioning.md).  A relation without a class decomposition
+cannot be partitioned — a coarse relation like
+:class:`~repro.core.command.ReadWriteConflicts` degenerates honestly to a
+single busy group rather than breaking correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.command import Command, ConflictRelation, stable_hash
+from repro.errors import ConfigurationError
+
+__all__ = ["PartitionMap"]
+
+
+class PartitionMap:
+    """Maps commands to the consensus groups that must order them."""
+
+    def __init__(self, conflicts: ConflictRelation, n_groups: int):
+        if n_groups < 1:
+            raise ConfigurationError(
+                f"n_groups must be >= 1, got {n_groups}")
+        if not conflicts.supports_footprint:
+            raise ConfigurationError(
+                f"{type(conflicts).__name__} has no conflict-class "
+                f"decomposition; partitioned ordering routes by footprint "
+                f"classes (see docs/partitioning.md)")
+        self._conflicts = conflicts
+        self.n_groups = n_groups
+
+    def group_of_class(self, class_key) -> int:
+        """The group that orders one conflict class."""
+        return stable_hash(class_key) % self.n_groups
+
+    def groups_of(self, command: Command) -> Tuple[int, ...]:
+        """The sorted, non-empty set of groups ``command`` is ordered in.
+
+        Commands with an empty footprint conflict with nothing, so *any*
+        single group preserves correctness; they are spread by a stable
+        hash of the operation for load balance.
+        """
+        footprint = self._conflicts.footprint(command)
+        if not footprint:
+            return (stable_hash((command.op,) + tuple(command.args))
+                    % self.n_groups,)
+        groups = {self.group_of_class(class_key)
+                  for class_key, _writes in footprint}
+        return tuple(sorted(groups))
+
+    def is_cross_partition(self, command: Command) -> bool:
+        return len(self.groups_of(command)) > 1

@@ -23,7 +23,7 @@ tag byte  payload
 ``0x20``+ one registered wire dataclass (see below)
 ========  ===========================================================
 
-The 15 types of :data:`repro.net.codec.WIRE_TYPES` get one tag byte each,
+The 17 types of :data:`repro.net.codec.WIRE_TYPES` get one tag byte each,
 ``0x20 + i`` with ``i`` the type's position in the *sorted* registry names
 — a deterministic assignment every process derives identically.  A
 dataclass body is its field values, encoded in dataclass field order; no
@@ -69,7 +69,9 @@ __all__ = [
 #: v2: HeartbeatAck joined the registry (leader leases), shifting the
 #: sorted tag table, and Accept/Accepted/Heartbeat/CatchupReply grew
 #: trailing fields (commit_up_to / accepted_up_to / sent_at / more).
-WIRE_VERSION = 2
+#: v3: GroupEnvelope and Rendezvous joined the registry (partitioned
+#: deployments, docs/partitioning.md), shifting the sorted tag table.
+WIRE_VERSION = 3
 
 #: Two magic bytes opening every binary frame header ("RP" — repro).
 MAGIC = 0x5250

@@ -1,14 +1,20 @@
-"""``python -m repro net <replica|client|bench|supervise>``.
+"""``python -m repro net <replica|client|bench|supervise|group-*>``.
 
 Subcommands:
 
 - ``replica --id I --config FILE`` — run one replica process (the unit the
-  supervisor spawns); blocks until SIGTERM/SIGINT.
+  supervisor spawns); blocks until SIGTERM/SIGINT.  A config with
+  ``n_groups > 1`` boots the partitioned server (docs/partitioning.md).
 - ``supervise --replicas N [...]`` — spawn a local process-per-replica
   cluster and keep it up until interrupted; prints the config file path so
   clients can join.
 - ``client --config FILE --ops N [...]`` — run a closed-loop client batch
   workload against a running cluster and print throughput.
+- ``group-supervise --groups G [...]`` — spawn a partitioned deployment:
+  the same process-per-replica fleet, each process hosting one protocol
+  node per consensus group.
+- ``group-client --config FILE --cross F [...]`` — closed-loop client with
+  a partition-crossing workload against a partitioned cluster.
 - ``bench [...] --out FILE`` — full loopback benchmark: spawn processes,
   drive clients, optionally crash/recover one replica, write the JSON
   artifact (see :mod:`repro.net.bench`).
@@ -101,6 +107,37 @@ def add_net_parser(sub: argparse._SubParsersAction) -> None:
     client.add_argument("--contact", type=int, default=0)
     client.add_argument("--seed", type=int, default=1)
 
+    group_supervise = net_sub.add_parser(
+        "group-supervise",
+        help="spawn a partitioned process-per-replica cluster "
+             "(docs/partitioning.md)")
+    _add_cluster_options(group_supervise)
+    group_supervise.add_argument(
+        "--groups", type=int, default=2,
+        help="consensus groups (state partitions) per replica")
+    group_supervise.add_argument(
+        "--config-out", default="repro-net-groups.json",
+        help="where to write the deployment JSON")
+    group_supervise.add_argument(
+        "--metrics", action="store_true",
+        help="serve /metrics from every replica (docs/observability.md)")
+
+    group_client = net_sub.add_parser(
+        "group-client",
+        help="closed-loop client with a partition-crossing workload")
+    group_client.add_argument("--config", required=True)
+    group_client.add_argument("--ops", type=int, default=200)
+    group_client.add_argument("--batch", type=int, default=8)
+    group_client.add_argument("--write-pct", type=float, default=30.0)
+    group_client.add_argument(
+        "--cross", type=float, default=0.0,
+        help="fraction of commands spanning >= 2 partitions (in [0, 1])")
+    group_client.add_argument(
+        "--keys-per-cross", type=int, default=2,
+        help="keys (and distinct partitions) per cross-partition command")
+    group_client.add_argument("--contact", type=int, default=0)
+    group_client.add_argument("--seed", type=int, default=1)
+
     bench = net_sub.add_parser(
         "bench", help="loopback throughput/latency benchmark -> JSON")
     _add_cluster_options(bench)
@@ -135,7 +172,12 @@ def _wait_for_signal() -> None:
 def _cmd_replica(args: argparse.Namespace) -> int:
     with open(args.config) as handle:
         config = NetConfig.from_json(handle.read())
-    server = ReplicaServer(args.replica_id, config)
+    if config.n_groups > 1:
+        from repro.groups.net import GroupedReplicaServer
+
+        server = GroupedReplicaServer(args.replica_id, config)
+    else:
+        server = ReplicaServer(args.replica_id, config)
     server.start()
     host, port = config.addresses[args.replica_id]
     print(f"replica {args.replica_id} listening on {host}:{port}", flush=True)
@@ -180,6 +222,42 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_group_supervise(args: argparse.Namespace) -> int:
+    config = loopback_config(
+        n_replicas=args.replicas,
+        metrics=args.metrics,
+        n_groups=args.groups,
+        service=args.service,
+        protocol=args.protocol,
+        cos_algorithm=args.algorithm,
+        workers=args.workers,
+        engine=args.engine,
+        mp_workers=args.mp_workers,
+        wire=args.wire,
+        propose_linger=args.propose_linger,
+        cumulative_acks=not args.no_cumulative_acks,
+        lease_duration=args.lease_duration,
+        lease_margin=args.lease_margin,
+        lease_reads=not args.no_lease_reads,
+    )
+    with open(args.config_out, "w") as handle:
+        handle.write(config.to_json())
+    with Supervisor(config) as supervisor:
+        supervisor.wait_ready()
+        print(f"{args.replicas} replica processes up, each hosting "
+              f"{args.groups} consensus groups; deployment config at "
+              f"{args.config_out}", flush=True)
+        if config.metrics_addresses:
+            for replica_id, (host, port) in enumerate(
+                    config.metrics_addresses):
+                print(f"replica {replica_id} metrics at "
+                      f"http://{host}:{port}/metrics", flush=True)
+        print("run a workload with: python -m repro net group-client "
+              f"--config {args.config_out} --cross 0.1", flush=True)
+        _wait_for_signal()
+    return 0
+
+
 def _cmd_client(args: argparse.Namespace) -> int:
     with open(args.config) as handle:
         config = NetConfig.from_json(handle.read())
@@ -204,6 +282,44 @@ def _cmd_client(args: argparse.Namespace) -> int:
     rate = executed / elapsed if elapsed > 0 else 0.0
     print(f"executed {executed} commands in {elapsed:.2f}s "
           f"({rate:.0f} cmds/s), {errors} timed out")
+    return 0 if errors == 0 else 1
+
+
+def _cmd_group_client(args: argparse.Namespace) -> int:
+    with open(args.config) as handle:
+        config = NetConfig.from_json(handle.read())
+    if config.n_groups < 2 and args.cross > 0:
+        print(f"config {args.config} has n_groups={config.n_groups}; "
+              f"--cross needs a partitioned deployment", file=sys.stderr)
+        return 2
+    workload = WorkloadGenerator(
+        args.write_pct, key_space=500, seed=args.seed,
+        cross_partition_fraction=args.cross,
+        n_partitions=config.n_groups if args.cross > 0 else None,
+        keys_per_cross=args.keys_per_cross,
+    )
+    client = NetClient("cli-group-client", config, contact=args.contact)
+    executed = 0
+    cross_sent = 0
+    errors = 0
+    started = time.monotonic()
+    try:
+        while executed < args.ops:
+            commands = workload.commands(min(args.batch,
+                                             args.ops - executed))
+            cross_sent += sum(1 for c in commands if len(c.args) > 1)
+            try:
+                client.execute_batch(commands)
+                executed += len(commands)
+            except ClientTimeout:
+                errors += len(commands)
+    finally:
+        client.close()
+    elapsed = time.monotonic() - started
+    rate = executed / elapsed if elapsed > 0 else 0.0
+    print(f"executed {executed} commands in {elapsed:.2f}s "
+          f"({rate:.0f} cmds/s), {cross_sent} cross-partition, "
+          f"{errors} timed out")
     return 0 if errors == 0 else 1
 
 
@@ -256,6 +372,8 @@ def run_net(args: argparse.Namespace) -> int:
         "replica": _cmd_replica,
         "supervise": _cmd_supervise,
         "client": _cmd_client,
+        "group-supervise": _cmd_group_supervise,
+        "group-client": _cmd_group_client,
         "bench": _cmd_bench,
     }
     return handlers[args.net_command](args)

@@ -10,6 +10,11 @@ real sockets, without the cost of spawning interpreters.
 
 (The genuinely multi-process deployment — one interpreter and GIL per
 replica — is :class:`repro.net.supervisor.Supervisor`.)
+
+With ``n_groups > 1`` every replica is a
+:class:`~repro.groups.net.GroupedReplicaServer` instead — the partitioned
+deployment of docs/partitioning.md — and the same client/crash API applies.
+(Checkpoint-based ``restart_replica`` is single-group only for now.)
 """
 
 from __future__ import annotations
@@ -33,8 +38,14 @@ class TcpCluster:
     def __init__(self, config: Optional[NetConfig] = None, **overrides):
         self.config = config or loopback_config(**overrides)
         self.config.validate()
-        self.servers: List[ReplicaServer] = [
-            ReplicaServer(replica_id, self.config)
+        if self.config.n_groups > 1:
+            from repro.groups.net import GroupedReplicaServer
+
+            server_cls: Any = GroupedReplicaServer
+        else:
+            server_cls = ReplicaServer
+        self.servers: List[Any] = [
+            server_cls(replica_id, self.config)
             for replica_id in range(self.config.n_replicas)
         ]
         self._clients: List[NetClient] = []
@@ -90,6 +101,11 @@ class TcpCluster:
         heartbeat anti-entropy pulls anything decided since.  Peers'
         transports redial the endpoint automatically (reconnect backoff).
         """
+        if self.config.n_groups > 1:
+            raise ConfigurationError(
+                "restart_replica is single-group only; grouped replicas "
+                "recover via protocol catch-up (kill/restart a process "
+                "deployment instead)")
         if self.servers[replica_id].running:
             raise ConfigurationError(
                 f"replica {replica_id} is still running; crash it first")

@@ -47,7 +47,8 @@ from repro.broadcast.messages import (
 )
 from repro.core.command import Command
 from repro.errors import ReproError
-from repro.net.messages import ClientRequest, ClientResponse
+from repro.groups.messages import Rendezvous
+from repro.net.messages import ClientRequest, ClientResponse, GroupEnvelope
 
 __all__ = [
     "CodecError",
@@ -92,6 +93,8 @@ WIRE_TYPES: Dict[str, Type[Any]] = {
         SequencerStamp,
         ClientRequest,
         ClientResponse,
+        GroupEnvelope,
+        Rendezvous,
     )
 }
 

@@ -38,6 +38,15 @@ class NetConfig:
     addresses: Tuple[Tuple[str, int], ...]
     service: str = "linked-list"
     protocol: str = "paxos"            # "paxos" | "sequencer"
+    #: Consensus groups (state partitions).  1 is the classic single-group
+    #: deployment; > 1 runs one ordering protocol per partition behind the
+    #: same replica endpoints, with cross-partition commands coordinated by
+    #: deterministic rendezvous (docs/partitioning.md).
+    n_groups: int = 1
+    #: Record merged positions + per-class release order on every grouped
+    #: replica (differential suites; state grows with the run — leave off
+    #: in long-lived deployments).  Ignored when ``n_groups == 1``.
+    record_merge_history: bool = False
     cos_algorithm: str = "lock-free"   # any COS algorithm, or "sequential"
     workers: int = 4
     #: Execution engine per replica: "threaded" (worker threads call the
@@ -98,6 +107,17 @@ class NetConfig:
                 f"unknown service {self.service!r}; choose from {SERVICES}")
         if self.engine not in ("threaded", "mp"):
             raise ConfigurationError(f"unknown engine {self.engine!r}")
+        if self.n_groups < 1:
+            raise ConfigurationError(
+                f"n_groups must be >= 1, got {self.n_groups}")
+        if self.n_groups > 1 and self.engine != "threaded":
+            raise ConfigurationError(
+                "partitioned deployments (n_groups > 1) require the "
+                "threaded engine")
+        if self.n_groups > 1 and self.cos_algorithm == "sequential":
+            raise ConfigurationError(
+                "partitioned deployments (n_groups > 1) need a parallel "
+                "COS algorithm, not 'sequential'")
         if self.engine == "mp" and self.mp_workers < 1:
             raise ConfigurationError(
                 f"mp_workers must be >= 1, got {self.mp_workers}")

@@ -13,7 +13,7 @@ from typing import Any, Tuple
 
 from repro.core.command import Command
 
-__all__ = ["ClientRequest", "ClientResponse"]
+__all__ = ["ClientRequest", "ClientResponse", "GroupEnvelope"]
 
 
 @dataclass(frozen=True)
@@ -46,3 +46,18 @@ class ClientResponse:
     command: Command
     response: Any
     replica_id: int
+
+
+@dataclass(frozen=True)
+class GroupEnvelope:
+    """A consensus-group protocol message in a partitioned deployment.
+
+    Replica processes of a grouped deployment (``NetConfig.n_groups > 1``)
+    host one protocol node *per group* behind a single TCP endpoint; every
+    protocol message travels wrapped in this envelope so the receiving
+    process can demultiplex it to the right group's node
+    (docs/partitioning.md).
+    """
+
+    group: int
+    msg: Any

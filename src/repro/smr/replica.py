@@ -13,11 +13,19 @@ Replicas deduplicate commands by ``(client_id, request_id)`` at delivery
 time.  Delivery order is identical at all replicas, so the dedup decision
 is deterministic; duplicates of already-executed commands are answered from
 the response cache, which makes client retransmission safe.
+
+With a single total order, tracking only each client's *latest* request id
+suffices.  Partitioned ordering (:mod:`repro.groups`) merges several
+consensus streams, so one client's requests may arrive out of request-id
+order when a batch spans groups; ``dedup_window > 0`` switches the cache to
+a bounded per-client window of recent request ids, which accepts fresh
+requests in any order (see docs/partitioning.md).
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import time
@@ -78,18 +86,29 @@ class ParallelReplica:
         on_response: Optional[ResponseCallback] = None,
         registry: Optional[MetricsRegistry] = None,
         dispatch_batch: Optional[int] = None,
+        dedup_window: int = 0,
     ):
         """``dispatch_batch`` caps how many simultaneously-ready commands
         one worker drains from the COS and hands to the service in a
         single ``execute_many`` call (engines that implement it — the mp
         engine moves the whole batch over one queue hop).  ``None`` picks
         16 when the service supports batching, else 1; services without
-        ``execute_many`` always run command-at-a-time."""
+        ``execute_many`` always run command-at-a-time.
+
+        ``dedup_window``: 0 (default) keeps the classic latest-request-id
+        dedup cache, which is exact under a single total order.  A positive
+        value keeps the last that many request ids *per client* instead,
+        tolerating out-of-request-id-order arrival across merged ordering
+        streams (repro.groups); it must comfortably exceed any client's
+        in-flight request count."""
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if dispatch_batch is not None and dispatch_batch < 1:
             raise ValueError(
                 f"dispatch_batch must be >= 1, got {dispatch_batch}")
+        if dedup_window < 0:
+            raise ValueError(
+                f"dedup_window must be >= 0, got {dedup_window}")
         # An engine-backed service (repro.par.MpService) wants more worker
         # threads than CPU-bound execution would: its threads spend their
         # time blocked on shard queues (GIL released) and must outnumber the
@@ -127,8 +146,12 @@ class ParallelReplica:
         self._executed = 0
         self._scheduled = 0
         self._last_instance = -1
-        # (client_id -> (request_id, response or _PENDING)) response cache.
-        self._dedup: Dict[str, Tuple[int, Any]] = {}
+        self._dedup_window = dedup_window
+        # Response cache.  Latest-only mode (dedup_window == 0):
+        # client_id -> (request_id, response or _PENDING).  Window mode:
+        # client_id -> OrderedDict[request_id, response or _PENDING] in
+        # insertion order, trimmed to the window size.
+        self._dedup: Dict[str, Any] = {}
 
     _PENDING = object()
 
@@ -271,14 +294,7 @@ class ParallelReplica:
         with self._state_lock:
             self._executed += len(commands)
             for command, response in zip(commands, responses):
-                if command.client_id is not None:
-                    cached = self._dedup.get(command.client_id)
-                    # Only fill the slot this command reserved (see the
-                    # worker loop): a newer request may own it by now.
-                    if cached is not None and cached[0] == command.request_id:
-                        self._dedup[command.client_id] = (
-                            command.request_id, response,
-                        )
+                self._fill_response(command, response)
         if self._on_response is not None:
             for command, response in zip(commands, responses):
                 self._on_response(command, response, self.replica_id)
@@ -286,6 +302,8 @@ class ParallelReplica:
     def _is_duplicate(self, command: Command) -> bool:
         if command.client_id is None:
             return False
+        if self._dedup_window:
+            return self._is_duplicate_windowed(command)
         with self._state_lock:
             cached = self._dedup.get(command.client_id)
             if cached is not None and command.request_id <= cached[0]:
@@ -301,6 +319,46 @@ class ParallelReplica:
             # Retransmission of the latest executed command: re-answer.
             self._on_response(command, response, self.replica_id)
         return True
+
+    def _is_duplicate_windowed(self, command: Command) -> bool:
+        """Window-mode dedup: fresh request ids are accepted in any order.
+
+        A request is a duplicate iff its id is still in the client's
+        window.  The window only forgets a request once ``dedup_window``
+        *newer* requests from the same client were delivered, so as long as
+        a client's in-flight requests never exceed the window, every
+        retransmission is recognized — without assuming ids arrive in
+        order, which merged group streams do not guarantee.
+        """
+        with self._state_lock:
+            window = self._dedup.get(command.client_id)
+            if window is None:
+                window = self._dedup[command.client_id] = OrderedDict()
+            response = window.get(command.request_id, self._PENDING)
+            duplicate = command.request_id in window
+            if not duplicate:
+                window[command.request_id] = self._PENDING
+                while len(window) > self._dedup_window:
+                    window.popitem(last=False)
+        if (duplicate and response is not self._PENDING
+                and self._on_response is not None):
+            self._on_response(command, response, self.replica_id)
+        return duplicate
+
+    def _fill_response(self, command: Command, response: Any) -> None:
+        """Record an executed command's response (``_state_lock`` held)."""
+        if command.client_id is None:
+            return
+        cached = self._dedup.get(command.client_id)
+        if cached is None:
+            return
+        if self._dedup_window:
+            if command.request_id in cached:
+                cached[command.request_id] = response
+        # Only fill the slot this command reserved: in latest-only mode a
+        # newer request from the same client may own it by now.
+        elif cached[0] == command.request_id:
+            self._dedup[command.client_id] = (command.request_id, response)
 
     # -------------------------------------------------------------- workers
 
@@ -355,14 +413,7 @@ class ParallelReplica:
             with self._state_lock:
                 self._executed += len(batch)
                 for (_, cmd), response in zip(batch, responses):
-                    if cmd.client_id is not None:
-                        cached = self._dedup.get(cmd.client_id)
-                        # Only fill the cache slot this command reserved; a
-                        # newer request from the same client may own it.
-                        if cached is not None and cached[0] == cmd.request_id:
-                            self._dedup[cmd.client_id] = (
-                                cmd.request_id, response,
-                            )
+                    self._fill_response(cmd, response)
             for (h, cmd), response in zip(batch, responses):
                 if self._on_response is not None:
                     self._on_response(cmd, response, self.replica_id)
@@ -406,11 +457,20 @@ class ParallelReplica:
                         f"{timeout}s")
                 time.sleep(0.001)
             with self._state_lock:
-                dedup = {
-                    client: entry
-                    for client, entry in self._dedup.items()
-                    if entry[1] is not self._PENDING
-                }
+                if self._dedup_window:
+                    dedup = {
+                        client: OrderedDict(
+                            (rid, response)
+                            for rid, response in window.items()
+                            if response is not self._PENDING)
+                        for client, window in self._dedup.items()
+                    }
+                else:
+                    dedup = {
+                        client: entry
+                        for client, entry in self._dedup.items()
+                        if entry[1] is not self._PENDING
+                    }
             return Checkpoint(self._last_instance, self.service.snapshot(),
                               dedup)
 
@@ -419,13 +479,24 @@ class ParallelReplica:
         if self._started:
             raise CheckpointError("cannot install a checkpoint while running")
         self.service.restore(checkpoint.state)
-        self._dedup = dict(checkpoint.dedup)
+        if self._dedup_window:
+            self._dedup = {client: OrderedDict(window)
+                           for client, window in checkpoint.dedup.items()}
+        else:
+            self._dedup = dict(checkpoint.dedup)
         self._last_instance = checkpoint.instance
 
     def cached_response(self, client_id: str) -> Optional[Tuple[int, Any]]:
         """Last (request_id, response) executed for ``client_id``, if any."""
         cached = self._dedup.get(client_id)
-        if cached is None or cached[1] is self._PENDING:
+        if cached is None:
+            return None
+        if self._dedup_window:
+            for request_id in reversed(cached):
+                if cached[request_id] is not self._PENDING:
+                    return (request_id, cached[request_id])
+            return None
+        if cached[1] is self._PENDING:
             return None
         return cached
 

@@ -1,5 +1,12 @@
 """Workload generation for experiments and examples."""
 
-from repro.workload.generator import READ_OP, WRITE_OP, WorkloadGenerator
+from repro.workload.generator import (
+    MULTI_READ_OP,
+    MULTI_WRITE_OP,
+    READ_OP,
+    WRITE_OP,
+    WorkloadGenerator,
+)
 
-__all__ = ["WorkloadGenerator", "READ_OP", "WRITE_OP"]
+__all__ = ["WorkloadGenerator", "READ_OP", "WRITE_OP",
+           "MULTI_READ_OP", "MULTI_WRITE_OP"]

@@ -1,0 +1,135 @@
+"""Unit tests of the cross-partition rendezvous merge rule.
+
+:class:`~repro.groups.merge.GroupMerger` is the deterministic heart of the
+partitioned deployment (docs/partitioning.md): every replica runs one, and
+safety requires the released order to depend only on the groups' consensus
+logs — never on how a replica interleaves the streams.  These tests pin
+the single-stream FIFO rule, the hold-until-all-copies rendezvous rule,
+the anchor-position tie-break, duplicate-marker absorption, and the
+inspection/validation surface.  (Whole-cluster coverage lives in
+test_groups_cluster.py; randomized coverage in test_groups_check.py.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.command import Command, MultiKeyedConflicts
+from repro.errors import ConfigurationError, SimulationError
+from repro.groups.merge import GroupMerger, SkipHoldMerger, command_key
+from repro.groups.messages import Rendezvous, rendezvous_xid
+
+
+def _cmd(key: int, seq: int, *more_keys: int) -> Command:
+    keys = (key,) + more_keys
+    return Command("add-all" if more_keys else "add", keys,
+                   client_id="c", request_id=seq, writes=True)
+
+
+def _marker(command: Command, groups) -> Rendezvous:
+    return Rendezvous(rendezvous_xid(command), tuple(groups), command)
+
+
+class TestSingles:
+    def test_fifo_positions_per_group(self):
+        merger = GroupMerger(2)
+        first, second = _cmd(0, 1), _cmd(0, 2)
+        out = merger.offer(0, first) + merger.offer(0, second)
+        assert [e.command for e in out] == [first, second]
+        assert [e.position for e in out] == [(0, 0), (0, 1)]
+        assert not out[0].cross_partition
+
+    def test_groups_emit_independently(self):
+        merger = GroupMerger(2)
+        a, b = _cmd(0, 1), _cmd(1, 2)
+        assert merger.offer(1, b)[0].position == (1, 0)
+        assert merger.offer(0, a)[0].position == (0, 0)
+        assert merger.idle()
+
+
+class TestRendezvous:
+    def test_marker_holds_until_all_copies_arrive(self):
+        merger = GroupMerger(2)
+        cross = _cmd(0, 1, 1)
+        marker = _marker(cross, (0, 1))
+        assert merger.offer(0, marker) == []
+        assert merger.held() and not merger.idle()
+        out = merger.offer(1, marker)
+        assert [e.command for e in out] == [cross]
+        assert out[0].position == (0, 0)  # anchored in min(groups)
+        assert out[0].cross_partition and out[0].xid == marker.xid
+        assert merger.idle()
+
+    def test_marker_blocks_later_items_of_its_group(self):
+        merger = GroupMerger(2)
+        cross = _cmd(0, 1, 1)
+        marker = _marker(cross, (0, 1))
+        single = _cmd(0, 2)
+        assert merger.offer(0, marker) == []
+        # The single sits behind the held marker: group-0 FIFO.
+        assert merger.offer(0, single) == []
+        out = merger.offer(1, marker)
+        assert [e.command for e in out] == [cross, single]
+        assert [e.position for e in out] == [(0, 0), (0, 1)]
+
+    def test_positions_are_interleaving_independent(self):
+        cross = _cmd(0, 1, 1)
+        marker = _marker(cross, (0, 1))
+        feeds = [
+            [(0, _cmd(0, 2)), (0, marker), (1, marker), (1, _cmd(1, 3))],
+            [(1, marker), (1, _cmd(1, 3)), (0, _cmd(0, 2)), (0, marker)],
+        ]
+        results = []
+        for feed in feeds:
+            merger = GroupMerger(2)
+            for group, item in feed:
+                merger.offer(group, item)
+            assert merger.idle()
+            results.append(merger.positions)
+        assert results[0] == results[1]
+
+    def test_duplicate_marker_copy_is_absorbed(self):
+        # At-least-once clients can land one marker in a group's log
+        # twice; the second copy must neither re-release nor wedge.
+        merger = GroupMerger(2)
+        cross = _cmd(0, 1, 1)
+        marker = _marker(cross, (0, 1))
+        merger.offer(0, marker)
+        assert merger.offer(0, marker) == []  # dup before release
+        assert len(merger.offer(1, marker)) == 1
+        assert merger.offer(1, marker) == []  # dup after release
+        follow = _cmd(1, 2)
+        assert merger.offer(1, follow)[0].command is follow
+        assert merger.idle()
+
+    def test_cross_counter_and_history(self):
+        conflicts = MultiKeyedConflicts()
+        merger = GroupMerger(2, record_history=True, conflicts=conflicts)
+        single = _cmd(0, 1)
+        cross = _cmd(0, 2, 1)
+        marker = _marker(cross, (0, 1))
+        merger.offer(0, single)
+        merger.offer(0, marker)
+        merger.offer(1, marker)
+        assert (merger.emitted, merger.emitted_cross) == (2, 1)
+        key_history = merger.class_history[conflicts.footprint(single)[0][0]]
+        assert key_history == [command_key(single), command_key(cross)]
+
+
+class TestValidation:
+    def test_group_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            GroupMerger(2).offer(2, _cmd(0, 1))
+
+    def test_marker_offered_to_uninvolved_group(self):
+        merger = GroupMerger(3)
+        marker = _marker(_cmd(0, 1, 1), (0, 1))
+        with pytest.raises(SimulationError):
+            merger.offer(2, marker)
+
+    def test_skip_hold_mutant_releases_early(self):
+        # Sanity for the check harness's seeded bug: one copy is enough.
+        merger = SkipHoldMerger(2)
+        cross = _cmd(0, 1, 1)
+        out = merger.offer(0, _marker(cross, (0, 1)))
+        assert [e.command for e in out] == [cross]

@@ -2,8 +2,15 @@
 
 import pytest
 
+from repro.core.command import stable_hash
 from repro.sim import Metrics, Simulator
-from repro.workload import READ_OP, WRITE_OP, WorkloadGenerator
+from repro.workload import (
+    MULTI_READ_OP,
+    MULTI_WRITE_OP,
+    READ_OP,
+    WRITE_OP,
+    WorkloadGenerator,
+)
 
 
 class TestWorkloadGenerator:
@@ -120,6 +127,77 @@ class TestZipfianKeys:
         keys = [c.args[0] for c in generator.commands(2000)]
         head = sum(1 for k in keys if k < 10) / len(keys)
         assert 0.05 < head < 0.20  # ~10% under uniform
+
+
+class TestCrossPartitionMode:
+    """Multi-key commands for partitioned deployments (repro.groups)."""
+
+    def _generator(self, **overrides):
+        base = dict(write_pct=50.0, key_space=256, seed=5,
+                    cross_partition_fraction=0.3, n_partitions=4)
+        base.update(overrides)
+        return WorkloadGenerator(**base)
+
+    def test_fraction_of_commands_is_multi_key(self):
+        commands = self._generator().commands(3000)
+        cross = [c for c in commands if len(c.args) > 1]
+        assert 0.25 < len(cross) / len(commands) < 0.35
+
+    def test_cross_commands_span_distinct_partitions(self):
+        for command in self._generator().commands(1000):
+            if len(command.args) == 1:
+                continue
+            partitions = {stable_hash(key) % 4 for key in command.args}
+            assert len(partitions) == len(command.args)
+
+    def test_multi_key_ops_follow_write_flag(self):
+        for command in self._generator().commands(500):
+            if len(command.args) == 1:
+                assert command.op in (READ_OP, WRITE_OP)
+            elif command.writes:
+                assert command.op == MULTI_WRITE_OP
+            else:
+                assert command.op == MULTI_READ_OP
+
+    def test_cross_mode_is_seeded_and_reproducible(self):
+        a = self._generator().commands(400)
+        b = self._generator().commands(400)
+        assert [(c.op, c.args, c.writes) for c in a] == \
+            [(c.op, c.args, c.writes) for c in b]
+
+    def test_cross_mode_composes_with_zipf(self):
+        commands = self._generator(key_dist="zipf",
+                                   zipf_s=1.2).commands(2000)
+        cross = [c for c in commands if len(c.args) > 1]
+        assert cross
+        primary = [c.args[0] for c in cross]
+        head = sum(1 for key in primary if key < 26) / len(primary)
+        assert head > 0.4  # first key keeps the skew
+
+    def test_keys_per_cross_is_respected(self):
+        commands = self._generator(keys_per_cross=3).commands(800)
+        widths = {len(c.args) for c in commands if len(c.args) > 1}
+        assert widths == {3}
+
+    def test_zero_fraction_leaves_streams_untouched(self):
+        # Regression guard: the cross-partition knobs must not perturb
+        # streams existing benchmarks were recorded with.
+        a = WorkloadGenerator(30.0, seed=9).commands(200)
+        b = WorkloadGenerator(30.0, seed=9,
+                              cross_partition_fraction=0.0).commands(200)
+        assert [(c.op, c.args) for c in a] == [(c.op, c.args) for c in b]
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(cross_partition_fraction=-0.1, n_partitions=2),
+        dict(cross_partition_fraction=1.5, n_partitions=2),
+        dict(cross_partition_fraction=0.2),                    # no partitions
+        dict(cross_partition_fraction=0.2, n_partitions=1),
+        dict(cross_partition_fraction=0.2, n_partitions=2, keys_per_cross=1),
+        dict(cross_partition_fraction=0.2, n_partitions=2, keys_per_cross=3),
+    ])
+    def test_invalid_cross_configs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(10.0, **kwargs)
 
 
 class TestMetrics:
