@@ -1,0 +1,227 @@
+"""Optimistic (speculative) execution: latency hidden, cost bounded.
+
+Two panels on the speculation DES (:mod:`repro.spec.sim` — the real
+:class:`~repro.broadcast.sequencer.SequencerBroadcast` machines and the
+real :class:`~repro.spec.engine.SpeculationEngine` on the virtual clock,
+so both panels are deterministic and the gates run at full strength even
+in smoke):
+
+* **latency** — one closed-loop client, execution 3 ms, ordering delay
+  3 ms (the consensus round the optimistic delivery front-runs).  A
+  follower that executes speculatively overlaps execution with the
+  ordering delay and releases the response the instant the conservative
+  order confirms; the conservative baseline only *starts* executing
+  then.  The gate requires speculative median latency <= 0.6x the
+  conservative median at a >=95% optimistic match rate (arXiv 1404.6721's
+  regime: optimistic delivery is almost always right).
+
+* **mismatch-cost** — four closed-loop clients in an ordering-bound
+  regime (execution 0.5 ms against a 3 ms ordering delay) with a seeded
+  50% adjacent-swap injected into every replica's optimistic delivery
+  stream.  Every swap that lands forces a rollback: undo the divergent
+  suffix, re-execute conservatively, re-speculate the rest — roughly
+  doubling the executed work (the recorded ``work_ratio`` makes that
+  transparent).  The gate bounds the *throughput* cost: the conservative
+  baseline may be at most 1.3x the mismatching speculative run, i.e.
+  even losing half its guesses the pipeline stays within 30% of never
+  speculating at all.  (In an execution-bound regime the re-execution
+  work would bite harder — docs/speculation.md §When speculation loses.)
+
+Every run doubles as a differential check: the DES raises if replicas
+diverge, and both panels assert all replicas end bit-identical.
+
+Run as a pytest benchmark (``pytest benchmarks/bench_speculation.py``)
+or directly (``python benchmarks/bench_speculation.py [--smoke]``).
+Results land in ``benchmarks/results/speculation.txt`` and the
+machine-readable ``BENCH_speculation.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))  # conftest when run directly
+
+from conftest import emit
+
+from repro.bench import FigureData
+from repro.spec.sim import SpecSimConfig, SpecSimResult, run_spec_sim
+
+SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: Commands per latency run (panel A; one closed-loop client).
+LATENCY_COMMANDS = 120 if SMOKE else (1_200 if FULL else 400)
+#: Commands per mismatch run (panel B; four closed-loop clients).
+MISMATCH_COMMANDS = 200 if SMOKE else (1_800 if FULL else 600)
+
+#: Speculative median latency must be at most this fraction of the
+#: conservative median (panel A).
+LATENCY_GATE = 0.6
+#: ...at at least this optimistic match rate.
+MATCH_GATE = 0.95
+#: Conservative throughput may be at most this multiple of the
+#: 50%-mismatch speculative throughput (panel B).
+MISMATCH_COST_GATE = 1.3
+
+#: Forced adjacent-swap probability for panel B.
+MISMATCH_RATE = 0.5
+
+_MS = 1e-3
+
+#: Panel A: execution as long as the ordering delay — the regime
+#: speculation is built for (overlap hides the whole execution).
+LATENCY_CONFIG = SpecSimConfig(
+    n_clients=1,
+    total_commands=LATENCY_COMMANDS,
+    exec_cost=3.0 * _MS,
+    ordering_delay=3.0 * _MS,
+    seed=2,
+)
+
+#: Panel B: ordering-bound (execution << ordering delay), so the gate
+#: isolates the protocol cost of rollbacks rather than lane saturation.
+MISMATCH_CONFIG = SpecSimConfig(
+    n_clients=4,
+    total_commands=MISMATCH_COMMANDS,
+    exec_cost=0.5 * _MS,
+    undo_cost=0.05 * _MS,
+    ordering_delay=3.0 * _MS,
+    seed=2,
+)
+
+
+def _run(config: SpecSimConfig, **overrides) -> SpecSimResult:
+    result = run_spec_sim(dataclasses.replace(config, **overrides))
+    assert all(snapshot == result.snapshots[0]
+               for snapshot in result.snapshots), (
+        "replica states diverged — the DES differential oracle failed")
+    return result
+
+
+def _summarize(result: SpecSimResult) -> dict:
+    return {
+        "median_latency_ms": result.latency_quantile(0.5) * 1e3,
+        "p99_latency_ms": result.latency_quantile(0.99) * 1e3,
+        "throughput_per_sec": result.throughput,
+        "match_rate": result.match_rate,
+        "rollbacks": result.rollbacks,
+        "work_ratio": (result.executions / result.committed
+                       if result.committed else 0.0),
+        "committed": result.committed,
+    }
+
+
+def measure_latency() -> dict:
+    speculative = _run(LATENCY_CONFIG, speculative=True)
+    conservative = _run(LATENCY_CONFIG, speculative=False)
+    ratio = (speculative.latency_quantile(0.5)
+             / conservative.latency_quantile(0.5))
+    return {
+        "speculative": _summarize(speculative),
+        "conservative": _summarize(conservative),
+        "median_ratio": ratio,
+        "match_rate": speculative.match_rate,
+    }
+
+
+def measure_mismatch_cost() -> dict:
+    mismatching = _run(MISMATCH_CONFIG, speculative=True,
+                       mismatch_rate=MISMATCH_RATE)
+    clean = _run(MISMATCH_CONFIG, speculative=True)
+    conservative = _run(MISMATCH_CONFIG, speculative=False)
+    return {
+        "mismatching": _summarize(mismatching),
+        "clean": _summarize(clean),
+        "conservative": _summarize(conservative),
+        "mismatch_rate": MISMATCH_RATE,
+        "cost_vs_conservative": (conservative.throughput
+                                 / mismatching.throughput),
+        "cost_vs_clean": clean.throughput / mismatching.throughput,
+    }
+
+
+# ------------------------------------------------------------------ figure
+
+def speculation_figure() -> FigureData:
+    figure = FigureData(
+        name="speculation",
+        title="Optimistic execution: latency hidden at high match rate, "
+              "bounded cost under forced mismatch (3 replicas)",
+        x_label="panel (0=median latency ms, 1=throughput/s @50% mismatch)",
+        y_label="median latency ms / committed commands per second",
+    )
+    latency = measure_latency()
+    mismatch = measure_mismatch_cost()
+    figure.add_point("latency", "speculative", 0,
+                     latency["speculative"]["median_latency_ms"])
+    figure.add_point("latency", "conservative", 0,
+                     latency["conservative"]["median_latency_ms"])
+    figure.add_point("mismatch-cost", "speculative@50%", 1,
+                     mismatch["mismatching"]["throughput_per_sec"])
+    figure.add_point("mismatch-cost", "speculative@0%", 1,
+                     mismatch["clean"]["throughput_per_sec"])
+    figure.add_point("mismatch-cost", "conservative", 1,
+                     mismatch["conservative"]["throughput_per_sec"])
+    figure.extra = {
+        "latency": latency,
+        "mismatch": mismatch,
+        "smoke": SMOKE,
+        "gates": {
+            "latency_ratio": LATENCY_GATE,
+            "match_rate": MATCH_GATE,
+            "mismatch_cost": MISMATCH_COST_GATE,
+        },
+    }
+    return figure
+
+
+def _check_gate(figure: FigureData) -> None:
+    latency = figure.extra["latency"]
+    mismatch = figure.extra["mismatch"]
+    print(f"[speculation] median latency "
+          f"{latency['speculative']['median_latency_ms']:.2f} ms speculative "
+          f"vs {latency['conservative']['median_latency_ms']:.2f} ms "
+          f"conservative ({latency['median_ratio']:.2f}x, match "
+          f"{latency['match_rate']:.1%}); 50%-mismatch throughput cost "
+          f"{mismatch['cost_vs_conservative']:.2f}x conservative "
+          f"(work ratio {mismatch['mismatching']['work_ratio']:.2f})")
+    # The DES is deterministic (virtual clock, seeded delays): both gates
+    # run at full strength even in smoke.
+    assert latency["match_rate"] >= MATCH_GATE, (
+        f"latency panel matched only {latency['match_rate']:.1%} "
+        f"optimistically; the gate needs {MATCH_GATE:.0%} for the ratio "
+        f"to be meaningful")
+    assert latency["median_ratio"] <= LATENCY_GATE, (
+        f"speculative median latency is {latency['median_ratio']:.2f}x "
+        f"the conservative median; the gate is {LATENCY_GATE}x")
+    assert mismatch["cost_vs_conservative"] <= MISMATCH_COST_GATE, (
+        f"conservative throughput is {mismatch['cost_vs_conservative']:.2f}x "
+        f"the 50%-mismatch speculative run; the gate is "
+        f"{MISMATCH_COST_GATE}x")
+
+
+def test_speculation(benchmark):
+    figure = benchmark.pedantic(speculation_figure, rounds=1, iterations=1)
+    emit(figure)
+    _check_gate(figure)
+
+
+def main() -> int:
+    global SMOKE, LATENCY_CONFIG, MISMATCH_CONFIG
+    if "--smoke" in sys.argv[1:]:
+        SMOKE = True
+        LATENCY_CONFIG = dataclasses.replace(LATENCY_CONFIG,
+                                             total_commands=120)
+        MISMATCH_CONFIG = dataclasses.replace(MISMATCH_CONFIG,
+                                              total_commands=200)
+    figure = speculation_figure()
+    emit(figure)
+    _check_gate(figure)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

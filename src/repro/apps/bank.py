@@ -94,6 +94,32 @@ class BankService(ShardableService):
     def restore(self, snapshot: Dict[str, int]) -> None:
         self._balances = dict(snapshot)
 
+    # ----------------------------------------------------------- speculation
+
+    def capture_undo(self, command: Command) -> Any:
+        """Inverse record for speculative execution (repro.spec).
+
+        One ``(account, had, previous_balance)`` triple per touched
+        account; applying them in any order restores the pre-state, since
+        the accounts of one command are distinct dictionary slots.
+        """
+        if not command.writes:
+            return None
+        return tuple(
+            (account, account in self._balances,
+             self._balances.get(account, 0))
+            for account in sorted(_accounts_of(command))
+        )
+
+    def apply_undo(self, record: Any) -> None:
+        if record is None:
+            return
+        for account, had, previous in record:
+            if had:
+                self._balances[account] = previous
+            else:
+                self._balances.pop(account, None)
+
     # ------------------------------------------------------------- sharding
 
     def shards_of(self, command: Command, n_shards: int) -> Tuple[int, ...]:

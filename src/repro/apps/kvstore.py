@@ -85,6 +85,28 @@ class KVStoreService(ShardableService):
     def restore(self, snapshot: Dict[Any, Any]) -> None:
         self._data = dict(snapshot)
 
+    # ----------------------------------------------------------- speculation
+
+    def capture_undo(self, command: Command) -> Any:
+        """Inverse record for speculative execution (repro.spec).
+
+        Every write touches exactly one key, so ``(key, had, previous)``
+        restores it precisely; reads need nothing.
+        """
+        if not command.writes:
+            return None
+        key = command.args[0]
+        return (key, key in self._data, self._data.get(key))
+
+    def apply_undo(self, record: Any) -> None:
+        if record is None:
+            return
+        key, had, previous = record
+        if had:
+            self._data[key] = previous
+        else:
+            self._data.pop(key, None)
+
     # ------------------------------------------------------------- sharding
 
     def shards_of(self, command: Command, n_shards: int) -> Tuple[int, ...]:

@@ -165,6 +165,50 @@ class LinkedListService(ShardableService):
                 return True
             node = node.nxt
 
+    def _remove(self, value: int) -> bool:
+        """Unlink ``value`` if present (speculative rollback only).
+
+        The replicated command set is insert-only; removal exists solely
+        so an optimistic ``add`` can be undone (repro.spec).
+        """
+        node = self._head
+        previous: Optional[_ListNode] = None
+        while node is not None:
+            if node.value == value:
+                if previous is None:
+                    self._head = node.nxt
+                else:
+                    previous.nxt = node.nxt
+                self._size -= 1
+                return True
+            previous = node
+            node = node.nxt
+        return False
+
+    # ----------------------------------------------------------- speculation
+
+    def capture_undo(self, command: Command) -> Any:
+        """Inverse record for speculative execution (repro.spec).
+
+        One ``(value, was_present)`` pair per argument, read against the
+        pre-state: rollback removes exactly the values the command
+        inserted.  Duplicate arguments in ``add-all`` are safe — both
+        pairs say "absent", and ``_remove`` of an already-removed value
+        is a no-op.
+        """
+        if not command.writes:
+            return None
+        return tuple(
+            (value, self._contains(value)) for value in command.args
+        )
+
+    def apply_undo(self, record: Any) -> None:
+        if record is None:
+            return
+        for value, was_present in reversed(record):
+            if not was_present:
+                self._remove(value)
+
     # ------------------------------------------------------------ inspection
 
     def _iter_values(self):

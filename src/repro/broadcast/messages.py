@@ -32,6 +32,9 @@ __all__ = [
     "Heartbeat",
     "HeartbeatAck",
     "SequencerStamp",
+    "DeliverOptimistic",
+    "OptimisticAnnounce",
+    "NewEpoch",
 ]
 
 # A ballot is (round, node_id); tuple comparison gives the total order and
@@ -66,6 +69,22 @@ class DeliverRead:
     Emitted only by ``MultiPaxos.submit_read`` while the node holds a valid
     quorum lease: the payload is executed against the local state without a
     consensus round and is never assigned an instance number.
+    """
+
+    payload: Any
+
+
+@dataclass(frozen=True)
+class DeliverOptimistic:
+    """Deliver ``payload`` optimistically, before its final order is known.
+
+    Emitted by ordering protocols with an optimistic fast path
+    (:class:`~repro.broadcast.sequencer.SequencerBroadcast` in optimistic
+    mode): the payload will *also* be delivered conservatively via
+    :class:`Deliver` later, in the authoritative order.  Consumers
+    (:class:`~repro.spec.replica.SpeculativeReplica`) execute
+    speculatively and withhold responses until the conservative delivery
+    confirms or contradicts the guess.
     """
 
     payload: Any
@@ -231,7 +250,50 @@ class HeartbeatAck:
 
 @dataclass(frozen=True)
 class SequencerStamp:
-    """Sequencer-assigned total-order position for ``payload``."""
+    """Sequencer-assigned total-order position for ``payload``.
+
+    ``epoch`` identifies the sequencer regime that assigned ``seq``
+    (incremented by every :class:`NewEpoch`).  A stamp from a deposed
+    sequencer is accepted only for positions *below* the new epoch's base
+    — the prefix both regimes agree on; at or above the base it is
+    discarded, because the new sequencer re-stamps those payloads (see
+    ``SequencerBroadcast._learn``).  Wire default 0 keeps pre-failover
+    frames decodable.
+    """
 
     seq: int
     payload: Any
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class OptimisticAnnounce:
+    """Optimistic-order announcement of ``payload`` at submission time.
+
+    Sent by the submitting node to every peer (and self-delivered) the
+    moment a payload enters the system, one network hop before the
+    sequencer's stamp can arrive: receivers treat arrival order as the
+    *guessed* total order and may begin executing speculatively.  The
+    guess is confirmed or corrected by the stamped (conservative)
+    delivery of the same payload.
+    """
+
+    payload: Any
+
+
+@dataclass(frozen=True)
+class NewEpoch:
+    """A node took over sequencing: ``epoch`` begins at position ``base``.
+
+    ``sequencer`` is the node now stamping; ``base`` is its delivery
+    frontier at promotion — every position below ``base`` is final under
+    earlier epochs, every position at or above it will be (re-)stamped in
+    ``epoch``.  Receivers drop pending old-epoch stamps at or above
+    ``base`` (the deposed sequencer's stamps for those positions are
+    void) and re-forward their own unconfirmed submissions to the new
+    sequencer.
+    """
+
+    epoch: int
+    sequencer: int
+    base: int

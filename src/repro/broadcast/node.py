@@ -19,7 +19,13 @@ import threading
 import time
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.broadcast.messages import Deliver, DeliverRead, Send, SetTimer
+from repro.broadcast.messages import (
+    Deliver,
+    DeliverOptimistic,
+    DeliverRead,
+    Send,
+    SetTimer,
+)
 from repro.broadcast.transport import ThreadedTransport
 from repro.errors import ShutdownError
 
@@ -31,6 +37,7 @@ _STOP = object()         # inbox sentinel: shut down
 
 DeliverCallback = Callable[[int, Any], None]
 ReadCallback = Callable[[Any], None]
+OptimisticCallback = Callable[[Any], None]
 
 
 class ThreadedNode:
@@ -44,12 +51,14 @@ class ThreadedNode:
         on_deliver: DeliverCallback,
         name: Optional[str] = None,
         on_read: Optional[ReadCallback] = None,
+        on_optimistic: Optional[OptimisticCallback] = None,
     ):
         self.node_id = node_id
         self.protocol = protocol
         self._transport = transport
         self._on_deliver = on_deliver
         self._on_read = on_read
+        self._on_optimistic = on_optimistic
         self._inbox = transport.inbox(node_id)
         self._timers: List[Tuple[float, int, str]] = []
         self._timer_seq = itertools.count()
@@ -179,6 +188,12 @@ class ThreadedNode:
                         "protocol emitted DeliverRead but no on_read "
                         "callback is wired")
                 self._on_read(action.payload)
+            elif kind is DeliverOptimistic:
+                # An optimistic delivery is advisory: a node without a
+                # speculative consumer simply waits for the conservative
+                # delivery of the same payload.
+                if self._on_optimistic is not None:
+                    self._on_optimistic(action.payload)
             elif kind is SetTimer:
                 heapq.heappush(
                     self._timers,

@@ -1,26 +1,79 @@
-"""Sequencer-based total order broadcast.
+"""Sequencer-based total order broadcast, with an optimistic fast path.
 
 The simplest way to totally order messages: one distinguished node (the
-sequencer, node 0) stamps each payload with a sequence number and relays it
-to every node; nodes deliver stamped payloads in stamp order.  It is *not*
-fault tolerant — if the sequencer crashes the protocol stops — but it is
-useful as a fast path for tests and as the baseline ordering layer for
-single-node experiments.  Use :class:`~repro.broadcast.paxos.MultiPaxos`
-when crash tolerance is required.
+sequencer) stamps each payload with a sequence number and relays it to
+every node; nodes deliver stamped payloads in stamp order.  It is *not*
+fault tolerant in the consensus sense — safety across a failover relies
+on the deposed sequencer being fail-stop (see :meth:`promote`) — but it
+is the lowest-latency ordering layer in the repository and the substrate
+of the optimistic execution pipeline (:mod:`repro.spec`).
+
+**Optimistic mode** (``optimistic=True``): the *submitting* node
+broadcasts an :class:`OptimisticAnnounce` the moment a payload enters
+the system and self-delivers it as :class:`DeliverOptimistic` — one
+network hop ahead of the stamped path (submit → sequencer → stamp).
+Arrival order of announcements is the receiver's *guess* at the total
+order; the stamped delivery later confirms or corrects it.  A payload is
+announced exactly once, at original submission — epoch-change resubmits
+are never re-announced, so the optimistic stream cannot double-deliver.
+
+**Failover** (:meth:`promote`): any node may take over sequencing.  It
+increments the *epoch*, fixes the new epoch's ``base`` at its own
+delivery frontier, broadcasts :class:`NewEpoch` and re-stamps its
+unconfirmed submissions; peers adopt the epoch, void pending old-epoch
+stamps at or above ``base``, and re-forward their own unconfirmed
+submissions to the new sequencer.  The epoch guard is what keeps the
+sequence bookkeeping sound across the transition:
+
+- a deposed sequencer's stamp at or above ``base`` is discarded (its
+  position will be re-stamped in the new epoch), instead of colliding
+  with — or being shadowed by — the new epoch's stamp for the same
+  position (pre-fix this double-delivered one payload or dropped the
+  other, leaving a permanent gap; see tests/test_bugfix_regressions.py);
+- a stamp *below* ``base`` is accepted from any earlier epoch: both
+  regimes agree on that prefix;
+- stamps from a not-yet-adopted future epoch are buffered until the
+  corresponding :class:`NewEpoch` arrives (network reordering).
+
+Re-stamping is at-least-once: a payload whose old-epoch stamp was
+delivered somewhere may be stamped again by the new sequencer.  The new
+sequencer drops resubmits it has recently delivered (bounded equality
+window), and command-level dedup at the replica layer
+(:class:`~repro.smr.replica.ParallelReplica`) is the exactly-once
+safety net — the broadcast layer's own guarantee is a gap-free,
+collision-free sequence of stamped slots at every node.
+
+Safety assumption, stated plainly: promotion assumes the deposed
+sequencer stamps nothing after any node delivers a position at or above
+the new ``base`` (fail-stop).  Tolerating an arbitrarily slow old
+sequencer requires consensus on the epoch change — that is
+:class:`~repro.broadcast.paxos.MultiPaxos`'s job.
 
 Same pure-state-machine shape as MultiPaxos, so the adapters are shared.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from collections import deque
+from typing import Any, Deque, Dict, List, Tuple
 
-from repro.broadcast.messages import Deliver, Send, SequencerStamp
+from repro.broadcast.messages import (
+    Deliver,
+    DeliverOptimistic,
+    NewEpoch,
+    OptimisticAnnounce,
+    Send,
+    SequencerStamp,
+)
 from repro.errors import ConfigurationError
 
 __all__ = ["SequencerBroadcast"]
 
 Action = Any
+
+#: Recently delivered payloads remembered for resubmit dedup (equality
+#: scan; only consulted once an epoch change has happened).
+RECENT_DELIVERED_WINDOW = 64
 
 
 class SequencerBroadcast:
@@ -28,20 +81,39 @@ class SequencerBroadcast:
 
     SEQUENCER = 0
 
-    def __init__(self, node_id: int, n: int):
+    def __init__(self, node_id: int, n: int, optimistic: bool = False):
         if n < 1:
             raise ConfigurationError(f"n must be positive, got {n}")
         if not 0 <= node_id < n:
             raise ConfigurationError(f"node_id {node_id} out of range for n={n}")
         self.node_id = node_id
         self.n = n
+        self.optimistic = optimistic
         self._next_seq = 0           # sequencer: next stamp to hand out
         self._next_deliver = 0       # everyone: next stamp to deliver
-        self._pending: Dict[int, Any] = {}
+        #: seq -> (epoch, payload): stamped but not yet deliverable.
+        self._pending: Dict[int, Tuple[int, Any]] = {}
+        self._epoch = 0
+        self._sequencer = self.SEQUENCER
+        #: First position the current epoch may stamp; below it the order
+        #: is final under earlier epochs.
+        self._epoch_base = 0
+        #: Own submissions not yet conservatively delivered, in submit
+        #: order — re-forwarded to the new sequencer on an epoch change.
+        self._inflight: List[Any] = []
+        #: Stamps from epochs we have not adopted yet (reordered network).
+        self._future_stamps: List[SequencerStamp] = []
+        #: Recently delivered payloads (resubmit dedup after failover).
+        self._recent_delivered: Deque[Any] = deque(
+            maxlen=RECENT_DELIVERED_WINDOW)
 
     @property
     def is_sequencer(self) -> bool:
-        return self.node_id == self.SEQUENCER
+        return self.node_id == self._sequencer
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
 
     def start(self) -> List[Action]:
         """No timers needed; present for adapter symmetry."""
@@ -49,15 +121,29 @@ class SequencerBroadcast:
 
     def submit(self, payload: Any) -> List[Action]:
         """A client payload arrived at this node."""
+        actions: List[Action] = []
+        if self.optimistic:
+            actions.extend(
+                Send(peer, OptimisticAnnounce(payload))
+                for peer in range(self.n) if peer != self.node_id
+            )
+            actions.append(DeliverOptimistic(payload))
         if self.is_sequencer:
-            return self._stamp(payload)
-        return [Send(self.SEQUENCER, payload)]
+            actions.extend(self._stamp(payload))
+        else:
+            self._inflight.append(payload)
+            actions.append(Send(self._sequencer, payload))
+        return actions
 
     def on_message(self, src: int, msg: Any) -> List[Action]:
         if isinstance(msg, SequencerStamp):
-            return self._learn(msg.seq, msg.payload)
+            return self._on_stamp(msg)
+        if isinstance(msg, OptimisticAnnounce):
+            return [DeliverOptimistic(msg.payload)] if self.optimistic else []
+        if isinstance(msg, NewEpoch):
+            return self._on_new_epoch(msg)
         if self.is_sequencer:
-            return self._stamp(msg)  # a forwarded payload
+            return self._on_forward(msg)
         raise ConfigurationError(
             f"non-sequencer node {self.node_id} received unstamped payload"
         )
@@ -65,24 +151,106 @@ class SequencerBroadcast:
     def on_timer(self, name: str) -> List[Action]:
         raise ConfigurationError(f"sequencer broadcast has no timer {name!r}")
 
+    # ------------------------------------------------------------- failover
+
+    def promote(self) -> List[Action]:
+        """Take over sequencing in a new epoch (administrative operation).
+
+        Caller contract: the current sequencer is dead (fail-stop) — see
+        the module docstring for exactly what that buys.  Idempotent on
+        the current sequencer.
+        """
+        if self.is_sequencer:
+            return []
+        self._epoch += 1
+        self._sequencer = self.node_id
+        self._epoch_base = self._next_deliver
+        self._next_seq = self._epoch_base
+        # Pending stamps at or above the base are void: the positions
+        # they claimed will be re-stamped in the new epoch.
+        self._drop_void_pending()
+        actions: List[Action] = [
+            Send(peer, NewEpoch(self._epoch, self.node_id, self._epoch_base))
+            for peer in range(self.n) if peer != self.node_id
+        ]
+        # Re-stamp own unconfirmed submissions (no re-announce: the
+        # optimistic stream saw them at original submission).
+        resubmits, self._inflight = self._inflight, []
+        for payload in resubmits:
+            actions.extend(self._stamp(payload))
+        return actions
+
+    def _on_new_epoch(self, msg: NewEpoch) -> List[Action]:
+        if msg.epoch <= self._epoch:
+            return []  # stale announcement
+        self._epoch = msg.epoch
+        self._sequencer = msg.sequencer
+        self._epoch_base = msg.base
+        if self.is_sequencer:  # pragma: no cover - defensive
+            self._next_seq = max(self._next_seq, msg.base)
+        self._drop_void_pending()
+        actions: List[Action] = []
+        # Re-forward own unconfirmed submissions to the new sequencer
+        # (at-least-once; its recent-delivered window and replica-level
+        # dedup absorb the overlap with already-stamped copies).
+        for payload in self._inflight:
+            actions.append(Send(self._sequencer, payload))
+        # Replay stamps that arrived ahead of this epoch announcement.
+        replay, self._future_stamps = self._future_stamps, []
+        for stamp in replay:
+            actions.extend(self._on_stamp(stamp))
+        return actions
+
+    def _drop_void_pending(self) -> None:
+        for seq in [s for s, (epoch, _) in self._pending.items()
+                    if epoch < self._epoch and s >= self._epoch_base]:
+            del self._pending[seq]
+
+    # ------------------------------------------------------------- ordering
+
+    def _on_forward(self, payload: Any) -> List[Action]:
+        if self._epoch > 0 and any(
+                payload == recent for recent in self._recent_delivered):
+            return []  # resubmit of a payload this epoch already delivered
+        return self._stamp(payload)
+
     def _stamp(self, payload: Any) -> List[Action]:
         seq = self._next_seq
         self._next_seq += 1
-        msg = SequencerStamp(seq, payload)
+        msg = SequencerStamp(seq, payload, self._epoch)
         actions: List[Action] = [
             Send(peer, msg) for peer in range(self.n) if peer != self.node_id
         ]
-        actions.extend(self._learn(seq, payload))
+        actions.extend(self._learn(seq, payload, self._epoch))
         return actions
 
-    def _learn(self, seq: int, payload: Any) -> List[Action]:
+    def _on_stamp(self, msg: SequencerStamp) -> List[Action]:
+        if msg.epoch > self._epoch:
+            # Reordered network: the stamp outran its NewEpoch.  Buffer —
+            # delivering it now could assign the wrong position.
+            self._future_stamps.append(msg)
+            return []
+        if msg.epoch < self._epoch and msg.seq >= self._epoch_base:
+            # A deposed sequencer's stamp for a position the new epoch
+            # owns: void (the new sequencer re-stamps that position).
+            return []
+        return self._learn(msg.seq, msg.payload, msg.epoch)
+
+    def _learn(self, seq: int, payload: Any, epoch: int) -> List[Action]:
         if seq < self._next_deliver or seq in self._pending:
             return []  # duplicate
-        self._pending[seq] = payload
+        self._pending[seq] = (epoch, payload)
         actions: List[Action] = []
         while self._next_deliver in self._pending:
-            actions.append(
-                Deliver(self._next_deliver, self._pending.pop(self._next_deliver))
-            )
+            _, delivered = self._pending.pop(self._next_deliver)
+            self._record_delivered(delivered)
+            actions.append(Deliver(self._next_deliver, delivered))
             self._next_deliver += 1
         return actions
+
+    def _record_delivered(self, payload: Any) -> None:
+        self._recent_delivered.append(payload)
+        for index, mine in enumerate(self._inflight):
+            if mine == payload:
+                del self._inflight[index]
+                break

@@ -39,6 +39,12 @@ from repro.check.paxos_lease import (
 )
 from repro.check.replay import load_replay, replay, save_replay
 from repro.check.shrink import ShrinkResult, shrink
+from repro.check.spec_rollback import (
+    SPEC_MUTANTS,
+    SpecCheckConfig,
+    SpecCheckReport,
+    run_spec_check,
+)
 
 __all__ = [
     "CheckConfig",
@@ -49,7 +55,10 @@ __all__ = [
     "LeaseCheckConfig",
     "LeaseCheckReport",
     "MUTANTS",
+    "SPEC_MUTANTS",
     "ShrinkResult",
+    "SpecCheckConfig",
+    "SpecCheckReport",
     "SpecOracle",
     "Violation",
     "explore",
@@ -60,6 +69,7 @@ __all__ = [
     "replay",
     "run_check",
     "run_lease_check",
+    "run_spec_check",
     "run_with_decisions",
     "save_replay",
     "shrink",

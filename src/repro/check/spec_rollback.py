@@ -1,0 +1,448 @@
+"""Randomized checking of the optimistic commit/rollback rule.
+
+The COS checker enumerates thread schedules, the lease harness walks
+clock/network interleavings, the rendezvous harness interleaves group
+streams; the speculation hazard is different again: each replica executes
+commands in its *own* optimistic guess of the order, and the
+:class:`~repro.spec.engine.SpeculationEngine`'s commit/rollback rule must
+make the released responses and the service state a pure function of the
+conservative order — independent of what was speculated, in what order,
+or how often (docs/speculation.md).
+
+The harness drives ``n_replicas`` engines, each over its own
+:class:`~repro.apps.kvstore.KVStoreService` (``put`` returns the previous
+value and ``cas`` is state-dependent in both effect and response, so a
+rollback that leaves stale state behind surfaces in *both* oracles),
+under a seeded random walk with an explicit decision vocabulary:
+
+=============== ======================================================
+``put:K-V``     issue ``put(kK, V)``
+``cas:K-E-N``   issue ``cas(kK, E, N)`` (state-dependent write)
+``get:K``       issue ``get(kK)`` (read; captures no undo record)
+``opt:R,I``     replica ``R`` speculates issued command ``I`` —
+                admit + capture undo + execute, response buffered
+``dup:R,I``     the same, as a deliberately duplicate optimistic
+                delivery (the engine must drop it)
+``ord:I``       append issued command ``I`` to the global conservative
+                order (consensus decides it); the reference executes it
+``adv:R``       replica ``R`` confirms the next conservative command
+=============== ======================================================
+
+Decisions that cannot apply (no commands issued yet, ``ord`` of an
+already-ordered command, ``adv`` past the conservative frontier) are
+deterministic no-ops, so recorded decision lists replay bit-for-bit.
+Oracles, as the walk progresses:
+
+- **response-divergence**: a released response differs from the
+  reference sequential execution of the conservative order;
+- **state-divergence**: whenever a replica's speculation log is clean,
+  its service snapshot must be byte-identical (canonical JSON) to the
+  reference snapshot at the same conservative prefix — and at the end of
+  the run for every replica;
+- **stale-speculation** (end of run): after every issued command was
+  ordered and every replica confirmed the full conservative order, a
+  speculation log still holds uncommitted entries.
+
+Checker self-validation uses :data:`SPEC_MUTANTS` — seeded engine bugs
+the walk must catch within a bounded budget (``spec-skip-undo`` rolls
+back without applying undo records; see tests/test_spec_check.py).
+Counterexamples are shrunk ddmin-style and frozen into replay files
+marked ``"harness": "spec-rollback"``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.apps.kvstore import KVStoreService
+from repro.check.oracle import Violation
+from repro.core.command import Command
+from repro.errors import SimulationError
+from repro.groups.merge import command_key
+from repro.spec.engine import SkipUndoEngine, SpeculationEngine
+
+__all__ = [
+    "SPEC_MUTANTS",
+    "SpecCheckConfig",
+    "SpecCheckReport",
+    "SpecRollbackHarness",
+    "load_spec_replay",
+    "replay_spec",
+    "run_spec_check",
+    "run_spec_schedule",
+    "save_spec_replay",
+    "shrink_spec",
+]
+
+#: Value of the ``"harness"`` key in this module's replay files.
+REPLAY_HARNESS = "spec-rollback"
+
+_VERSION = 1
+
+#: Speculation-harness mutants, deliberately separate from the COS,
+#: lease, and groups registries (different harness, different oracles).
+SPEC_MUTANTS = {
+    "spec-skip-undo": SkipUndoEngine,
+}
+
+
+@dataclass
+class SpecCheckConfig:
+    """Parameters of one spec-rollback run (fully determines it)."""
+
+    n_replicas: int = 2
+    key_space: int = 3
+    value_space: int = 3
+    schedule_length: int = 80
+    mutant: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpecCheckConfig":
+        return cls(**data)
+
+    def make_engine(self, service: KVStoreService) -> SpeculationEngine:
+        cls: type = SpeculationEngine
+        if self.mutant is not None:
+            try:
+                cls = SPEC_MUTANTS[self.mutant]
+            except KeyError:
+                raise ValueError(
+                    f"unknown spec mutant {self.mutant!r}; expected one "
+                    f"of {sorted(SPEC_MUTANTS)}") from None
+        return cls(service)
+
+
+def _canonical(snapshot: Any) -> str:
+    """Byte-identical state comparison (the differential-suite standard)."""
+    return json.dumps(snapshot, sort_keys=True, default=repr)
+
+
+class SpecRollbackHarness:
+    """``n_replicas`` speculative pipelines against one reference."""
+
+    def __init__(self, config: SpecCheckConfig):
+        self.config = config
+        self.services = [KVStoreService() for _ in range(config.n_replicas)]
+        self.engines = [config.make_engine(service)
+                        for service in self.services]
+        #: Commands issued so far (the clients' stream).
+        self.issued: List[Command] = []
+        #: The conservative (consensus) order — shared by all replicas.
+        self.order: List[Command] = []
+        self._ordered_keys: set = set()
+        #: Per replica: next conservative position to confirm.
+        self.cursors = [0] * config.n_replicas
+        self._seq = 0
+        # Reference sequential execution of the conservative order.
+        self._reference = KVStoreService()
+        #: Reference snapshots, one per conservative prefix (index i =
+        #: state after the first i ordered commands).
+        self._reference_snapshots: List[str] = [
+            _canonical(self._reference.snapshot())]
+        self._reference_responses: Dict[Hashable, Any] = {}
+
+    # ------------------------------------------------------------- commands
+
+    def _issue(self, command: Command) -> None:
+        self.issued.append(command)
+
+    def _next_id(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------ decisions
+
+    def apply(self, decision: str, step: int) -> Optional[Violation]:
+        """Apply one decision; returns the first violation observed."""
+        op, _, arg = decision.partition(":")
+        if op == "put":
+            key_s, _, value_s = arg.partition("-")
+            self._issue(KVStoreService.put(
+                f"k{int(key_s) % self.config.key_space}",
+                int(value_s) % self.config.value_space,
+                client_id="chk", request_id=self._next_id()))
+        elif op == "cas":
+            key_s, _, rest = arg.partition("-")
+            expected_s, _, new_s = rest.partition("-")
+            self._issue(KVStoreService.cas(
+                f"k{int(key_s) % self.config.key_space}",
+                int(expected_s) % self.config.value_space,
+                int(new_s) % self.config.value_space,
+                client_id="chk", request_id=self._next_id()))
+        elif op == "get":
+            self._issue(KVStoreService.get(
+                f"k{int(arg) % self.config.key_space}",
+                client_id="chk", request_id=self._next_id()))
+        elif op in ("opt", "dup"):
+            replica_s, _, index_s = arg.partition(",")
+            replica = int(replica_s) % self.config.n_replicas
+            if self.issued:
+                command = self.issued[int(index_s) % len(self.issued)]
+                # The engine drops duplicates of queued and recently
+                # committed entries, which is itself under test here.
+                self.engines[replica].speculate(command)
+        elif op == "ord":
+            if self.issued:
+                command = self.issued[int(arg) % len(self.issued)]
+                self._order(command)
+        elif op == "adv":
+            replica = int(arg) % self.config.n_replicas
+            return self._advance(replica, step)
+        else:
+            raise SimulationError(f"unknown decision {decision!r}")
+        return None
+
+    def _order(self, command: Command) -> None:
+        key = command_key(command)
+        if key in self._ordered_keys:
+            return  # consensus orders a command exactly once
+        self._ordered_keys.add(key)
+        self.order.append(command)
+        self._reference_responses[key] = self._reference.execute(command)
+        self._reference_snapshots.append(
+            _canonical(self._reference.snapshot()))
+
+    def _advance(self, replica: int, step: Optional[int]
+                 ) -> Optional[Violation]:
+        cursor = self.cursors[replica]
+        if cursor >= len(self.order):
+            return None  # nothing decided yet: deterministic no-op
+        self.cursors[replica] = cursor + 1
+        command = self.order[cursor]
+        engine = self.engines[replica]
+        result = engine.confirm([command])
+        for released, response, _hit in result.released:
+            key = command_key(released)
+            reference = self._reference_responses[key]
+            if response != reference:
+                return Violation(
+                    "response-divergence",
+                    f"replica {replica} released {response!r} for "
+                    f"{released.op}{released.args} at conservative position "
+                    f"{cursor}; the reference order yields {reference!r}",
+                    step)
+        for rolled in result.respeculate:
+            engine.speculate(rolled)
+        return self._check_state(replica, step)
+
+    # -------------------------------------------------------------- oracles
+
+    def _check_state(self, replica: int, step: Optional[int]
+                     ) -> Optional[Violation]:
+        """Clean log => snapshot equals the reference prefix, bit for bit."""
+        engine = self.engines[replica]
+        if not engine.clean:
+            return None
+        snapshot = _canonical(self.services[replica].snapshot())
+        reference = self._reference_snapshots[self.cursors[replica]]
+        if snapshot != reference:
+            return Violation(
+                "state-divergence",
+                f"replica {replica} at conservative position "
+                f"{self.cursors[replica]} with a clean speculation log has "
+                f"state {snapshot}, reference {reference}",
+                step)
+        return None
+
+    def finish(self, step: Optional[int] = None) -> Optional[Violation]:
+        """Order everything, drain every replica, check the final states."""
+        for command in self.issued:
+            self._order(command)
+        for replica in range(self.config.n_replicas):
+            while self.cursors[replica] < len(self.order):
+                violation = self._advance(replica, step)
+                if violation is not None:
+                    return violation
+        for replica, engine in enumerate(self.engines):
+            if not engine.clean:
+                return Violation(
+                    "stale-speculation",
+                    f"replica {replica} still holds {engine.uncommitted} "
+                    f"uncommitted speculative entr(ies) after confirming "
+                    f"the full conservative order",
+                    step)
+            violation = self._check_state(replica, step)
+            if violation is not None:
+                return violation
+        return None
+
+
+def run_spec_schedule(config: SpecCheckConfig,
+                      decisions: List[str]) -> Optional[Violation]:
+    """Deterministically run one decision list; first violation or None."""
+    harness = SpecRollbackHarness(config)
+    for step, decision in enumerate(decisions):
+        violation = harness.apply(decision, step)
+        if violation is not None:
+            return violation
+    return harness.finish(len(decisions))
+
+
+# ------------------------------------------------------------- exploration
+
+def generate_schedule(config: SpecCheckConfig,
+                      rng: random.Random) -> List[str]:
+    """One seeded random-walk schedule over the decision vocabulary."""
+    decisions: List[str] = []
+    for _ in range(config.schedule_length):
+        roll = rng.random()
+        if roll < 0.18:
+            decisions.append(
+                f"put:{rng.randrange(config.key_space)}-"
+                f"{rng.randrange(config.value_space)}")
+        elif roll < 0.34:
+            decisions.append(
+                f"cas:{rng.randrange(config.key_space)}-"
+                f"{rng.randrange(config.value_space)}-"
+                f"{rng.randrange(config.value_space)}")
+        elif roll < 0.38:
+            decisions.append(f"get:{rng.randrange(config.key_space)}")
+        elif roll < 0.62:
+            decisions.append(
+                f"opt:{rng.randrange(config.n_replicas)},"
+                f"{rng.randrange(max(1, config.schedule_length))}")
+        elif roll < 0.66:
+            decisions.append(
+                f"dup:{rng.randrange(config.n_replicas)},"
+                f"{rng.randrange(max(1, config.schedule_length))}")
+        elif roll < 0.80:
+            decisions.append(
+                f"ord:{rng.randrange(max(1, config.schedule_length))}")
+        else:
+            decisions.append(f"adv:{rng.randrange(config.n_replicas)}")
+    return decisions
+
+
+def shrink_spec(config: SpecCheckConfig, decisions: List[str],
+                max_candidates: int = 400,
+                ) -> Tuple[List[str], Violation, int]:
+    """ddmin-style shrink: drop chunks while some violation persists."""
+    current = list(decisions)
+    violation = run_spec_schedule(config, current)
+    if violation is None:
+        raise SimulationError("shrink_spec needs a violating schedule")
+    tried = 0
+    chunk = max(1, len(current) // 2)
+    while tried < max_candidates:
+        index = 0
+        removed = False
+        while index < len(current) and tried < max_candidates:
+            candidate = current[:index] + current[index + chunk:]
+            tried += 1
+            found = run_spec_schedule(config, candidate)
+            if found is not None:
+                current, violation, removed = candidate, found, True
+            else:
+                index += chunk
+        if chunk == 1 and not removed:
+            break
+        if not removed:
+            chunk = max(1, chunk // 2)
+    return current, violation, tried
+
+
+@dataclass
+class SpecCheckReport:
+    """Everything one spec-rollback exploration produced."""
+
+    config: SpecCheckConfig
+    schedules_explored: int
+    violation: Optional[Violation] = None
+    decisions: Optional[List[str]] = None
+    shrunk_decisions: Optional[List[str]] = None
+    shrink_candidates: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def describe(self) -> str:
+        if self.ok:
+            return (f"explored {self.schedules_explored} schedules: "
+                    f"no violation")
+        assert self.violation is not None
+        return (f"explored {self.schedules_explored} schedules: "
+                f"{self.violation.describe()}")
+
+
+def run_spec_check(
+    config: SpecCheckConfig,
+    *,
+    max_schedules: int = 200,
+    seed: int = 0,
+    shrink_counterexamples: bool = True,
+    max_shrink_candidates: int = 400,
+) -> SpecCheckReport:
+    """Random-walk the schedule space; shrink the first counterexample."""
+    for index in range(max_schedules):
+        rng = random.Random(seed * 1_000_003 + index)
+        decisions = generate_schedule(config, rng)
+        violation = run_spec_schedule(config, decisions)
+        if violation is None:
+            continue
+        report = SpecCheckReport(
+            config=config,
+            schedules_explored=index + 1,
+            violation=violation,
+            decisions=decisions,
+        )
+        if shrink_counterexamples:
+            shrunk, shrunk_violation, tried = shrink_spec(
+                config, decisions, max_candidates=max_shrink_candidates)
+            report.shrunk_decisions = shrunk
+            report.violation = shrunk_violation
+            report.shrink_candidates = tried
+        return report
+    return SpecCheckReport(config=config, schedules_explored=max_schedules)
+
+
+# ------------------------------------------------------------------ replay
+
+def save_spec_replay(path: str, config: SpecCheckConfig,
+                     decisions: List[str], violation: Violation) -> None:
+    """Write a spec-rollback counterexample replay file."""
+    document = {
+        "version": _VERSION,
+        "harness": REPLAY_HARNESS,
+        "config": config.as_dict(),
+        "decisions": list(decisions),
+        "violation": {
+            "kind": violation.kind,
+            "message": violation.message,
+            "step": violation.step,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def load_spec_replay(
+        path: str) -> Tuple[SpecCheckConfig, List[str], Violation]:
+    """Read a spec replay back into (config, decisions, violation)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document: Dict[str, Any] = json.load(handle)
+    if document.get("harness") != REPLAY_HARNESS:
+        raise SimulationError(
+            f"{path} is not a {REPLAY_HARNESS} replay file")
+    if document.get("version") != _VERSION:
+        raise SimulationError(
+            f"unsupported replay file version {document.get('version')!r}")
+    config = SpecCheckConfig.from_dict(document["config"])
+    recorded = document["violation"]
+    violation = Violation(recorded["kind"], recorded["message"],
+                          recorded.get("step"))
+    return config, list(document["decisions"]), violation
+
+
+def replay_spec(path: str) -> Optional[Violation]:
+    """Re-run a recorded counterexample; the violation seen, or None if
+    the recorded schedule no longer violates (e.g. the bug was fixed)."""
+    config, decisions, _recorded = load_spec_replay(path)
+    return run_spec_schedule(config, decisions)

@@ -105,6 +105,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "smr", help="one simulated SMR cluster run (paper §7.4)")
     _add_common(smr)
     smr.add_argument("--clients", type=int, default=200)
+    smr.add_argument("--speculative", action="store_true",
+                     help="optimistic execution over the sequencer fast "
+                          "path: execute on optimistic delivery, commit or "
+                          "roll back on the conservative order "
+                          "(docs/speculation.md); with --engine sim runs "
+                          "the speculation DES side by side with the "
+                          "conservative baseline, with --engine threaded "
+                          "runs a real speculative cluster")
+    smr.add_argument("--mismatch-rate", type=float, default=0.0,
+                     help="forced optimistic-reorder probability in the "
+                          "speculation DES (--speculative --engine sim)")
 
     ablations = sub.add_parser("ablations", help="run ablation sweeps")
     ablations.add_argument("--full", action="store_true")
@@ -116,9 +127,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="COS algorithm (underscores accepted, e.g. "
                             "lock_free; --scheduler is an alias), "
                             "paxos-lease for the leader-lease harness "
-                            "(docs/ordering.md), or groups-rendezvous for "
+                            "(docs/ordering.md), groups-rendezvous for "
                             "the cross-partition merge harness "
-                            "(docs/partitioning.md)")
+                            "(docs/partitioning.md), or spec-rollback for "
+                            "the optimistic commit/rollback harness "
+                            "(docs/speculation.md)")
     check.add_argument("--workers", type=int, default=3)
     check.add_argument("--commands", type=int, default=5)
     check.add_argument("--max-size", type=int, default=4,
@@ -136,9 +149,10 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--mutant", default=None,
                        help="check a seeded-bug variant (repro.check."
                             "mutants, a lease mutant from repro.check."
-                            "paxos_lease, or a groups mutant from "
-                            "repro.check.groups_rendezvous) instead of the "
-                            "real implementation")
+                            "paxos_lease, a groups mutant from "
+                            "repro.check.groups_rendezvous, or a spec "
+                            "mutant from repro.check.spec_rollback) "
+                            "instead of the real implementation")
     check.add_argument("--replay", metavar="FILE",
                        help="re-run a recorded counterexample file instead "
                             "of exploring")
@@ -242,6 +256,8 @@ def _cmd_standalone_wallclock(args: argparse.Namespace) -> int:
 
 
 def _cmd_smr(args: argparse.Namespace) -> int:
+    if args.speculative and args.engine == "sim":
+        return _cmd_smr_speculative(args)
     if args.engine != "sim":
         return _cmd_smr_wallclock(args)
     registry = None
@@ -270,6 +286,42 @@ def _cmd_smr(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_smr_speculative(args: argparse.Namespace) -> int:
+    """The speculation DES: optimistic vs conservative, same workload."""
+    from repro.spec.sim import SpecSimConfig, run_spec_sim
+
+    results = {}
+    for speculative in (True, False):
+        results[speculative] = run_spec_sim(SpecSimConfig(
+            speculative=speculative,
+            n_clients=max(1, min(args.clients, 16)),
+            total_commands=args.measure_ops,
+            write_pct=args.write_pct or 100.0,
+            mismatch_rate=args.mismatch_rate if speculative else 0.0,
+            seed=args.seed,
+        ))
+    spec, cons = results[True], results[False]
+    print(f"speculative DES: clients={spec.config.n_clients} "
+          f"commands={spec.config.total_commands} "
+          f"mismatch_rate={spec.config.mismatch_rate}")
+    for label, result in (("speculative", spec), ("conservative", cons)):
+        print(f"  {label:>12}: median "
+              f"{result.latency_quantile(0.5) * 1e3:.2f} ms / p99 "
+              f"{result.latency_quantile(0.99) * 1e3:.2f} ms   "
+              f"throughput {result.throughput:,.0f}/s   "
+              f"match {result.match_rate:.1%}   "
+              f"rollbacks {result.rollbacks}")
+    ratio = (spec.latency_quantile(0.5) / cons.latency_quantile(0.5)
+             if cons.latency_quantile(0.5) else 0.0)
+    print(f"  median latency ratio (speculative/conservative): {ratio:.2f}")
+    # Replicas must agree within each mode; across modes the closed-loop
+    # pacing interleaves clients differently, so orders legitimately differ.
+    identical = (all(s == spec.snapshots[0] for s in spec.snapshots)
+                 and all(s == cons.snapshots[0] for s in cons.snapshots))
+    print(f"  replica states identical within each mode: {identical}")
+    return 0 if identical else 1
+
+
 def _cmd_smr_wallclock(args: argparse.Namespace) -> int:
     """A real threaded cluster on a selectable engine (--engine mp)."""
     from repro.par.bench import MpClusterConfig, run_mp_cluster
@@ -277,6 +329,7 @@ def _cmd_smr_wallclock(args: argparse.Namespace) -> int:
     result = run_mp_cluster(MpClusterConfig(
         engine=args.engine,
         mp_workers=args.mp_workers,
+        speculative=args.speculative,
         workers=args.workers,
         cos_algorithm=args.algorithm,
         write_pct=args.write_pct,
@@ -306,16 +359,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
     )
     from repro.check.replay import replay as replay_file
     from repro.check.replay import save_replay
+    from repro.check.spec_rollback import SPEC_MUTANTS, replay_spec
 
     if args.replay:
         try:
-            # Lease/groups-harness replays carry a "harness" key; COS
+            # Lease/groups/spec-harness replays carry a "harness" key; COS
             # replays (version-1 format) have none — dispatch on it.
             kind = replay_harness_kind(args.replay)
             if kind == "paxos-lease":
                 violation = replay_lease(args.replay)
             elif kind == "groups-rendezvous":
                 violation = replay_groups(args.replay)
+            elif kind == "spec-rollback":
+                violation = replay_spec(args.replay)
             else:
                 violation = replay_file(args.replay, max_steps=args.max_steps)
         except (OSError, ValueError, KeyError) as error:
@@ -333,6 +389,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return _cmd_check_lease(args)
     if algorithm == "groups-rendezvous" or args.mutant in GROUPS_MUTANTS:
         return _cmd_check_groups(args)
+    if algorithm == "spec-rollback" or args.mutant in SPEC_MUTANTS:
+        return _cmd_check_spec(args)
 
     config = CheckConfig(
         algorithm=args.algorithm.replace("_", "-"),
@@ -445,6 +503,46 @@ def _cmd_check_groups(args: argparse.Namespace) -> int:
               f"decisions ({report.shrink_candidates} candidates tried)")
         save_groups_replay(args.replay_out, config, report.shrunk_decisions,
                            report.violation)
+        print(f"replay file written to {args.replay_out} "
+              f"(re-run with: python -m repro check --replay "
+              f"{args.replay_out})")
+    return 1
+
+
+def _cmd_check_spec(args: argparse.Namespace) -> int:
+    """The spec-rollback harness branch of ``repro check``.
+
+    Selected by ``--algorithm spec-rollback`` or any ``--mutant`` from the
+    spec registry; explores seeded random walks over per-replica
+    optimistic delivery orders and checks the commit/rollback rule
+    against a sequential reference execution of the conservative order
+    (repro.check.spec_rollback, docs/speculation.md).
+    """
+    from repro.check.spec_rollback import (
+        SpecCheckConfig,
+        run_spec_check,
+        save_spec_replay,
+    )
+
+    config = SpecCheckConfig(mutant=args.mutant)
+    try:
+        report = run_spec_check(
+            config, max_schedules=args.max_schedules, seed=args.seed)
+    except ValueError as error:  # unknown mutant
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    mutant = f" mutant={config.mutant}" if config.mutant else ""
+    print(f"check algorithm=spec-rollback{mutant} "
+          f"replicas={config.n_replicas} keys={config.key_space} "
+          f"length={config.schedule_length}")
+    print(report.describe())
+    if report.ok:
+        return 0
+    if report.shrunk_decisions is not None:
+        print(f"shrunk counterexample: {len(report.shrunk_decisions)} "
+              f"decisions ({report.shrink_candidates} candidates tried)")
+        save_spec_replay(args.replay_out, config, report.shrunk_decisions,
+                         report.violation)
         print(f"replay file written to {args.replay_out} "
               f"(re-run with: python -m repro check --replay "
               f"{args.replay_out})")

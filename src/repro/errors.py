@@ -47,6 +47,16 @@ class ShutdownError(ReproError):
     """An operation was attempted on a component that has been shut down."""
 
 
+class SpeculationError(ReproError):
+    """The optimistic execution pipeline (:mod:`repro.spec`) was misused.
+
+    Raised when a conservative confirmation is applied while speculative
+    executions are still in flight (the engine requires a drained pipeline
+    so undo records exist for every uncommitted entry), or when a replica's
+    speculative drain times out.
+    """
+
+
 class ShardError(ReproError):
     """The multiprocess execution engine (:mod:`repro.par`) failed.
 

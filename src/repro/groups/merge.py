@@ -20,7 +20,10 @@ see :class:`~repro.groups.partition.PartitionMap`), every pair of
 conflicting commands is released in the same order at every replica.
 Liveness requires each marker to be ordered in *all* its groups; that is
 the submitter's at-least-once obligation (client retransmission), and
-per-group xid dedup makes the extra copies harmless
+xid dedup makes the extra copies harmless: a bounded per-group window of
+recently seen xids absorbs the common case, and the authoritative
+released-xid set absorbs copies that arrive after the window rolled over
+— a late copy queued as live would hold its group's stream forever
 (docs/partitioning.md).
 
 The merger is pure and single-threaded by design: callers serialize
@@ -105,6 +108,12 @@ class GroupMerger:
         #: xid -> groups whose copy of an already-released marker is still
         #: in flight and must be discarded when it surfaces.
         self._released: Dict[str, Set[int]] = {}
+        #: Every xid ever released (authoritative duplicate-absorption
+        #: memory; the per-group ``_recent`` windows are only a fast
+        #: path).  Grows with the number of *cross-partition* commands —
+        #: one interned string each — which is the price of absorbing a
+        #: duplicate that arrives arbitrarily late.
+        self._released_xids: Set[str] = set()
         self.emitted = 0
         self.emitted_cross = 0
         #: Recording (tests, harness, differential suites) — off by
@@ -144,6 +153,21 @@ class GroupMerger:
                 # Duplicate ordering of the same rendezvous in this group
                 # (at-least-once submission); it still consumed a sequence
                 # number, but must not wait for partners.
+                return []
+            if item.xid in self._released_xids:
+                # Late duplicate of an already-released rendezvous.  The
+                # per-group recent window above is a fast path only: it
+                # can roll over (``xid_window`` newer markers) while a
+                # slow replica's extra copy is still in flight, and such
+                # a copy must not be queued — it would hold this group's
+                # stream forever waiting for partner copies that will
+                # never be re-offered.  The released set is the
+                # authoritative memory (see the class docstring).
+                owed = self._released.get(item.xid)
+                if owed is not None:
+                    owed.discard(group)
+                    if not owed:
+                        del self._released[item.xid]
                 return []
             recent[item.xid] = None
             while len(recent) > self._xid_window:
@@ -224,6 +248,7 @@ class GroupMerger:
             position = (anchor, -1)
         if remaining:
             self._released[marker.xid] = remaining
+        self._released_xids.add(marker.xid)
         self._emit(emissions, marker.command, position,
                    tuple(sorted(marker.groups)), marker.xid)
 

@@ -71,7 +71,10 @@ __all__ = [
 #: trailing fields (commit_up_to / accepted_up_to / sent_at / more).
 #: v3: GroupEnvelope and Rendezvous joined the registry (partitioned
 #: deployments, docs/partitioning.md), shifting the sorted tag table.
-WIRE_VERSION = 3
+#: v4: OptimisticAnnounce and NewEpoch joined the registry (optimistic
+#: execution + sequencer failover, docs/speculation.md), shifting the
+#: sorted tag table, and SequencerStamp grew a trailing epoch field.
+WIRE_VERSION = 4
 
 #: Two magic bytes opening every binary frame header ("RP" — repro).
 MAGIC = 0x5250

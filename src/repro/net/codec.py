@@ -41,6 +41,8 @@ from repro.broadcast.messages import (
     Heartbeat,
     HeartbeatAck,
     Nack,
+    NewEpoch,
+    OptimisticAnnounce,
     Prepare,
     Promise,
     SequencerStamp,
@@ -91,6 +93,8 @@ WIRE_TYPES: Dict[str, Type[Any]] = {
         Heartbeat,
         HeartbeatAck,
         SequencerStamp,
+        OptimisticAnnounce,
+        NewEpoch,
         ClientRequest,
         ClientResponse,
         GroupEnvelope,

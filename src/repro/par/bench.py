@@ -230,12 +230,18 @@ class MpClusterConfig:
     cos_algorithm: str = "lock-free"
     seed: int = 1
     client_timeout: float = 5.0
+    #: Optimistic execution over the sequencer fast path (repro.spec,
+    #: docs/speculation.md); threaded engine only.
+    speculative: bool = False
 
     def validate(self) -> None:
         if self.engine not in MP_BENCH_ENGINES:
             raise ConfigurationError(
                 f"engine must be one of {MP_BENCH_ENGINES}, got "
                 f"{self.engine!r}")
+        if self.speculative and self.engine != "threaded":
+            raise ConfigurationError(
+                "speculative execution requires --engine threaded")
 
     def service_factory_kwargs(self) -> Dict[str, Any]:
         kwargs = dict(self.service_kwargs)
@@ -278,6 +284,8 @@ def run_mp_cluster(config: MpClusterConfig) -> MpClusterResult:
 
     cluster_config = ClusterConfig(
         n_replicas=config.n_replicas,
+        protocol="sequencer" if config.speculative else "paxos",
+        speculative=config.speculative,
         cos_algorithm=config.cos_algorithm,
         workers=config.workers,
         engine=config.engine,

@@ -75,6 +75,12 @@ class ClusterConfig:
     #: Serve all-read batches at the leaseholder without a consensus round.
     lease_reads: bool = True
     client_timeout: float = 2.0
+    #: Optimistic (speculative) execution over the sequencer fast path:
+    #: replicas execute on optimistic delivery and withhold responses
+    #: until the conservative order confirms (repro.spec,
+    #: docs/speculation.md).  Requires ``protocol="sequencer"`` and the
+    #: threaded engine.
+    speculative: bool = False
     #: Persist acceptor state per node so crashed replicas can rejoin
     #: safely (see repro.broadcast.storage).
     stable_storage: bool = False
@@ -105,6 +111,15 @@ class ClusterConfig:
         if self.service_factory is None and self.service is None:
             raise ConfigurationError(
                 "need a service_factory or a service name")
+        if self.speculative:
+            if self.protocol != "sequencer":
+                raise ConfigurationError(
+                    "speculative execution rides the sequencer's optimistic "
+                    "delivery; use protocol='sequencer'")
+            if self.engine != "threaded":
+                raise ConfigurationError(
+                    "speculative execution requires the threaded engine "
+                    "(undo capture is not plumbed through shard processes)")
 
 
 class ThreadedCluster:
@@ -133,6 +148,7 @@ class ThreadedCluster:
                     self._transport,
                     replica.on_deliver,
                     on_read=replica.on_local_read,
+                    on_optimistic=getattr(replica, "on_optimistic", None),
                 )
             )
         self._started = False
@@ -166,6 +182,19 @@ class ThreadedCluster:
                 max_queue_size=self.config.max_graph_size,
                 on_response=self._route_response,
             )
+        if self.config.speculative:
+            # Imported here: repro.spec pulls in repro.groups (command
+            # identity), which imports repro.smr right back.
+            from repro.spec.replica import SpeculativeReplica
+
+            return SpeculativeReplica(
+                replica_id,
+                service,
+                cos_algorithm=self.config.cos_algorithm,
+                workers=self.config.workers,
+                max_graph_size=self.config.max_graph_size,
+                on_response=self._route_response,
+            )
         return ParallelReplica(
             replica_id,
             service,
@@ -177,7 +206,8 @@ class ThreadedCluster:
 
     def _build_protocol(self, replica_id: int, first_instance: int = 0) -> Any:
         if self.config.protocol == "sequencer":
-            return SequencerBroadcast(replica_id, self.config.n_replicas)
+            return SequencerBroadcast(replica_id, self.config.n_replicas,
+                                      optimistic=self.config.speculative)
         store = None
         if self.config.stable_storage:
             store = InMemoryStableStore(
@@ -316,7 +346,9 @@ class ThreadedCluster:
             replica_id, first_instance=checkpoint.instance + 1)
         node = ThreadedNode(replica_id, protocol, self._transport,
                             replica.on_deliver,
-                            on_read=replica.on_local_read)
+                            on_read=replica.on_local_read,
+                            on_optimistic=getattr(
+                                replica, "on_optimistic", None))
         self.nodes[replica_id] = node
         engine = self._engines.get(replica_id)
         if engine is not None:

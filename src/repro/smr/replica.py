@@ -120,7 +120,8 @@ class ParallelReplica:
         self.replica_id = replica_id
         self.service = service
         self.workers = workers
-        if getattr(service, "execute_many", None) is None:
+        self._execute_many = getattr(service, "execute_many", None)
+        if self._execute_many is None:
             self.dispatch_batch = 1
         else:
             self.dispatch_batch = (16 if dispatch_batch is None
@@ -236,25 +237,51 @@ class ParallelReplica:
         advances ``last_instance``: it has no position in the total order.
 
         When the execution pipeline is idle the read skips the COS and
-        executes inline on the delivering thread: ``executed == scheduled``
-        under ``_state_lock`` means every inserted command has finished
-        executing (workers bump the counter after the service call), and
-        holding ``_deliver_lock`` keeps new deliveries out until the read
-        completes — so the read is still serialized after every
-        conflicting write, without paying two worker handoffs.
+        executes inline on the delivering thread.  The idle check and the
+        ``_scheduled`` claim happen in *one* ``_state_lock`` critical
+        section (:meth:`_claim_idle_inline`): there is no window between
+        "observed idle" and "claimed the inline slots" in which another
+        thread could read a half-claimed counter pair.  Admission of new
+        work cannot race the check at all — every path that inserts into
+        the COS (``on_deliver``, this method) holds ``_deliver_lock``,
+        which the read holds until it completes — so the read is still
+        serialized after every conflicting write, without paying two
+        worker handoffs.
         """
         with self._deliver_lock:
             commands = [command for command in _flatten_commands(payload)
                         if not self._is_duplicate(command)]
             if not commands:
                 return
-            with self._state_lock:
-                idle = self._executed >= self._scheduled
-            if idle:
-                self._scheduled += len(commands)
+            if self._claim_idle_inline(len(commands)):
                 self._execute_inline(commands)
             else:
                 self._schedule_commands(commands)
+
+    def _pipeline_idle_locked(self) -> bool:
+        """Pipeline idleness predicate; ``_state_lock`` held by caller.
+
+        ``executed == scheduled`` means every admitted command has
+        finished executing — workers bump ``_executed`` only after the
+        service call returns.  Subclasses with additional in-flight work
+        outside these counters (speculation) strengthen the outer
+        :meth:`_pipeline_idle` instead, to keep their own locks out of
+        ``_state_lock``'s shadow.
+        """
+        return self._executed >= self._scheduled
+
+    def _pipeline_idle(self) -> bool:
+        """True iff every admitted command has finished executing."""
+        with self._state_lock:
+            return self._pipeline_idle_locked()
+
+    def _claim_idle_inline(self, count: int) -> bool:
+        """Atomically check idleness and claim ``count`` inline slots."""
+        with self._state_lock:
+            if not self._pipeline_idle_locked():
+                return False
+            self._scheduled += count
+            return True
 
     def _schedule_payload(self, payload: Any) -> None:
         self._schedule_commands(
@@ -364,11 +391,9 @@ class ParallelReplica:
 
     def _worker_loop(self, index: int = 0) -> None:
         cos = self._cos
-        service = self.service
         obs = self.registry
         obs_on = self._obs_on
         batch_limit = self.dispatch_batch
-        execute_many = getattr(service, "execute_many", None)
         if obs_on:
             worker = str(index)
             m_busy = obs.histogram("worker_busy_seconds", worker=worker)
@@ -400,27 +425,42 @@ class ParallelReplica:
                 started = obs.clock()
                 for _, cmd in batch:
                     obs.span(span_key(cmd), "executing")
-            if execute_many is not None and len(batch) > 1:
-                responses = execute_many([cmd for _, cmd in batch])
-            else:
-                responses = [service.execute(cmd) for _, cmd in batch]
+            self._run_batch([cmd for _, cmd in batch])
             if obs_on:
                 m_busy.observe(obs.clock() - started)
                 m_commands.inc(len(batch))
                 self._m_executed.inc(len(batch))
                 for _, cmd in batch:
                     obs.span(span_key(cmd), "responded")
-            with self._state_lock:
-                self._executed += len(batch)
-                for (_, cmd), response in zip(batch, responses):
-                    self._fill_response(cmd, response)
-            for (h, cmd), response in zip(batch, responses):
-                if self._on_response is not None:
-                    self._on_response(cmd, response, self.replica_id)
+            for h, _ in batch:
                 cos.remove(h)
             if stop_handle is not None:
                 cos.remove(stop_handle)
                 return
+
+    def _run_batch(self, commands: List[Command]) -> List[Any]:
+        """Execute one ready batch and publish its results (worker hook).
+
+        The commands are pairwise non-conflicting and simultaneously
+        ready, so ``execute_many``-capable services may run them as one
+        engine dispatch.  Publishing — the ``_executed`` bump, response
+        caching, and client callbacks — happens here so subclasses can
+        reroute the whole execution path
+        (:class:`~repro.spec.replica.SpeculativeReplica` captures undo
+        records and *withholds* responses until commit instead).
+        """
+        if self._execute_many is not None and len(commands) > 1:
+            responses = self._execute_many(commands)
+        else:
+            responses = [self.service.execute(cmd) for cmd in commands]
+        with self._state_lock:
+            self._executed += len(commands)
+            for command, response in zip(commands, responses):
+                self._fill_response(command, response)
+        if self._on_response is not None:
+            for command, response in zip(commands, responses):
+                self._on_response(command, response, self.replica_id)
+        return responses
 
     # ------------------------------------------------------------ inspection
 
@@ -447,9 +487,7 @@ class ParallelReplica:
             # not fire the deadline early (or postpone it forever).
             deadline = time.monotonic() + timeout
             while True:
-                with self._state_lock:
-                    drained = self._executed >= self._scheduled
-                if drained:
+                if self._pipeline_idle():
                     break
                 if time.monotonic() > deadline:
                     raise CheckpointError(

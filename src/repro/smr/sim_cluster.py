@@ -20,7 +20,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional
 
-from repro.broadcast.messages import Deliver, DeliverRead, Send, SetTimer
+from repro.broadcast.messages import (
+    Deliver,
+    DeliverOptimistic,
+    DeliverRead,
+    Send,
+    SetTimer,
+)
 from repro.broadcast.paxos import MultiPaxos
 from repro.core import make_cos
 from repro.core.command import Command
@@ -138,6 +144,10 @@ class _SimProtocolNode:
                 # The sim drives only the ordered path today; a lease read
                 # is simply a local delivery without an instance number.
                 self._on_deliver(action.payload)
+            elif kind is DeliverOptimistic:
+                # Advisory; this cluster executes conservatively only
+                # (repro.spec.sim models the speculative pipeline).
+                pass
             elif kind is SetTimer:
                 self._sim.schedule(
                     action.delay,

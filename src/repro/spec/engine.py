@@ -1,0 +1,285 @@
+"""The pure commit/rollback core of the optimistic pipeline.
+
+A :class:`SpeculationEngine` owns the *speculation log*: the sequence of
+commands executed optimistically against a service, each with the undo
+record captured just before it ran.  The engine is deliberately
+runtime-agnostic and single-threaded (callers serialize access — the
+threaded :class:`~repro.spec.replica.SpeculativeReplica` holds a lock,
+the DES and the ``spec-rollback`` model-check harness drive it
+directly), which is what makes the rollback protocol checkable.
+
+Protocol (arXiv 1404.6721, adapted to this codebase):
+
+- ``admit``/``record`` (or the inline ``speculate``) append a command to
+  the log in optimistic-delivery order.  Duplicate optimistic deliveries
+  and late re-deliveries of already-committed commands are dropped by
+  ``command_key`` identity.
+- ``confirm`` consumes a conservative-order batch.  While the confirmed
+  command matches the *head* of the speculation log, the entry commits:
+  its undo record is dropped and its buffered response released.  At the
+  first mismatch the entire uncommitted suffix is rolled back — undo
+  records applied in **reverse** log order — and the remaining confirmed
+  commands execute conservatively; rolled-back commands that were not in
+  this confirmation batch are handed back for re-speculation.
+
+Why reverse-order undo restores the exact pre-speculation state: the COS
+serializes conflicting commands in log (insertion) order, so overlapping
+records nest properly; and in every shipped conflict relation two
+non-conflicting *writes* have disjoint footprints, so their records
+commute (docs/speculation.md §Rollback safety).
+
+The commit rule is position-by-position identity, not conflict
+equivalence: a conservative order that merely permutes non-conflicting
+speculated commands still rolls them back.  That costs performance,
+never safety, and keeps the committed log byte-identical to the
+conservative log on every replica.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.command import Command
+from repro.errors import SpeculationError
+from repro.groups.merge import command_key
+from repro.spec.undo import ServiceUndo, UndoProvider
+
+__all__ = [
+    "ConfirmResult",
+    "SpecEntry",
+    "SpecStats",
+    "SpeculationEngine",
+    "SkipUndoEngine",
+]
+
+#: Committed command keys remembered for late-duplicate dropping.
+DEFAULT_COMMITTED_WINDOW = 4096
+
+
+class SpecEntry:
+    """One speculative execution: command + undo record + buffered response."""
+
+    __slots__ = ("command", "key", "undo", "response", "executed")
+
+    def __init__(self, command: Command, key: Hashable):
+        self.command = command
+        self.key = key
+        self.undo: Any = None
+        self.response: Any = None
+        self.executed = False
+
+
+@dataclass
+class SpecStats:
+    """Monotonic counters over one engine's lifetime."""
+
+    speculated: int = 0
+    duplicates_dropped: int = 0
+    hits: int = 0
+    misses: int = 0
+    rollbacks: int = 0
+    rolled_back: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "speculated": self.speculated,
+            "duplicates_dropped": self.duplicates_dropped,
+            "hits": self.hits,
+            "misses": self.misses,
+            "rollbacks": self.rollbacks,
+            "rolled_back": self.rolled_back,
+        }
+
+    @property
+    def match_rate(self) -> float:
+        confirmed = self.hits + self.misses
+        return (self.hits / confirmed) if confirmed else 1.0
+
+
+@dataclass
+class ConfirmResult:
+    """Outcome of one conservative confirmation batch.
+
+    ``released`` pairs every confirmed command with its (now committable)
+    response and whether it was a speculation hit; ``respeculate`` lists
+    rolled-back commands that are still unconfirmed, in their original
+    optimistic order, for the caller to speculate again.
+    """
+
+    released: List[Tuple[Command, Any, bool]] = field(default_factory=list)
+    respeculate: List[Command] = field(default_factory=list)
+    rolled_back: int = 0
+
+
+class SpeculationEngine:
+    """Speculation log + commit/rollback rule over one service."""
+
+    def __init__(
+        self,
+        service: Any,
+        undo: Optional[UndoProvider] = None,
+        committed_window: int = DEFAULT_COMMITTED_WINDOW,
+    ):
+        if committed_window < 1:
+            raise ValueError(
+                f"committed_window must be >= 1, got {committed_window}")
+        self.service = service
+        self.undo = undo if undo is not None else ServiceUndo()
+        self.stats = SpecStats()
+        self._entries: Deque[SpecEntry] = deque()
+        self._by_key: Dict[Hashable, SpecEntry] = {}
+        self._unexecuted = 0
+        #: Recently committed keys (bounded): a late optimistic duplicate
+        #: of a committed command must not re-enter the log.
+        self._committed: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._committed_window = committed_window
+
+    # ----------------------------------------------------------- inspection
+
+    @property
+    def uncommitted(self) -> int:
+        """Entries speculated but not yet confirmed or rolled back."""
+        return len(self._entries)
+
+    @property
+    def unexecuted(self) -> int:
+        """Admitted entries whose execution has not been recorded yet."""
+        return self._unexecuted
+
+    @property
+    def clean(self) -> bool:
+        """True iff the service state equals the committed-prefix state."""
+        return not self._entries
+
+    # ----------------------------------------------------------- speculation
+
+    def admit(self, command: Command) -> Optional[SpecEntry]:
+        """Append ``command`` to the speculation log; None if duplicate.
+
+        Split from execution so a threaded caller can reserve the log
+        position under its lock on the optimistic-delivery thread and let
+        a COS worker execute and :meth:`record` later — the log position
+        (hence commit/rollback order) is fixed at admission.
+        """
+        key = command_key(command)
+        if key in self._by_key or key in self._committed:
+            self.stats.duplicates_dropped += 1
+            return None
+        entry = SpecEntry(command, key)
+        self._entries.append(entry)
+        self._by_key[key] = entry
+        self._unexecuted += 1
+        self.stats.speculated += 1
+        return entry
+
+    def record(self, entry: SpecEntry, undo: Any, response: Any) -> None:
+        """Attach the undo record and response of an executed entry."""
+        if entry.executed:
+            raise SpeculationError(
+                f"entry {entry.key!r} recorded twice")
+        entry.undo = undo
+        entry.response = response
+        entry.executed = True
+        self._unexecuted -= 1
+
+    def speculate(self, command: Command) -> Optional[SpecEntry]:
+        """Admit and execute ``command`` inline (single-threaded callers)."""
+        entry = self.admit(command)
+        if entry is None:
+            return None
+        undo = self.undo.capture(self.service, command)
+        response = self.service.execute(command)
+        self.record(entry, undo, response)
+        return entry
+
+    # ----------------------------------------------------------- confirming
+
+    def confirm(
+        self,
+        commands: List[Command],
+        execute: Optional[Callable[[Command], Any]] = None,
+    ) -> ConfirmResult:
+        """Apply one conservative-order batch; see the module docstring.
+
+        Requires a drained log (every admitted entry executed): rollback
+        needs an undo record for *every* uncommitted entry.  ``execute``
+        runs mismatched commands conservatively (defaults to the
+        service).  The caller must have deduplicated the conservative
+        stream — a command key is confirmed at most once.
+        """
+        if self._unexecuted:
+            raise SpeculationError(
+                f"confirm with {self._unexecuted} speculative execution(s) "
+                f"still in flight; drain the pipeline first")
+        if execute is None:
+            execute = self.service.execute
+        result = ConfirmResult()
+        diverged = False
+        for command in commands:
+            key = command_key(command)
+            if not diverged and self._entries and self._entries[0].key == key:
+                entry = self._entries.popleft()
+                del self._by_key[key]
+                self._commit_key(key)
+                self.stats.hits += 1
+                result.released.append((command, entry.response, True))
+                continue
+            if not diverged:
+                diverged = True
+                result.respeculate = self._rollback()
+                result.rolled_back = len(result.respeculate)
+            if result.respeculate:
+                result.respeculate = [
+                    rolled for rolled in result.respeculate
+                    if command_key(rolled) != key
+                ]
+            self._commit_key(key)
+            self.stats.misses += 1
+            result.released.append((command, execute(command), False))
+        return result
+
+    def abort(self) -> int:
+        """Roll back every uncommitted entry (shutdown path)."""
+        if self._unexecuted:
+            raise SpeculationError(
+                f"abort with {self._unexecuted} speculative execution(s) "
+                f"still in flight")
+        return len(self._rollback())
+
+    # ------------------------------------------------------------- internals
+
+    def _commit_key(self, key: Hashable) -> None:
+        self._committed[key] = None
+        while len(self._committed) > self._committed_window:
+            self._committed.popitem(last=False)
+
+    def _rollback(self) -> List[Command]:
+        """Undo the whole uncommitted suffix, newest first."""
+        rolled = list(self._entries)
+        for entry in reversed(rolled):
+            self._apply_undo(entry)
+        self._entries.clear()
+        self._by_key.clear()
+        if rolled:
+            self.stats.rollbacks += 1
+            self.stats.rolled_back += len(rolled)
+        return [entry.command for entry in rolled]
+
+    def _apply_undo(self, entry: SpecEntry) -> None:
+        self.undo.apply(self.service, entry.undo)
+
+
+class SkipUndoEngine(SpeculationEngine):
+    """Seeded bug: roll back without applying the undo records.
+
+    The rolled-back commands' effects survive in the service state, so a
+    replica that mis-speculated diverges from one that never speculated —
+    the exact corruption the ``spec-rollback`` harness's state oracle
+    must catch (``repro check --algorithm spec-rollback --mutant
+    spec-skip-undo``).
+    """
+
+    def _apply_undo(self, entry: SpecEntry) -> None:
+        return

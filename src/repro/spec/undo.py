@@ -1,0 +1,129 @@
+"""Undo records for speculative execution.
+
+A speculative execution may later prove to be mis-ordered, so *before*
+executing a command the pipeline captures an **undo record** — enough
+information to restore exactly the state the command is about to
+overwrite.  Two strategies are provided:
+
+- :class:`ServiceUndo` (the default) asks the service itself via the
+  optional ``capture_undo(command)`` / ``apply_undo(record)`` methods all
+  three bundled apps implement: per-command inverse data (the previous
+  value of a key, the prior balances of the touched accounts, the prior
+  membership of the inserted values).  O(footprint) per command.
+- :class:`SnapshotUndo` falls back on the :class:`ShardableService` API:
+  it snapshots the shards ``shards_of(command)`` names and restores them
+  on rollback.  Works for any shardable service, at shard granularity.
+
+Why applying undos in reverse speculation order is sufficient: the COS
+serializes conflicting commands in their insertion (= optimistic) order,
+so two records that overlap in state are always captured/applied in a
+well-defined order; and in every shipped conflict relation two
+*non-conflicting* writes have disjoint footprints, so their undo records
+commute.  The full argument is in docs/speculation.md.
+
+Reads capture ``None`` (nothing to restore); applying ``None`` is a
+no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.command import Command
+
+__all__ = ["UndoProvider", "SnapshotUndo", "ServiceUndo"]
+
+
+class UndoProvider:
+    """Capture/apply interface for speculative undo records."""
+
+    def capture(self, service: Any, command: Command) -> Any:
+        """Return an undo record for ``command`` *before* it executes."""
+        raise NotImplementedError
+
+    def apply(self, service: Any, record: Any) -> None:
+        """Restore the state ``record`` was captured from."""
+        raise NotImplementedError
+
+
+class SnapshotUndo(UndoProvider):
+    """Generic undo via the ``ShardableService`` snapshot API.
+
+    Captures the fragments of the shards a command touches
+    (``shards_of`` + ``snapshot_shard``) and, on rollback, rebuilds the
+    full state by recomposing the *untouched* shards' current fragments
+    with the captured ones.  Correct for any service whose ``shards_of``
+    covers every piece of state the command can write — the contract the
+    multiprocess engine already relies on.  Note ``restore_shard`` cannot
+    be used here: its contract is shard-*process*-local (the fragment
+    becomes the whole state), not an in-place patch of a full-state
+    service.
+
+    Cost is O(state) per capture and per rollback — this is the safety
+    net; the bundled apps provide O(footprint) inverse records via
+    :class:`ServiceUndo`.  Services without sharding (or commands
+    reporting the ``ALL_SHARDS`` sentinel) fall back to a full
+    ``snapshot()``/``restore()`` pair.
+    """
+
+    def __init__(self, n_shards: int = 16):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+
+    def capture(self, service: Any, command: Command) -> Any:
+        if not command.writes:
+            return None
+        shards_of = getattr(service, "shards_of", None)
+        if shards_of is None:
+            return ("full", service.snapshot())
+        shards = tuple(shards_of(command, self.n_shards))
+        if not shards:  # ALL_SHARDS sentinel: whole-state footprint
+            return ("full", service.snapshot())
+        return ("shards", tuple(
+            (shard, service.snapshot_shard(shard, self.n_shards))
+            for shard in shards
+        ))
+
+    def apply(self, service: Any, record: Any) -> None:
+        if record is None:
+            return
+        kind, payload = record
+        if kind == "full":
+            service.restore(payload)
+            return
+        captured = dict(payload)
+        fragments = [
+            service.snapshot_shard(shard, self.n_shards)
+            for shard in range(self.n_shards)
+            if shard not in captured
+        ]
+        fragments.extend(captured.values())
+        service.restore(service.recompose_snapshots(fragments))
+
+
+class ServiceUndo(UndoProvider):
+    """Prefer the service's own inverse ops, fall back to shard snapshots.
+
+    The bundled apps implement ``capture_undo``/``apply_undo`` (cheap,
+    O(footprint) inverse data); any other service transparently gets
+    :class:`SnapshotUndo` semantics.
+    """
+
+    def __init__(self, n_shards: int = 16):
+        self._fallback = SnapshotUndo(n_shards)
+
+    def capture(self, service: Any, command: Command) -> Any:
+        capture_undo = getattr(service, "capture_undo", None)
+        if capture_undo is not None:
+            return capture_undo(command)
+        return self._fallback.capture(service, command)
+
+    def apply(self, service: Any, record: Any) -> None:
+        if record is None:
+            return
+        apply_undo = getattr(service, "apply_undo", None)
+        if apply_undo is not None:
+            apply_undo(record)
+            return
+        self._fallback.apply(service, record)

@@ -160,6 +160,17 @@ class WorkloadGenerator:
         retries keep a pathological key space (few keys, skew piled on one
         partition) from spinning: the draw then falls back to scanning
         keys deterministically.
+
+        Key distinctness is a hard invariant, not a sampling accident: a
+        repeated key would silently shrink the command's conflict
+        footprint (``MultiKeyedConflicts`` dedups arguments) and
+        understate cross-partition conflict rates in ``bench_groups``.
+        It holds because a key is accepted only when its partition is not
+        yet covered, and partitions are a function of the key
+        (``stable_hash(key) % n_partitions`` — the same map
+        :class:`~repro.groups.partition.PartitionMap` routes by), so
+        distinct partitions force distinct keys.  The assertion at the
+        bottom pins the invariant against future edits to the draw.
         """
         keys = [self._draw_key()]
         partitions = {stable_hash(keys[0]) % self.n_partitions}
@@ -184,6 +195,8 @@ class WorkloadGenerator:
             raise ValueError(
                 f"key_space={self._key_space} covers fewer than "
                 f"{self.keys_per_cross} of {self.n_partitions} partitions")
+        assert len(set(keys)) == len(keys), (
+            f"cross-partition draw produced duplicate keys: {keys}")
         return tuple(keys)
 
     def next_command(self) -> Command:

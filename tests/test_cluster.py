@@ -185,3 +185,30 @@ class TestKVEndToEnd:
             snapshots = [s.snapshot() for s in cluster.services()]
             assert snapshots[0] == snapshots[1] == snapshots[2]
             assert snapshots[0] == {f"k{i}": 54 + i for i in range(6)}
+
+
+class TestSpeculativeCluster:
+    def test_speculative_round_trip_and_convergence(self):
+        from repro.spec.replica import SpeculativeReplica
+
+        with ThreadedCluster(ClusterConfig(
+                service_factory=KVStoreService, protocol="sequencer",
+                speculative=True, workers=2)) as cluster:
+            client = cluster.client()
+            for i in range(20):
+                assert client.execute(
+                    KVStoreService.put(f"k{i}", i)) is None
+            assert client.execute(KVStoreService.get("k7")) == 7
+            assert wait_consistent(cluster, 21)
+            assert all(isinstance(r, SpeculativeReplica)
+                       for r in cluster.replicas)
+            # The commands really went through the optimistic pipeline.
+            assert all(r.speculation_stats["hits"] > 0
+                       for r in cluster.replicas)
+            snapshots = [s.snapshot() for s in cluster.services()]
+            assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    def test_speculative_requires_the_sequencer(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(service_factory=KVStoreService,
+                          speculative=True).validate()

@@ -1,8 +1,20 @@
-"""Tests for sequencer-based total-order broadcast."""
+"""Tests for sequencer-based total-order broadcast.
+
+Covers the base stamping path, the optimistic fast path
+(``optimistic=True``: announce-on-submit, arrival order as the guessed
+total order) and sequencer failover (``promote``/``NewEpoch``), whose
+epoch guard keeps the stamped sequence gap- and collision-free across
+the transition.
+"""
 
 import pytest
 
 from repro.broadcast import Deliver, Send, SequencerBroadcast, SequencerStamp
+from repro.broadcast.messages import (
+    DeliverOptimistic,
+    NewEpoch,
+    OptimisticAnnounce,
+)
 from repro.errors import ConfigurationError
 
 
@@ -12,6 +24,15 @@ def delivered(actions):
 
 def sent(actions):
     return [(a.dst, a.msg) for a in actions if isinstance(a, Send)]
+
+
+def optimistic(actions):
+    return [a.payload for a in actions if isinstance(a, DeliverOptimistic)]
+
+
+def announced(actions):
+    return [(dst, msg.payload) for dst, msg in sent(actions)
+            if isinstance(msg, OptimisticAnnounce)]
 
 
 class TestSequencer:
@@ -71,3 +92,152 @@ class TestSequencer:
             SequencerBroadcast(3, 3)
         with pytest.raises(ConfigurationError):
             SequencerBroadcast(0, 0)
+
+
+class TestOptimisticDelivery:
+    def test_submit_announces_and_self_delivers(self):
+        node = SequencerBroadcast(1, 3, optimistic=True)
+        actions = node.submit("a")
+        # Announced to both peers, self-delivered optimistically, and
+        # still forwarded to the sequencer for the conservative order.
+        assert announced(actions) == [(0, "a"), (2, "a")]
+        assert optimistic(actions) == ["a"]
+        assert (0, "a") in sent(actions)
+
+    def test_sequencer_submit_also_announces(self):
+        node = SequencerBroadcast(0, 3, optimistic=True)
+        actions = node.submit("a")
+        assert announced(actions) == [(1, "a"), (2, "a")]
+        assert optimistic(actions) == ["a"]
+        assert delivered(actions) == [(0, "a")]  # stamped instantly
+
+    def test_announce_delivers_optimistically_at_receivers(self):
+        node = SequencerBroadcast(2, 3, optimistic=True)
+        actions = node.on_message(1, OptimisticAnnounce("a"))
+        assert optimistic(actions) == ["a"]
+        assert delivered(actions) == []  # conservative comes via stamps
+
+    def test_conservative_mode_ignores_announcements(self):
+        node = SequencerBroadcast(2, 3)  # optimistic=False
+        assert node.submit("a") == [Send(0, "a")]
+        assert node.on_message(1, OptimisticAnnounce("a")) == []
+
+    def test_optimistic_stream_is_arrival_ordered(self):
+        node = SequencerBroadcast(2, 3, optimistic=True)
+        collected = []
+        for payload in ("b", "a"):
+            collected.extend(optimistic(
+                node.on_message(1, OptimisticAnnounce(payload))))
+        # The guess is the arrival order; the stamped path corrects it.
+        assert collected == ["b", "a"]
+        stamped = []
+        for seq, payload in ((0, "a"), (1, "b")):
+            stamped.extend(delivered(
+                node.on_message(0, SequencerStamp(seq, payload))))
+        assert stamped == [(0, "a"), (1, "b")]
+
+
+class TestSequencerFailover:
+    def test_promote_starts_a_new_epoch_at_the_frontier(self):
+        node = SequencerBroadcast(1, 3)
+        node.on_message(0, SequencerStamp(0, "a"))
+        actions = node.promote()
+        assert node.is_sequencer and node.epoch == 1
+        news = [msg for _, msg in sent(actions)
+                if isinstance(msg, NewEpoch)]
+        assert news == [NewEpoch(1, 1, 1), NewEpoch(1, 1, 1)]
+
+    def test_promote_is_idempotent_on_the_sequencer(self):
+        node = SequencerBroadcast(0, 3)
+        assert node.promote() == []
+        assert node.epoch == 0
+
+    def test_promote_restamps_own_inflight_submissions(self):
+        node = SequencerBroadcast(1, 3)
+        node.on_message(0, SequencerStamp(0, "a"))
+        node.submit("mine")  # forwarded to sequencer 0, which then dies
+        actions = node.promote()
+        assert delivered(actions) == [(1, "mine")]
+        stamps = [msg for _, msg in sent(actions)
+                  if isinstance(msg, SequencerStamp)]
+        assert {(m.seq, m.epoch, m.payload) for m in stamps} == {
+            (1, 1, "mine")}
+
+    def test_followers_adopt_and_reforward_inflight(self):
+        node = SequencerBroadcast(2, 3)
+        node.submit("mine")
+        actions = node.on_message(1, NewEpoch(1, 1, 0))
+        assert node.epoch == 1 and not node.is_sequencer
+        assert sent(actions) == [(1, "mine")]
+
+    def test_delivered_submissions_are_not_reforwarded(self):
+        node = SequencerBroadcast(2, 3)
+        node.submit("mine")
+        node.on_message(0, SequencerStamp(0, "mine"))  # confirmed
+        assert sent(node.on_message(1, NewEpoch(1, 1, 1))) == []
+
+    def test_stale_new_epoch_is_ignored(self):
+        node = SequencerBroadcast(2, 3)
+        node.on_message(1, NewEpoch(2, 1, 0))
+        assert node.on_message(0, NewEpoch(1, 0, 0)) == []
+        assert node.epoch == 2
+
+    def test_old_epoch_stamp_below_base_is_accepted(self):
+        # Positions below the base are final under earlier epochs: a
+        # reordered pre-failover stamp must still fill its gap.
+        node = SequencerBroadcast(2, 3)
+        node.on_message(1, NewEpoch(1, 1, 1))
+        actions = node.on_message(0, SequencerStamp(0, "a", epoch=0))
+        assert delivered(actions) == [(0, "a")]
+
+    def test_deposed_sequencer_stamp_at_or_above_base_is_void(self):
+        node = SequencerBroadcast(2, 3)
+        node.on_message(0, SequencerStamp(0, "a", epoch=0))
+        node.on_message(1, NewEpoch(1, 1, 1))
+        # The deposed sequencer's stamp for position 1 must be discarded;
+        # the new epoch re-stamps that position.
+        assert node.on_message(0, SequencerStamp(1, "stale", epoch=0)) == []
+        actions = node.on_message(1, SequencerStamp(1, "fresh", epoch=1))
+        assert delivered(actions) == [(1, "fresh")]
+
+    def test_future_epoch_stamps_buffer_until_the_epoch_arrives(self):
+        # Network reordering: the new sequencer's stamp outruns its
+        # NewEpoch announcement.  Delivering it early could assign the
+        # wrong position, so it waits.
+        node = SequencerBroadcast(2, 3)
+        node.on_message(0, SequencerStamp(0, "a", epoch=0))
+        assert node.on_message(1, SequencerStamp(1, "b", epoch=1)) == []
+        actions = node.on_message(1, NewEpoch(1, 1, 1))
+        assert delivered(actions) == [(1, "b")]
+
+    def test_new_sequencer_drops_recently_delivered_resubmits(self):
+        # At-least-once re-forwarding: a payload whose old-epoch stamp
+        # already delivered here must not be stamped twice.
+        node = SequencerBroadcast(1, 3)
+        node.on_message(0, SequencerStamp(0, "dup"))
+        node.promote()
+        assert node.on_message(2, "dup") == []
+        actions = node.on_message(2, "new")
+        assert delivered(actions) == [(1, "new")]
+
+    def test_promote_does_not_reannounce_optimistically(self):
+        # Re-stamped submissions were announced at original submission;
+        # announcing again would double-deliver on the optimistic stream.
+        node = SequencerBroadcast(1, 3, optimistic=True)
+        node.submit("mine")
+        actions = node.promote()
+        assert announced(actions) == []
+        assert optimistic(actions) == []
+
+    def test_failover_sequence_stays_gap_free(self):
+        # End to end at a follower: epoch 0 delivers 0; the new epoch
+        # re-stamps 1 and continues; every position delivers exactly once.
+        node = SequencerBroadcast(2, 3)
+        log = []
+        log += delivered(node.on_message(0, SequencerStamp(0, "a")))
+        log += delivered(node.on_message(0, SequencerStamp(2, "c")))  # gap at 1
+        log += delivered(node.on_message(1, NewEpoch(1, 1, 1)))
+        log += delivered(node.on_message(0, SequencerStamp(1, "b", epoch=0)))
+        log += delivered(node.on_message(1, SequencerStamp(1, "b2", epoch=1)))
+        log += delivered(node.on_message(1, SequencerStamp(2, "c2", epoch=1)))
+        assert log == [(0, "a"), (1, "b2"), (2, "c2")]

@@ -1,0 +1,335 @@
+"""Unit tests for the speculation engine and the undo providers.
+
+The engine (:mod:`repro.spec.engine`) is the pure commit/rollback core of
+the optimistic pipeline; these tests drive it single-threaded, the way
+the DES and the ``spec-rollback`` harness do.  The undo providers are
+exercised against all three bundled apps: the service-specific inverse
+records (``capture_undo``/``apply_undo``) and the generic shard-snapshot
+fallback must both restore pre-speculation state bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_service
+from repro.apps.kvstore import KVStoreService
+from repro.core.command import Command, ReadWriteConflicts
+from repro.errors import SpeculationError
+from repro.spec.engine import SkipUndoEngine, SpeculationEngine
+from repro.spec.undo import ServiceUndo, SnapshotUndo
+
+
+def put(key, value, rid):
+    return KVStoreService.put(key, value, client_id="c", request_id=rid)
+
+
+def get(key, rid):
+    return KVStoreService.get(key, client_id="c", request_id=rid)
+
+
+def engine(**kwargs) -> SpeculationEngine:
+    return SpeculationEngine(KVStoreService(), **kwargs)
+
+
+class TestSpeculation:
+    def test_speculate_executes_and_buffers_the_response(self):
+        eng = engine()
+        first = eng.speculate(put("k", 1, 1))
+        second = eng.speculate(put("k", 2, 2))
+        # put returns the previous value; both responses are buffered,
+        # nothing is released until confirmation.
+        assert first.response is None and second.response == 1
+        assert eng.uncommitted == 2 and not eng.clean
+        assert eng.stats.speculated == 2
+
+    def test_duplicate_of_a_queued_entry_is_dropped(self):
+        eng = engine()
+        command = put("k", 1, 1)
+        assert eng.speculate(command) is not None
+        assert eng.speculate(command) is None
+        assert eng.uncommitted == 1
+        assert eng.stats.duplicates_dropped == 1
+
+    def test_duplicate_of_a_committed_command_is_dropped(self):
+        eng = engine()
+        command = put("k", 1, 1)
+        eng.speculate(command)
+        eng.confirm([command])
+        assert eng.speculate(command) is None, (
+            "a late optimistic duplicate of a committed command re-entered "
+            "the log")
+        assert eng.stats.duplicates_dropped == 1
+
+    def test_committed_window_is_bounded(self):
+        eng = engine(committed_window=2)
+        old = put("k0", 0, 1)
+        eng.speculate(old)
+        eng.confirm([old])
+        for rid in (2, 3):  # roll ``old`` out of the window
+            fresh = put(f"k{rid}", rid, rid)
+            eng.speculate(fresh)
+            eng.confirm([fresh])
+        # Beyond the window the engine no longer remembers the commit —
+        # the documented bound (callers size the window to the optimistic
+        # reorder horizon).
+        assert eng.speculate(old) is not None
+
+    def test_committed_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="committed_window"):
+            engine(committed_window=0)
+
+    def test_record_twice_raises(self):
+        eng = engine()
+        entry = eng.speculate(put("k", 1, 1))
+        with pytest.raises(SpeculationError, match="recorded twice"):
+            eng.record(entry, None, None)
+
+    def test_admit_without_record_blocks_confirm(self):
+        eng = engine()
+        command = put("k", 1, 1)
+        eng.admit(command)
+        assert eng.unexecuted == 1
+        with pytest.raises(SpeculationError, match="drain"):
+            eng.confirm([command])
+
+
+class TestConfirm:
+    def test_matching_prefix_commits_and_releases_hits(self):
+        eng = engine()
+        commands = [put("k", value, value + 1) for value in range(3)]
+        for command in commands:
+            eng.speculate(command)
+        result = eng.confirm(commands)
+        assert [(c, hit) for c, _r, hit in result.released] == [
+            (command, True) for command in commands]
+        assert [r for _c, r, _h in result.released] == [None, 0, 1]
+        assert result.respeculate == [] and result.rolled_back == 0
+        assert eng.clean
+        assert eng.stats.hits == 3 and eng.stats.misses == 0
+        assert eng.stats.match_rate == 1.0
+
+    def test_mismatch_rolls_back_and_reexecutes_conservatively(self):
+        eng = engine()
+        a, b = put("k", 1, 1), put("k", 2, 2)
+        eng.speculate(a)
+        eng.speculate(b)
+        # Conservative order arrives reversed: positional rule => full
+        # rollback, then conservative re-execution in the decided order.
+        result = eng.confirm([b, a])
+        assert [(r, hit) for _c, r, hit in result.released] == [
+            (None, False), (2, False)]
+        assert result.rolled_back == 2 and result.respeculate == []
+        assert eng.service.snapshot() == {"k": 1}
+        assert eng.stats.rollbacks == 1 and eng.stats.rolled_back == 2
+        assert eng.stats.misses == 2 and eng.stats.match_rate == 0.0
+
+    def test_rollback_restores_the_exact_pre_speculation_state(self):
+        service = KVStoreService()
+        service.execute(put("k", "committed", 0))
+        eng = SpeculationEngine(service)
+        for rid, value in enumerate(("x", "y", "z"), start=1):
+            eng.speculate(put("k", value, rid))
+        intruder = put("other", 1, 99)
+        result = eng.confirm([intruder])
+        # Reverse-order undo: k back to "committed", only the intruder's
+        # conservative effect remains.
+        assert service.snapshot() == {"k": "committed", "other": 1}
+        assert len(result.respeculate) == 3
+
+    def test_unconfirmed_rolled_back_commands_are_respeculated(self):
+        eng = engine()
+        a, b, c = (put(f"k{i}", i, i + 1) for i in range(3))
+        for command in (a, b, c):
+            eng.speculate(command)
+        intruder = put("k0", 9, 10)
+        result = eng.confirm([a, intruder])
+        # a hits; the intruder diverges, rolling back b and c, which were
+        # not in this batch: handed back in original optimistic order.
+        assert [hit for _c, _r, hit in result.released] == [True, False]
+        assert result.respeculate == [b, c]
+        assert result.rolled_back == 2
+        # They can be speculated again and then hit.
+        for command in result.respeculate:
+            eng.speculate(command)
+        result = eng.confirm([b, c])
+        assert all(hit for _c, _r, hit in result.released)
+        assert eng.clean
+
+    def test_partial_match_then_divergence_counts_hits_and_misses(self):
+        eng = engine()
+        commands = [put(f"k{i}", i, i + 1) for i in range(4)]
+        for command in commands:
+            eng.speculate(command)
+        reordered = [commands[0], commands[1], commands[3], commands[2]]
+        result = eng.confirm(reordered)
+        assert [hit for _c, _r, hit in result.released] == [
+            True, True, False, False]
+        assert eng.stats.hits == 2 and eng.stats.misses == 2
+        assert eng.clean
+
+    def test_confirm_of_never_speculated_commands_is_pure_misses(self):
+        eng = engine()
+        commands = [put(f"k{i}", i, i + 1) for i in range(2)]
+        result = eng.confirm(commands)
+        assert all(not hit for _c, _r, hit in result.released)
+        assert result.rolled_back == 0
+        assert eng.service.snapshot() == {"k0": 0, "k1": 1}
+
+    def test_custom_execute_runs_the_misses(self):
+        eng = engine()
+        ran = []
+
+        def execute(command):
+            ran.append(command)
+            return eng.service.execute(command)
+
+        command = put("k", 1, 1)
+        eng.confirm([command], execute=execute)
+        assert ran == [command]
+
+    def test_abort_rolls_back_everything(self):
+        service = KVStoreService()
+        eng = SpeculationEngine(service)
+        for rid in range(3):
+            eng.speculate(put(f"k{rid}", rid, rid + 1))
+        assert eng.abort() == 3
+        assert eng.clean and service.snapshot() == {}
+
+    def test_abort_with_inflight_executions_raises(self):
+        eng = engine()
+        eng.admit(put("k", 1, 1))
+        with pytest.raises(SpeculationError, match="abort"):
+            eng.abort()
+
+
+class TestSkipUndoMutant:
+    def test_skip_undo_corrupts_state_on_rollback(self):
+        # The seeded bug the spec-rollback harness must catch: rolling
+        # back without applying undo records leaves the mis-speculated
+        # effects in place.
+        healthy, mutated = KVStoreService(), KVStoreService()
+        speculated = put("k", "guess", 1)
+        intruder = put("other", 1, 2)
+        for service, cls in ((healthy, SpeculationEngine),
+                             (mutated, SkipUndoEngine)):
+            eng = cls(service)
+            eng.speculate(speculated)
+            eng.confirm([intruder])
+        assert healthy.snapshot() == {"other": 1}
+        assert mutated.snapshot() == {"k": "guess", "other": 1}, (
+            "the mutant is supposed to leave rolled-back effects behind")
+
+
+# ---------------------------------------------------------------- undo
+
+#: (service name, state-seeding commands, the speculated write).
+_APP_CASES = [
+    ("kv",
+     [KVStoreService.put("k", "old", client_id="s", request_id=1)],
+     KVStoreService.put("k", "new", client_id="s", request_id=2)),
+    ("bank",
+     [Command("deposit", ("a", 100), client_id="s", request_id=1,
+              writes=True)],
+     Command("transfer", ("a", "b", 30), client_id="s", request_id=2,
+             writes=True)),
+    # Values beyond the service's initial population, so the write has
+    # an observable effect to undo.
+    ("linked-list",
+     [Command("add", (1_000_001,), client_id="s", request_id=1,
+              writes=True)],
+     Command("add-all", (1_000_002, 1_000_003), client_id="s",
+             request_id=2, writes=True)),
+]
+
+
+@pytest.mark.parametrize("name,seeding,write", _APP_CASES,
+                         ids=[case[0] for case in _APP_CASES])
+class TestServiceUndo:
+    def test_capture_execute_apply_restores_the_snapshot(
+            self, name, seeding, write):
+        service = build_service(name)
+        for command in seeding:
+            service.execute(command)
+        before = service.snapshot()
+        undo = ServiceUndo()
+        record = undo.capture(service, write)
+        service.execute(write)
+        assert service.snapshot() != before  # the write had an effect
+        undo.apply(service, record)
+        assert service.snapshot() == before
+
+    def test_reads_capture_nothing(self, name, seeding, write):
+        service = build_service(name)
+        read = Command("contains" if name == "linked-list"
+                       else ("balance" if name == "bank" else "get"),
+                       (seeding[0].args[0],), writes=False)
+        undo = ServiceUndo()
+        assert undo.capture(service, read) is None
+        undo.apply(service, None)  # no-op
+
+
+class TestSnapshotUndo:
+    def test_shard_records_restore_via_recomposition(self):
+        service = KVStoreService()
+        for index in range(8):
+            service.execute(put(f"k{index}", index, index + 1))
+        before = service.snapshot()
+        undo = SnapshotUndo(n_shards=4)
+        write = put("k3", "overwritten", 100)
+        (captured_shard,) = service.shards_of(write, 4)
+        record = undo.capture(service, write)
+        kind, payload = record
+        assert kind == "shards" and len(payload) == 1
+        service.execute(write)
+        # Mutate a shard the record did NOT capture: recomposition must
+        # keep that later state and restore only the captured shard.
+        other_key = next(
+            f"other{i}" for i in range(64)
+            if service.shards_of(put(f"other{i}", 0, 0), 4)[0]
+            != captured_shard)
+        service.execute(put(other_key, "kept", 101))
+        undo.apply(service, record)
+        expected = dict(before)
+        expected[other_key] = "kept"
+        assert service.snapshot() == expected
+
+    def test_service_without_sharding_falls_back_to_full_snapshot(self):
+        class Plain:
+            def __init__(self):
+                self.state = {"a": 1}
+
+            def snapshot(self):
+                return dict(self.state)
+
+            def restore(self, snapshot):
+                self.state = dict(snapshot)
+
+        service = Plain()
+        undo = SnapshotUndo()
+        record = undo.capture(service, Command("mut", ("a",), writes=True))
+        assert record == ("full", {"a": 1})
+        service.state["a"] = 2
+        undo.apply(service, record)
+        assert service.state == {"a": 1}
+
+    def test_reads_capture_nothing(self):
+        undo = SnapshotUndo()
+        assert undo.capture(KVStoreService(),
+                            Command("get", ("k",), writes=False)) is None
+
+    def test_shard_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            SnapshotUndo(n_shards=0)
+
+
+class TestEngineWithSnapshotUndo:
+    def test_rollback_correct_under_the_generic_provider(self):
+        # The engine must be provider-agnostic: same rollback guarantee
+        # with shard snapshots as with the apps' inverse records.
+        service = KVStoreService()
+        service.execute(put("k", "committed", 0))
+        eng = SpeculationEngine(service, undo=SnapshotUndo(n_shards=4))
+        eng.speculate(put("k", "guess", 1))
+        eng.confirm([put("other", 1, 2)])
+        assert service.snapshot() == {"k": "committed", "other": 1}

@@ -1,0 +1,229 @@
+"""Threaded SpeculativeReplica: withheld responses, rollback, quiesce.
+
+Drives the real threaded pipeline (COS workers executing speculatively)
+through the optimistic/conservative delivery pair and checks the
+visible contract: responses are withheld until the conservative order
+confirms, mis-speculation rolls the service state back, local reads
+never observe provisional effects, and checkpoints quiesce to a
+confirmed cut.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Tuple
+
+import pytest
+
+from repro.apps.kvstore import KVStoreService
+from repro.smr.checkpoint import CheckpointError
+from repro.obs import MetricsRegistry
+from repro.spec.replica import SpeculativeReplica
+
+
+def put(key, value, cid, rid):
+    return KVStoreService.put(key, value, client_id=cid, request_id=rid)
+
+
+def get(key, cid, rid):
+    return KVStoreService.get(key, client_id=cid, request_id=rid)
+
+
+def wait_until(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached within timeout")
+        time.sleep(0.005)
+
+
+class Harness:
+    """One started replica plus its collected responses."""
+
+    def __init__(self, **kwargs):
+        self.responses: List[Tuple[Any, Any]] = []
+        self.service = KVStoreService()
+        self.replica = SpeculativeReplica(
+            0, self.service, workers=2,
+            on_response=lambda c, r, _rid: self.responses.append((c, r)),
+            **kwargs)
+        self.replica.start()
+
+    def stop(self):
+        self.replica.stop()
+
+    def wait_drained(self, speculated: int) -> None:
+        """Wait until ``speculated`` commands finished executing."""
+        wait_until(lambda: (
+            self.replica.speculation_stats["speculated"] >= speculated
+            and self.replica._engine.unexecuted == 0))
+
+    def by_client(self) -> Dict[str, Any]:
+        return {c.client_id: r for c, r in self.responses}
+
+
+@pytest.fixture
+def harness():
+    h = Harness()
+    yield h
+    h.stop()
+
+
+class TestSpeculativeExecution:
+    def test_responses_withheld_until_conservative_delivery(self, harness):
+        command = put("k", "v", "a", 1)
+        harness.replica.on_optimistic(command)
+        harness.wait_drained(1)
+        # Executed speculatively (state moved) but nothing released.
+        assert harness.service.snapshot() == {"k": "v"}
+        assert harness.responses == []
+        harness.replica.on_deliver(0, command)
+        wait_until(lambda: len(harness.responses) == 1)
+        assert harness.responses == [(command, None)]
+        assert harness.replica.speculation_stats["hits"] == 1
+
+    def test_hits_release_the_buffered_response(self, harness):
+        first = put("k", 1, "a", 1)
+        second = put("k", 2, "a", 2)
+        harness.replica.on_optimistic([first, second])
+        harness.wait_drained(2)
+        harness.replica.on_deliver(0, [first, second])
+        wait_until(lambda: len(harness.responses) == 2)
+        # put returns the previous value: the buffered speculative
+        # responses carry the speculative predecessor's effect.
+        assert harness.responses == [(first, None), (second, 1)]
+        stats = harness.replica.speculation_stats
+        assert stats["hits"] == 2 and stats["rollbacks"] == 0
+
+    def test_mismatch_rolls_back_and_matches_conservative_state(
+            self, harness):
+        a, b = put("k", "a-wins", "a", 1), put("k", "b-wins", "b", 1)
+        harness.replica.on_optimistic([a, b])
+        harness.wait_drained(2)
+        # The conservative order reverses the optimistic guess.
+        harness.replica.on_deliver(0, [b, a])
+        wait_until(lambda: len(harness.responses) == 2)
+        # Bit-identical to a replica that executed [b, a] sequentially.
+        assert harness.service.snapshot() == {"k": "a-wins"}
+        assert harness.by_client() == {"b": None, "a": "b-wins"}
+        stats = harness.replica.speculation_stats
+        assert stats["rollbacks"] == 1 and stats["rolled_back"] == 2
+        assert stats["misses"] == 2
+
+    def test_rolled_back_commands_respeculate_and_commit_later(
+            self, harness):
+        mine = put("k", "mine", "a", 1)
+        intruder = put("k", "intruder", "b", 1)
+        harness.replica.on_optimistic(mine)
+        harness.wait_drained(1)
+        # The conservative order confirms only the intruder: ``mine``
+        # rolls back and re-enters the speculation log.
+        harness.replica.on_deliver(0, intruder)
+        wait_until(lambda: len(harness.responses) == 1)
+        assert harness.replica.speculation_stats["rolled_back"] == 1
+        # ...and hits when its own confirmation arrives.
+        harness.replica.on_deliver(1, mine)
+        wait_until(lambda: len(harness.responses) == 2)
+        assert harness.by_client() == {"b": None, "a": "intruder"}
+        assert harness.service.snapshot() == {"k": "mine"}
+        assert harness.replica.speculation_stats["hits"] == 1
+
+    def test_duplicate_optimistic_deliveries_are_dropped(self, harness):
+        command = put("k", "v", "a", 1)
+        harness.replica.on_optimistic(command)
+        harness.replica.on_optimistic(command)  # retransmitted announce
+        harness.wait_drained(1)
+        stats = harness.replica.speculation_stats
+        assert stats["speculated"] == 1 and stats["duplicates_dropped"] == 1
+        harness.replica.on_deliver(0, command)
+        wait_until(lambda: len(harness.responses) == 1)
+        assert harness.service.snapshot() == {"k": "v"}
+
+
+class TestLocalReads:
+    def test_dirty_log_defers_reads_until_confirmation(self, harness):
+        write = put("k", "guess", "w", 1)
+        read = get("k", "r", 1)
+        harness.replica.on_optimistic(write)
+        harness.wait_drained(1)
+        harness.replica.on_local_read(read)
+        # Provisional state must stay invisible: no inline answer.
+        assert harness.responses == []
+        harness.replica.on_deliver(0, write)
+        wait_until(lambda: len(harness.responses) == 2)
+        assert harness.by_client()["r"] == "guess"  # now committed
+
+    def test_deferred_read_never_sees_a_rolled_back_value(self, harness):
+        write = put("k", "guess", "w", 1)
+        read = get("k", "r", 1)
+        harness.replica.on_optimistic(write)
+        harness.wait_drained(1)
+        harness.replica.on_local_read(read)
+        assert harness.responses == []
+        # The conservative order contains only another client's write:
+        # "guess" rolls back (then respeculates), and the read must
+        # release only once the log is clean again.
+        intruder = put("k", "final", "i", 1)
+        harness.replica.on_deliver(0, intruder)
+        wait_until(lambda: "i" in harness.by_client())
+        assert "r" not in harness.by_client(), (
+            "read released while the respeculated write kept the log "
+            "dirty")
+        harness.replica.on_deliver(1, write)
+        wait_until(lambda: len(harness.responses) == 3)
+        assert harness.by_client()["r"] == "guess"
+
+    def test_clean_log_reads_use_the_idle_fast_path(self, harness):
+        command = put("k", "v", "w", 1)
+        harness.replica.on_optimistic(command)
+        harness.wait_drained(1)
+        harness.replica.on_deliver(0, command)
+        wait_until(lambda: len(harness.responses) == 1)
+        harness.replica.on_local_read(get("k", "r", 1))
+        wait_until(lambda: len(harness.responses) == 2)
+        assert harness.by_client()["r"] == "v"
+
+
+class TestCheckpoints:
+    def test_checkpoint_refuses_a_provisional_cut(self, harness):
+        harness.replica.on_optimistic(put("k", "guess", "w", 1))
+        harness.wait_drained(1)
+        with pytest.raises(CheckpointError):
+            harness.replica.take_checkpoint(timeout=0.2)
+
+    def test_checkpoint_after_confirmation_holds_committed_state(
+            self, harness):
+        command = put("k", "v", "w", 1)
+        harness.replica.on_optimistic(command)
+        harness.wait_drained(1)
+        harness.replica.on_deliver(0, command)
+        wait_until(lambda: len(harness.responses) == 1)
+        checkpoint = harness.replica.take_checkpoint(timeout=5.0)
+        assert checkpoint.instance == 0
+        assert checkpoint.state == {"k": "v"}
+
+
+class TestObservability:
+    def test_spec_counters_and_histograms_populate(self):
+        registry = MetricsRegistry()
+        h = Harness.__new__(Harness)
+        h.responses = []
+        h.service = KVStoreService()
+        h.replica = SpeculativeReplica(
+            0, h.service, workers=2, registry=registry,
+            on_response=lambda c, r, _rid: h.responses.append((c, r)))
+        h.replica.start()
+        try:
+            a, b = put("k", 1, "a", 1), put("k", 2, "b", 1)
+            h.replica.on_optimistic([a, b])
+            h.wait_drained(2)
+            h.replica.on_deliver(0, [b, a])  # forced mismatch
+            wait_until(lambda: len(h.responses) == 2)
+            assert registry.counter("spec_speculated_total").value == 2
+            assert registry.counter("spec_misses_total").value == 2
+            assert registry.counter("spec_rollbacks_total").value == 1
+            assert registry.counter("spec_rolled_back_total").value == 2
+            assert registry.histogram("spec_exec_seconds").count == 2
+            assert registry.histogram("spec_commit_seconds").count == 2
+        finally:
+            h.stop()
